@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only,
+# no external dependencies).
+
+.PHONY: all build test vet bench experiments examples fmt cover
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# One measured shot of every figure/table benchmark.
+bench:
+	go test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate the paper's evaluation tables (EXPERIMENTS.md's source).
+experiments:
+	go run ./cmd/aldabench -exp all -size small -reps 5
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/racedetect
+	go run ./examples/libsanitizer
+	go run ./examples/taintflow
+	go run ./examples/combined
+
+fmt:
+	gofmt -w .
+	# -l only: aldafmt does not preserve comments, so never -w the
+	# hand-commented shipped analyses.
+	go run ./cmd/aldafmt -l internal/analyses/*.alda || true
+
+cover:
+	go test -cover ./...

@@ -1,0 +1,123 @@
+// Package alda is a from-scratch Go reproduction of ALDA, the dynamic
+// analysis description language, and ALDAcc, its optimizing compiler
+// (Cheng & Devecsery, ASPLOS 2022).
+//
+// An analysis is written in the ALDA language, compiled with Compile,
+// woven into a MIR program with Analysis.Instrument, and executed with
+// Run:
+//
+//	an, err := alda.Compile(source, alda.DefaultOptions())
+//	prog := workloads.Build("fft", workloads.SizeSmall)
+//	inst, err := an.Instrument(prog)
+//	res, err := alda.Run(inst, an, alda.RunConfig{})
+//	for _, r := range res.Reports { fmt.Println(r) }
+//
+// The package is a façade over internal/compiler (ALDAcc),
+// internal/instrument (event-handler insertion), internal/mir (the
+// LLVM-IR stand-in) and internal/vm (the execution substrate). See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-reproduction results.
+package alda
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/mir"
+	"repro/internal/vm"
+)
+
+// Options are ALDAcc compilation switches.
+type Options = compiler.Options
+
+// ExternalFn implements an ALDA external function call in Go.
+type ExternalFn = compiler.ExternalFn
+
+// Program is a MIR program (the instrumentation substrate's IR).
+type Program = mir.Program
+
+// Result summarizes a VM run.
+type Result = vm.Result
+
+// Report is an analysis finding.
+type Report = vm.Report
+
+// DefaultOptions returns the full-optimization configuration.
+func DefaultOptions() Options { return compiler.DefaultOptions() }
+
+// DSOnlyOptions returns the Figure 4 ablation: data-structure selection
+// without map coalescing or lookup CSE.
+func DSOnlyOptions() Options { return compiler.DSOnlyOptions() }
+
+// NaiveOptions disables every layout optimization.
+func NaiveOptions() Options { return compiler.NaiveOptions() }
+
+// Analysis is a compiled ALDA analysis.
+type Analysis struct {
+	c *compiler.Analysis
+}
+
+// Compile parses, type-checks and compiles ALDA source text with
+// ALDAcc. Several analyses combine by concatenating their sources
+// (§6.4.2).
+func Compile(src string, opts Options) (*Analysis, error) {
+	c, err := compiler.Compile(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{c: c}, nil
+}
+
+// RegisterExternal supplies the Go implementation of an external
+// function referenced by the analysis (the escape hatch of §3.3). Must
+// be called before Run.
+func (a *Analysis) RegisterExternal(name string, fn ExternalFn) {
+	a.c.Externals[name] = fn
+}
+
+// Instrument weaves the analysis into a program, returning an
+// instrumented clone.
+func (a *Analysis) Instrument(p *Program) (*Program, error) {
+	return instrument.Apply(p, a.c)
+}
+
+// Plan renders ALDAcc's compilation plan: coalescing groups, container
+// selections, shadow factors and CSE summary.
+func (a *Analysis) Plan() string { return a.c.Plan() }
+
+// LOC returns the analysis source's line count (Table 4 accounting).
+func (a *Analysis) LOC() int { return a.c.SourceLOC }
+
+// NeedShadow reports whether instrumented programs require shadow
+// register tracking.
+func (a *Analysis) NeedShadow() bool { return a.c.NeedShadow }
+
+// Compiled exposes the underlying compiler plan (for the explain tool
+// and the benchmark harness).
+func (a *Analysis) Compiled() *compiler.Analysis { return a.c }
+
+// RunConfig controls execution.
+type RunConfig struct {
+	// Seed drives the deterministic scheduler (default 1).
+	Seed int64
+	// MaxSteps caps execution (default 4e9).
+	MaxSteps uint64
+	// Quantum is the scheduler slice (default 64).
+	Quantum int
+}
+
+func (rc RunConfig) runOptions() core.RunOptions {
+	return core.RunOptions{Seed: rc.Seed, MaxSteps: rc.MaxSteps, Quantum: rc.Quantum}
+}
+
+// Run executes an instrumented program under the analysis. Pass a nil
+// analysis to run an uninstrumented baseline.
+func Run(p *Program, a *Analysis, cfg RunConfig) (*Result, error) {
+	if err := core.Validate(p); err != nil {
+		return nil, err
+	}
+	if a == nil {
+		return core.RunPlain(p, cfg.runOptions())
+	}
+	return core.RunInstrumented(p, a.c, cfg.runOptions())
+}

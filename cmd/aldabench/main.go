@@ -1,0 +1,73 @@
+// Command aldabench regenerates the paper's evaluation (§6): Figure 3
+// (MSan vs hand-tuned MSan), Figure 4 (Eraser vs hand-tuned and the
+// ds-only ablation), Figure 5 (combined analyses), Table 3 (MSan error
+// validation), Table 4 (analysis line counts), the §6.4.1 library
+// sanitizer runs, and a finer optimization ablation.
+//
+// Usage:
+//
+//	aldabench -exp all -size small -reps 3
+//	aldabench -exp fig4 -size medium
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig3|fig4|fig5|table3|table4|libsan|ablate|pgo|mem|gran|all")
+	sizeFlag := flag.String("size", "small", "workload size: tiny|small|medium|large")
+	reps := flag.Int("reps", 3, "measured repetitions per configuration (one warm-up run is added)")
+	seed := flag.Int64("seed", 1, "deterministic scheduler seed")
+	flag.Parse()
+
+	var size workloads.Size
+	switch *sizeFlag {
+	case "tiny":
+		size = workloads.SizeTiny
+	case "small":
+		size = workloads.SizeSmall
+	case "medium":
+		size = workloads.SizeMedium
+	case "large":
+		size = workloads.SizeLarge
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeFlag)
+		os.Exit(2)
+	}
+
+	cfg := harness.Config{Size: size, Reps: *reps, Out: os.Stdout}
+	cfg.Opt.Seed = *seed
+
+	run := func(name string, fn func(harness.Config) error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table4", func(c harness.Config) error { _, err := harness.Table4(c); return err })
+	run("table3", func(c harness.Config) error { _, err := harness.Table3(c); return err })
+	run("libsan", func(c harness.Config) error { _, err := harness.LibSan(c); return err })
+	run("fig3", func(c harness.Config) error { _, err := harness.Fig3(c); return err })
+	run("fig4", func(c harness.Config) error { _, err := harness.Fig4(c); return err })
+	run("fig5", func(c harness.Config) error { _, err := harness.Fig5(c); return err })
+	run("ablate", func(c harness.Config) error { _, err := harness.Ablate(c); return err })
+	run("pgo", func(c harness.Config) error { _, err := harness.PGO(c); return err })
+	run("mem", func(c harness.Config) error { _, err := harness.Mem(c); return err })
+	run("gran", func(c harness.Config) error { _, err := harness.Granularity(c); return err })
+
+	if !strings.Contains("fig3 fig4 fig5 table3 table4 libsan ablate pgo mem gran all", *exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

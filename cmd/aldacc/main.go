@@ -1,0 +1,204 @@
+// Command aldacc is the ALDA compiler driver: it compiles an ALDA
+// analysis (from a file or one of the built-in analyses), instruments a
+// workload program, runs it on the VM, and prints the analysis reports
+// and overhead — the full Figure 1 workflow in one invocation.
+//
+// Usage:
+//
+//	aldacc -analysis uaf -workload memcached -bug uaf
+//	aldacc -file my.alda -workload fft -size small
+//	aldacc -analysis eraser -workload radiosity -bug race -explain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analyses"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/mir"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	analysisName := flag.String("analysis", "", "built-in analysis name (or comma-separated list to combine): "+strings.Join(analyses.Names(), ", "))
+	file := flag.String("file", "", "path to an ALDA source file (alternative to -analysis)")
+	workload := flag.String("workload", "", "workload program: "+strings.Join(workloads.Names(), ", "))
+	mirFile := flag.String("mir", "", "path to a MIR text program to analyze instead of a named workload")
+	sizeFlag := flag.String("size", "tiny", "workload size: tiny|small|medium|large")
+	bugFlag := flag.String("bug", "none", "bug injection: none|uninit|ssl-leak|ssl-shutdown|zlib-uninit|uaf|race|taint")
+	seed := flag.Int64("seed", 1, "scheduler seed")
+	explain := flag.Bool("explain", false, "print ALDAcc's compilation plan")
+	dsOnly := flag.Bool("ds-only", false, "disable coalescing and CSE (Figure 4 ablation)")
+	naive := flag.Bool("naive", false, "disable all layout optimizations")
+	baseline := flag.Bool("baseline", false, "also run uninstrumented and report overhead")
+	pgo := flag.Bool("pgo", false, "run a tiny profiling pass first and recompile with profile-guided coalescing")
+	optimize := flag.Bool("O", false, "run the MIR optimizer on the program before instrumenting")
+	flag.Parse()
+
+	opts := compiler.DefaultOptions()
+	if *dsOnly {
+		opts = compiler.DSOnlyOptions()
+	}
+	if *naive {
+		opts = compiler.NaiveOptions()
+	}
+
+	var a *compiler.Analysis
+	var err error
+	switch {
+	case *file != "":
+		src, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		a, err = compiler.Compile(string(src), opts)
+		if err == nil {
+			analyses.RegisterExternals(a)
+		}
+	case *analysisName != "":
+		names := strings.Split(*analysisName, ",")
+		if len(names) == 1 {
+			a, err = analyses.Compile(names[0], opts)
+		} else {
+			a, err = analyses.CompileCombined(opts, names...)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -analysis or -file; try -analysis uaf -workload memcached -bug uaf")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *explain {
+		fmt.Print(a.Plan())
+	}
+	if *workload == "" && *mirFile == "" {
+		if !*explain {
+			fmt.Println("analysis compiled OK (use -workload or -mir to run it, -explain to see the plan)")
+		}
+		return
+	}
+
+	size := parseSize(*sizeFlag)
+	bug := parseBug(*bugFlag)
+	var p *mir.Program
+	if *mirFile != "" {
+		src, rerr := os.ReadFile(*mirFile)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		p, err = mir.ParseText(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		if err := p.Verify(); err != nil {
+			fatal(err)
+		}
+	} else {
+		p, err = workloads.BuildBug(*workload, size, bug)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	opt := core.RunOptions{Seed: *seed}
+
+	if *optimize {
+		removed := mir.Optimize(p)
+		fmt.Printf("optimizer removed %d instructions\n", removed)
+	}
+
+	if *pgo {
+		train := p
+		if *mirFile == "" {
+			train, err = workloads.Build(*workload, workloads.SizeTiny)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		prof, err := core.CollectProfile(a, train, opt)
+		if err != nil {
+			fatal(err)
+		}
+		a, err = core.RecompileWithProfile(a, prof)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("profile-guided coalescing applied; profile:")
+		fmt.Print(prof.String())
+	}
+	res, err := core.RunAnalysis(p, a, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *mirFile != "" {
+		fmt.Printf("program=%s\n", *mirFile)
+	} else {
+		fmt.Printf("workload=%s size=%s bug=%s\n", *workload, size, bug)
+	}
+	fmt.Printf("steps=%d hooks=%d threads=%d wall=%v\n", res.Steps, res.HookCalls, res.Threads, res.Wall)
+	if *baseline {
+		plain, err := core.RunPlain(p, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("baseline wall=%v normalized overhead=%.2fx\n", plain.Wall, core.Overhead(res, plain))
+	}
+	if len(res.Reports) == 0 {
+		fmt.Println("no analysis reports")
+		return
+	}
+	fmt.Printf("%d report(s):\n%s", len(res.Reports), vm.FormatReports(res.Reports))
+}
+
+func parseSize(s string) workloads.Size {
+	switch s {
+	case "tiny":
+		return workloads.SizeTiny
+	case "small":
+		return workloads.SizeSmall
+	case "medium":
+		return workloads.SizeMedium
+	case "large":
+		return workloads.SizeLarge
+	}
+	fmt.Fprintf(os.Stderr, "unknown size %q\n", s)
+	os.Exit(2)
+	return 0
+}
+
+func parseBug(s string) workloads.Bug {
+	switch s {
+	case "none":
+		return workloads.BugNone
+	case "uninit":
+		return workloads.BugUninit
+	case "ssl-leak":
+		return workloads.BugSSLLeak
+	case "ssl-shutdown":
+		return workloads.BugSSLShutdown
+	case "zlib-uninit":
+		return workloads.BugZlibUninit
+	case "uaf":
+		return workloads.BugUAF
+	case "race":
+		return workloads.BugRace
+	case "taint":
+		return workloads.BugTaint
+	}
+	fmt.Fprintf(os.Stderr, "unknown bug %q\n", s)
+	os.Exit(2)
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aldacc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command aldaexplain dumps ALDAcc's compilation plan for an analysis:
+// coalescing groups, chosen containers with shadow factors, entry
+// layouts, and per-handler lookup-savings — the "why is my analysis
+// fast (or not)" tool. It can diff two optimization configurations side
+// by side.
+//
+// Usage:
+//
+//	aldaexplain -analysis eraser
+//	aldaexplain -analysis eraser,fasttrack,uaf,tainttrack -compare
+//	aldaexplain -file my.alda
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analyses"
+	"repro/internal/compiler"
+)
+
+func main() {
+	analysisName := flag.String("analysis", "", "built-in analysis name or comma-separated combination: "+strings.Join(analyses.Names(), ", "))
+	file := flag.String("file", "", "path to an ALDA source file")
+	compare := flag.Bool("compare", false, "also show the ds-only and naive plans")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	case *analysisName != "":
+		s, err := analyses.Combined(strings.Split(*analysisName, ",")...)
+		if err != nil {
+			fatal(err)
+		}
+		src = s
+	default:
+		fmt.Fprintln(os.Stderr, "need -analysis or -file")
+		os.Exit(2)
+	}
+
+	show := func(title string, opts compiler.Options) {
+		a, err := compiler.Compile(src, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", title)
+		fmt.Print(a.Plan())
+		fmt.Printf("analysis source: %d LOC\n\n", a.SourceLOC)
+	}
+
+	show("ALDAcc-full", compiler.DefaultOptions())
+	if *compare {
+		show("ALDAcc-ds-only (no coalescing, no CSE)", compiler.DSOnlyOptions())
+		show("naive (hash maps and tree sets everywhere)", compiler.NaiveOptions())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aldaexplain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command aldafmt formats ALDA source files in canonical style, the way
+// gofmt does for Go: four-space indentation, one statement per line,
+// spaces around operators, minimal parentheses.
+//
+// Known limitation: the printer works from the AST, which does not
+// carry comments — formatting a commented file with -w drops its
+// comments. Use the default (stdout) or -l modes on hand-commented
+// sources; -w is safe for generated or comment-free files.
+//
+// Usage:
+//
+//	aldafmt file.alda            # print formatted source to stdout
+//	aldafmt -w file.alda ...     # rewrite files in place
+//	aldafmt -l file.alda ...     # list files whose formatting differs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lang/parser"
+	"repro/internal/lang/printer"
+)
+
+func main() {
+	write := flag.Bool("w", false, "write result to source file instead of stdout")
+	list := flag.Bool("l", false, "list files whose formatting differs")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: aldafmt [-w|-l] file.alda ...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aldafmt:", err)
+			exit = 1
+			continue
+		}
+		out, err := printer.Format(string(src), parser.Parse)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aldafmt: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		switch {
+		case *list:
+			if out != string(src) {
+				fmt.Println(path)
+			}
+		case *write:
+			if out != string(src) {
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "aldafmt:", err)
+					exit = 1
+				}
+			}
+		default:
+			fmt.Print(out)
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,102 @@
+// libsanitizer demonstrates §6.4.1's headline capability: building a
+// niche, library-specific sanitizer in minutes. Here we write
+// "HeapSan", an allocator-contract checker (double free, free of a
+// never-allocated pointer, leak-at-exit) in ~30 lines of ALDA, and run
+// it against the memcached workload plus a purpose-built offender.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	alda "repro"
+	"repro/internal/mir"
+	"repro/internal/workloads"
+)
+
+const heapSanSource = `
+// HeapSan: allocator contract checking.
+address := pointer
+counter := int64
+flag := int8
+
+liveBlock = map(address, flag)
+liveCount = counter
+
+hsOnMalloc(address p) {
+    liveBlock[p] = 1;
+    liveCount = liveCount + 1;
+}
+
+hsOnFree(address p) {
+    if (liveBlock[p] != 1) {
+        alda_assert(0, 1, "free of non-live pointer (double free or foreign pointer)");
+    } else {
+        liveBlock[p] = 0;
+        liveCount = liveCount - 1;
+    }
+}
+
+hsAtExit() {
+    alda_assert(liveCount, 0, "heap blocks leaked at exit");
+}
+
+insert after func malloc call hsOnMalloc($r)
+insert after func calloc call hsOnMalloc($r)
+insert before func free call hsOnFree($1)
+insert before ProgramEnd call hsAtExit()
+`
+
+// offender builds a program with a double free and a leak.
+func offender() *alda.Program {
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+	a := b.Call("malloc", mir.C(32))
+	b.Store(mir.R(a), mir.C(7), 8)
+	b.CallVoid("free", mir.R(a))
+	b.CallVoid("free", mir.R(a)) // double free
+	leak := b.Call("malloc", mir.C(128))
+	b.Store(mir.R(leak), mir.C(9), 8) // never freed
+	b.RetVal(mir.C(0))
+	return p
+}
+
+func check(an *alda.Analysis, name string, prog *alda.Program) {
+	inst, err := an.Instrument(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := alda.Run(inst, an, alda.RunConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d finding(s)\n", name, len(res.Reports))
+	for _, r := range res.Reports {
+		fmt.Printf("  %v\n", r)
+	}
+}
+
+func main() {
+	an, err := alda.Compile(heapSanSource, alda.DefaultOptions())
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	fmt.Printf("HeapSan is %d lines of ALDA\n\n", an.LOC())
+
+	check(an, "offender", offender())
+
+	// A disciplined real program stays clean.
+	mc, err := workloads.Build("memcached", workloads.SizeTiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	check(an, "memcached (clean)", mc)
+
+	// The same program with its use-after-free bug keeps HeapSan quiet
+	// (freed properly!) — different sanitizers catch different contracts.
+	mcUAF, err := workloads.BuildBug("memcached", workloads.SizeTiny, workloads.BugUAF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	check(an, "memcached (uaf variant)", mcUAF)
+}

@@ -1,0 +1,264 @@
+// Package access implements ALDAcc's static analysis phase (§3.2.1):
+// it identifies every metadata access site in every event handler,
+// canonicalizes the key expressions so later phases can tell when two
+// look-ups use the same key, and conservatively records accesses under
+// branches as occurring (the paper's compiler "conservatively assumes
+// all branches will occur").
+//
+// The results feed two optimizations: metadata co-location decisions
+// (which maps are accessed together with equal keys) and metadata
+// lookup CSE (§5.4).
+package access
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/sema"
+	"repro/internal/lang/token"
+)
+
+// Site is one metadata access in a handler body.
+type Site struct {
+	Meta *sema.MetaObj
+	// KeyClasses canonicalizes each key expression in order. Impure keys
+	// (containing calls) get a unique "!" class so they never CSE.
+	KeyClasses []string
+	// UnderBranch records whether the access sits inside an if body.
+	UnderBranch bool
+	// Write records whether the site stores (assignment LHS, add/remove,
+	// set/fill).
+	Write bool
+}
+
+// HandlerAccess is the access summary of one handler.
+type HandlerAccess struct {
+	Handler *sema.Handler
+	Sites   []Site
+}
+
+// CoKey names a pair of metadata objects accessed with an equal key
+// class in the same handler — the co-location signal.
+type CoKey struct{ A, B string }
+
+// Result is the whole-program access summary.
+type Result struct {
+	PerHandler map[string]*HandlerAccess
+	// CoAccess counts, per metadata pair (A < B lexically), how many
+	// handlers access both with the same key class.
+	CoAccess map[CoKey]int
+}
+
+// Analyze runs the access analysis over every handler.
+func Analyze(info *sema.Info) *Result {
+	res := &Result{
+		PerHandler: make(map[string]*HandlerAccess),
+		CoAccess:   make(map[CoKey]int),
+	}
+	for _, h := range info.HandlerOrder {
+		ha := &HandlerAccess{Handler: h}
+		a := &analyzer{info: info, ha: ha, uniq: 0}
+		a.stmts(h.Decl.Body, false)
+		res.PerHandler[h.Name] = ha
+
+		// Co-access: group this handler's sites by first key class.
+		byClass := make(map[string]map[string]bool)
+		for _, s := range ha.Sites {
+			if len(s.KeyClasses) == 0 || strings.HasPrefix(s.KeyClasses[0], "!") {
+				continue
+			}
+			set := byClass[s.KeyClasses[0]]
+			if set == nil {
+				set = make(map[string]bool)
+				byClass[s.KeyClasses[0]] = set
+			}
+			set[s.Meta.Name] = true
+		}
+		for _, metas := range byClass {
+			names := make([]string, 0, len(metas))
+			for n := range metas {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for i := 0; i < len(names); i++ {
+				for j := i + 1; j < len(names); j++ {
+					res.CoAccess[CoKey{names[i], names[j]}]++
+				}
+			}
+		}
+	}
+	return res
+}
+
+type analyzer struct {
+	info *sema.Info
+	ha   *HandlerAccess
+	uniq int
+}
+
+func (a *analyzer) stmts(stmts []ast.Stmt, underBranch bool) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.IfStmt:
+			a.expr(st.Cond, underBranch, false)
+			a.stmts(st.Then, true)
+			a.stmts(st.Else, true)
+		case *ast.ReturnStmt:
+			if st.Value != nil {
+				a.expr(st.Value, underBranch, false)
+			}
+		case *ast.ExprStmt:
+			a.expr(st.X, underBranch, false)
+		}
+	}
+}
+
+// expr records access sites within e. write marks whether e is being
+// stored to.
+func (a *analyzer) expr(e ast.Expr, underBranch, write bool) {
+	switch x := e.(type) {
+	case *ast.IndexExpr:
+		// Record only leaf accesses: the full key chain.
+		vt := a.info.ExprTypes[e]
+		if vt.Meta != nil && vt.Kind != sema.KMapRef {
+			keys := a.keyChain(x)
+			a.ha.Sites = append(a.ha.Sites, Site{
+				Meta:        vt.Meta,
+				KeyClasses:  keys,
+				UnderBranch: underBranch,
+				Write:       write,
+			})
+		}
+		// Keys themselves may contain accesses.
+		a.expr(x.Index, underBranch, false)
+		if inner, ok := x.X.(*ast.IndexExpr); ok {
+			a.expr(inner.Index, underBranch, false)
+		}
+	case *ast.AssignExpr:
+		a.expr(x.LHS, underBranch, true)
+		a.expr(x.RHS, underBranch, false)
+	case *ast.UnaryExpr:
+		a.expr(x.X, underBranch, false)
+	case *ast.BinaryExpr:
+		a.expr(x.X, underBranch, false)
+		a.expr(x.Y, underBranch, false)
+	case *ast.MethodExpr:
+		recvT := a.info.ExprTypes[x.Recv]
+		isWrite := x.Name == "add" || x.Name == "remove" || x.Name == "set" || x.Name == "clear"
+		switch recvT.Kind {
+		case sema.KSet:
+			a.expr(x.Recv, underBranch, isWrite)
+		case sema.KMapRef:
+			// map.set(k,...)/get(k,...): the key is the first argument.
+			if len(x.Args) > 0 && recvT.Meta != nil {
+				keys := a.recvKeyChain(x.Recv)
+				keys = append(keys, a.classify(x.Args[0]))
+				a.ha.Sites = append(a.ha.Sites, Site{
+					Meta:        recvT.Meta,
+					KeyClasses:  keys,
+					UnderBranch: underBranch,
+					Write:       isWrite,
+				})
+			}
+		}
+		for _, arg := range x.Args {
+			a.expr(arg, underBranch, false)
+		}
+	case *ast.CallExpr:
+		for _, arg := range x.Args {
+			a.expr(arg, underBranch, false)
+		}
+	case *ast.Ident:
+		vt := a.info.ExprTypes[e]
+		if vt.Meta != nil && !vt.Meta.IsMap() {
+			a.ha.Sites = append(a.ha.Sites, Site{
+				Meta:        vt.Meta,
+				UnderBranch: underBranch,
+				Write:       write,
+			})
+		}
+	}
+}
+
+// keyChain canonicalizes the index expressions of a full map access,
+// outermost key first.
+func (a *analyzer) keyChain(e *ast.IndexExpr) []string {
+	var rev []string
+	cur := ast.Expr(e)
+	for {
+		ix, ok := cur.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		rev = append(rev, a.classify(ix.Index))
+		cur = ix.X
+	}
+	// rev is innermost-first; reverse.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// recvKeyChain canonicalizes the keys of a (possibly partially indexed)
+// map receiver.
+func (a *analyzer) recvKeyChain(e ast.Expr) []string {
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		return a.keyChain(ix)
+	}
+	return nil
+}
+
+func (a *analyzer) classify(e ast.Expr) string {
+	return Classify(a.info, e, &a.uniq)
+}
+
+// Classify returns the canonical class of a key expression. Two
+// occurrences with the same class are guaranteed to evaluate to the same
+// value within one handler invocation (handler bodies cannot mutate
+// parameters, and metadata reads are treated as impure to stay sound).
+// Impure expressions get a unique class starting with "!", drawn from
+// the caller's counter.
+func Classify(info *sema.Info, e ast.Expr, uniq *int) string {
+	unique := func() string {
+		*uniq++
+		return fmt.Sprintf("!%d", *uniq)
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := info.Consts[x.Name]; ok {
+			return fmt.Sprintf("c%d", v)
+		}
+		vt := info.ExprTypes[e]
+		if vt.Meta != nil {
+			return unique()
+		}
+		return "p:" + x.Name
+	case *ast.IntLit:
+		return fmt.Sprintf("c%d", x.Value)
+	case *ast.UnaryExpr:
+		inner := Classify(info, x.X, uniq)
+		if strings.HasPrefix(inner, "!") {
+			return inner
+		}
+		return x.Op.String() + inner
+	case *ast.BinaryExpr:
+		l, r := Classify(info, x.X, uniq), Classify(info, x.Y, uniq)
+		if strings.HasPrefix(l, "!") || strings.HasPrefix(r, "!") {
+			return unique()
+		}
+		return "(" + l + x.Op.String() + r + ")"
+	case *ast.CallExpr:
+		// ptr_offset with pure args is pure.
+		if x.Name == sema.BuiltinPtrOffset && len(x.Args) == 2 {
+			l, r := Classify(info, x.Args[0], uniq), Classify(info, x.Args[1], uniq)
+			if !strings.HasPrefix(l, "!") && !strings.HasPrefix(r, "!") {
+				return "(" + l + token.ADD.String() + r + ")"
+			}
+		}
+		return unique()
+	}
+	return unique()
+}

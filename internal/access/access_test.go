@@ -1,0 +1,164 @@
+package access
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang/parser"
+	"repro/internal/lang/sema"
+)
+
+func analyze(t *testing.T, src string) (*sema.Info, *Result) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info, Analyze(info)
+}
+
+const src = `
+address := pointer
+tid := threadid : 8
+v := int64
+status = map(address, v)
+owner = map(address, v)
+other = map(tid, v)
+h(address a, tid t) {
+    status[a] = status[a] + 1;
+    owner[a] = 2;
+    if (status[a] > 1) {
+        other[t] = 1;
+    }
+}
+insert after LoadInst call h($1, $t)
+`
+
+func TestSites(t *testing.T) {
+	_, res := analyze(t, src)
+	ha := res.PerHandler["h"]
+	if ha == nil {
+		t.Fatal("no handler summary")
+	}
+	// status[a] write + read + read-under-branch, owner[a] write,
+	// other[t] write.
+	var statusSites, ownerSites, otherSites, writes, underBranch int
+	for _, s := range ha.Sites {
+		switch s.Meta.Name {
+		case "status":
+			statusSites++
+		case "owner":
+			ownerSites++
+		case "other":
+			otherSites++
+		}
+		if s.Write {
+			writes++
+		}
+		if s.UnderBranch {
+			underBranch++
+		}
+	}
+	if statusSites != 3 || ownerSites != 1 || otherSites != 1 {
+		t.Errorf("sites: status=%d owner=%d other=%d", statusSites, ownerSites, otherSites)
+	}
+	if writes != 3 {
+		t.Errorf("writes = %d", writes)
+	}
+	if underBranch != 1 {
+		t.Errorf("under-branch = %d", underBranch)
+	}
+}
+
+func TestKeyClasses(t *testing.T) {
+	_, res := analyze(t, src)
+	ha := res.PerHandler["h"]
+	classes := map[string]bool{}
+	for _, s := range ha.Sites {
+		if len(s.KeyClasses) == 1 {
+			classes[s.KeyClasses[0]] = true
+		}
+	}
+	if !classes["p:a"] || !classes["p:t"] {
+		t.Errorf("classes: %v", classes)
+	}
+}
+
+func TestCoAccess(t *testing.T) {
+	_, res := analyze(t, src)
+	// status and owner share key class p:a in handler h.
+	if res.CoAccess[CoKey{"owner", "status"}] != 1 {
+		t.Errorf("co-access: %v", res.CoAccess)
+	}
+	if res.CoAccess[CoKey{"other", "status"}] != 0 {
+		t.Errorf("other should not co-access with status: %v", res.CoAccess)
+	}
+}
+
+func TestClassifyPurity(t *testing.T) {
+	info, _ := analyze(t, src)
+	prog, _ := parser.Parse(`
+address := pointer
+v := int64
+m = map(address, v)
+n = map(v, v)
+h(address a) {
+    m[a + 8] = 1;
+    m[a + 8] = 2;
+    n[m[a]] = 3;
+}
+insert after LoadInst call h($1)
+`)
+	info2, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Analyze(info2)
+	ha := res.PerHandler["h"]
+	// The two m[a+8] sites share a class; the m[m[a]] site is impure.
+	counts := map[string]int{}
+	for _, s := range ha.Sites {
+		counts[s.KeyClasses[0]]++
+	}
+	pureShared := 0
+	impure := 0
+	for c, n := range counts {
+		if strings.HasPrefix(c, "!") {
+			impure++
+		} else if n >= 2 {
+			pureShared = n
+		}
+	}
+	if pureShared < 2 {
+		t.Errorf("arith key not shared: %v", counts)
+	}
+	if impure == 0 {
+		t.Errorf("metadata-dependent key not unique: %v", counts)
+	}
+	_ = info
+}
+
+func TestRangeMethodSites(t *testing.T) {
+	_, res := analyze(t, `
+address := pointer
+size := int64
+v := int8
+m = map(address, v)
+h(address p, size n) {
+    m.set(p, 1, n);
+    m.get(p, n);
+}
+insert after LoadInst call h($1, $1)
+`)
+	ha := res.PerHandler["h"]
+	if len(ha.Sites) != 2 {
+		t.Fatalf("sites = %d, want 2", len(ha.Sites))
+	}
+	if !ha.Sites[0].Write || ha.Sites[1].Write {
+		t.Errorf("write flags wrong: %+v", ha.Sites)
+	}
+}

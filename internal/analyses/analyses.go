@@ -1,0 +1,102 @@
+// Package analyses holds the eight ALDA analysis sources evaluated in
+// the paper (Table 4 and §6.4), a registry to fetch and combine them,
+// and the Go-side external functions FastTrack's vector-clock machinery
+// needs (ALDA's escape hatch).
+package analyses
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/compiler"
+)
+
+//go:embed *.alda
+var sources embed.FS
+
+// Names returns the registered analysis names, sorted.
+func Names() []string {
+	entries, err := sources.ReadDir(".")
+	if err != nil {
+		panic(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".alda"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Source returns an analysis's ALDA source text.
+func Source(name string) (string, error) {
+	b, err := sources.ReadFile(name + ".alda")
+	if err != nil {
+		return "", fmt.Errorf("analyses: unknown analysis %q", name)
+	}
+	return string(b), nil
+}
+
+// MustSource is Source for registered names.
+func MustSource(name string) string {
+	s, err := Source(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Combined concatenates several analyses' sources — the paper's §6.4.2
+// combination mechanism ("as simple as concatenating our 4 ALDA analysis
+// source files into a single file").
+func Combined(names ...string) (string, error) {
+	var b strings.Builder
+	for _, n := range names {
+		s, err := Source(n)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// Compile fetches, compiles and wires up an analysis (including any
+// required externals) in one step.
+func Compile(name string, opts compiler.Options) (*compiler.Analysis, error) {
+	src, err := Source(name)
+	if err != nil {
+		return nil, err
+	}
+	a, err := compiler.Compile(src, opts)
+	if err != nil {
+		return nil, fmt.Errorf("analyses: compile %s: %w", name, err)
+	}
+	RegisterExternals(a)
+	return a, nil
+}
+
+// CompileCombined compiles the concatenation of several analyses.
+func CompileCombined(opts compiler.Options, names ...string) (*compiler.Analysis, error) {
+	src, err := Combined(names...)
+	if err != nil {
+		return nil, err
+	}
+	a, err := compiler.Compile(src, opts)
+	if err != nil {
+		return nil, fmt.Errorf("analyses: compile combined %v: %w", names, err)
+	}
+	RegisterExternals(a)
+	return a, nil
+}
+
+// RegisterExternals installs every known external-function
+// implementation an analysis may reference.
+func RegisterExternals(a *compiler.Analysis) {
+	for name, fn := range FastTrackExternals() {
+		a.Externals[name] = fn
+	}
+}

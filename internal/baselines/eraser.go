@@ -1,0 +1,220 @@
+package baselines
+
+import (
+	"sync"
+
+	"repro/internal/compiler"
+	"repro/internal/lang/ast"
+	"repro/internal/vm"
+)
+
+// Eraser is the hand-tuned Eraser of §6.2: "we optimized Eraser with
+// hash-based locking operations, static tables to represent state
+// transformations, and careful data-structure selection."
+//
+//   - Lock identifiers are interned through a hash table into dense ids
+//     so locksets are 4-word bit-vectors (256 locks).
+//   - Per-address metadata is one cache-aligned struct (status byte,
+//     64-thread bit-vector, 4-word candidate lockset) in a hand-written
+//     two-level page table — one lookup per access.
+//   - The Virgin/Exclusive/Shared/Shared-Modified transitions come from
+//     static tables indexed by the current status.
+type Eraser struct {
+	mu sync.Mutex // the analysis-global lock ("address := pointer : sync")
+
+	lockIDs map[uint64]uint64 // hash-based lock interning
+	// Per-thread locksets (all locks + write locks).
+	threadLock  [64][4]uint64
+	threadWLock [64][4]uint64
+
+	pages map[uint64]*eraserPage
+	// one-entry page cache
+	lastPI   uint64
+	lastPage *eraserPage
+}
+
+const (
+	eVirgin = iota
+	eExclusive
+	eShared
+	eSharedModified
+)
+
+// Static state-transition tables: next status for a load / store by a
+// new thread, and for a store by a known thread.
+var (
+	eraserLoadNewThread  = [4]uint8{eVirgin, eShared, eShared, eSharedModified}
+	eraserStoreNewThread = [4]uint8{eExclusive, eSharedModified, eSharedModified, eSharedModified}
+	eraserStoreKnown     = [4]uint8{eVirgin, eExclusive, eSharedModified, eSharedModified}
+)
+
+type eraserEntry struct {
+	status  uint8
+	threads uint64
+	locks   [4]uint64
+}
+
+const eraserPageSize = 4096
+
+type eraserPage struct {
+	entries [eraserPageSize]eraserEntry
+	present [eraserPageSize / 64]uint64
+}
+
+// NewEraser returns a fresh hand-tuned Eraser for one run.
+func NewEraser() *Eraser {
+	return &Eraser{
+		lockIDs: make(map[uint64]uint64),
+		pages:   make(map[uint64]*eraserPage),
+		lastPI:  ^uint64(0),
+	}
+}
+
+// Name identifies the baseline.
+func (e *Eraser) Name() string { return "eraser-hand" }
+
+// NeedShadow reports that Eraser does not use register metadata.
+func (e *Eraser) NeedShadow() bool { return false }
+
+// Footprint returns the page-table storage plus the lock-interning and
+// per-thread tables.
+func (e *Eraser) Footprint() uint64 {
+	var n uint64
+	for range e.pages {
+		n += eraserPageSize*48 + eraserPageSize/8 + 16
+	}
+	n += uint64(len(e.lockIDs)) * 48
+	n += uint64(len(e.threadLock)+len(e.threadWLock)) * 32
+	return n
+}
+
+func (e *Eraser) internLock(l uint64) uint64 {
+	if id, ok := e.lockIDs[l]; ok {
+		return id
+	}
+	id := uint64(len(e.lockIDs)) & 255
+	e.lockIDs[l] = id
+	return id
+}
+
+// entry returns the metadata entry for an address granule, initializing
+// the candidate lockset to the universe on first touch.
+func (e *Eraser) entry(addr uint64) *eraserEntry {
+	g := addr >> 3
+	pi := g / eraserPageSize
+	var pg *eraserPage
+	if pi == e.lastPI {
+		pg = e.lastPage
+	} else {
+		pg = e.pages[pi]
+		if pg == nil {
+			pg = &eraserPage{}
+			e.pages[pi] = pg
+		}
+		e.lastPI, e.lastPage = pi, pg
+	}
+	idx := g % eraserPageSize
+	if pg.present[idx/64]&(1<<(idx%64)) == 0 {
+		pg.present[idx/64] |= 1 << (idx % 64)
+		ent := &pg.entries[idx]
+		ent.locks = [4]uint64{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)} // universe
+	}
+	return &pg.entries[idx]
+}
+
+func lsEmpty(ls *[4]uint64) bool {
+	return ls[0]|ls[1]|ls[2]|ls[3] == 0
+}
+
+func lsAnd(dst, src *[4]uint64) {
+	dst[0] &= src[0]
+	dst[1] &= src[1]
+	dst[2] &= src[2]
+	dst[3] &= src[3]
+}
+
+// Handler table indices.
+const (
+	eraserLock = iota
+	eraserUnlock
+	eraserLoad
+	eraserStore
+	eraserHN
+)
+
+// Handlers returns the hook table.
+func (e *Eraser) Handlers() []vm.HandlerFn {
+	h := make([]vm.HandlerFn, eraserHN)
+	h[eraserLock] = func(m *vm.Machine, tid uint64, a []uint64) uint64 {
+		e.mu.Lock()
+		id := e.internLock(a[0])
+		t := a[1] & 63
+		e.threadLock[t][id/64] |= 1 << (id % 64)
+		e.threadWLock[t][id/64] |= 1 << (id % 64)
+		e.mu.Unlock()
+		return 0
+	}
+	h[eraserUnlock] = func(m *vm.Machine, tid uint64, a []uint64) uint64 {
+		e.mu.Lock()
+		id := e.internLock(a[0])
+		t := a[1] & 63
+		e.threadLock[t][id/64] &^= 1 << (id % 64)
+		e.threadWLock[t][id/64] &^= 1 << (id % 64)
+		e.mu.Unlock()
+		return 0
+	}
+	h[eraserLoad] = func(m *vm.Machine, tid uint64, a []uint64) uint64 {
+		e.mu.Lock()
+		ent := e.entry(a[0])
+		t := a[1] & 63
+		bit := uint64(1) << (t % 64)
+		if ent.threads&bit == 0 && ent.status != eVirgin {
+			ent.status = eraserLoadNewThread[ent.status]
+			ent.threads |= bit
+		}
+		if ent.status > eExclusive {
+			lsAnd(&ent.locks, &e.threadLock[t])
+			if ent.status == eSharedModified && lsEmpty(&ent.locks) {
+				m.Report("eraser-hand", "data race: unprotected read", 1, 0)
+			}
+		}
+		e.mu.Unlock()
+		return 0
+	}
+	h[eraserStore] = func(m *vm.Machine, tid uint64, a []uint64) uint64 {
+		e.mu.Lock()
+		ent := e.entry(a[0])
+		t := a[1] & 63
+		bit := uint64(1) << (t % 64)
+		if ent.threads&bit == 0 {
+			ent.threads |= bit
+			ent.status = eraserStoreNewThread[ent.status]
+		} else {
+			ent.status = eraserStoreKnown[ent.status]
+		}
+		if ent.status > eExclusive {
+			lsAnd(&ent.locks, &e.threadWLock[t])
+			if ent.status == eSharedModified && lsEmpty(&ent.locks) {
+				m.Report("eraser-hand", "data race: unprotected write", 1, 0)
+			}
+		}
+		e.mu.Unlock()
+		return 0
+	}
+	return h
+}
+
+// Rules returns the insertion rules (the same four points Listing 1
+// instruments).
+func (e *Eraser) Rules() []compiler.Rule {
+	return []compiler.Rule{
+		{Kind: compiler.MatchLock, After: true, HandlerID: eraserLock,
+			HandlerName: "eraserLock", Args: []ast.CallArg{opArg(1), tidArg()}},
+		{Kind: compiler.MatchUnlock, After: false, HandlerID: eraserUnlock,
+			HandlerName: "eraserUnlock", Args: []ast.CallArg{opArg(1), tidArg()}},
+		{Kind: compiler.MatchLoad, After: true, HandlerID: eraserLoad,
+			HandlerName: "eraserLoad", Args: []ast.CallArg{opArg(1), tidArg()}},
+		{Kind: compiler.MatchStore, After: true, HandlerID: eraserStore,
+			HandlerName: "eraserStore", Args: []ast.CallArg{opArg(2), tidArg()}},
+	}
+}

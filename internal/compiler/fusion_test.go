@@ -1,0 +1,146 @@
+package compiler_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+)
+
+const twoAnalyses = `
+address := pointer
+v := int64
+seenA = map(address, v)
+aOnLoad(address p) { seenA[p] = seenA[p] + 1; }
+insert after LoadInst call aOnLoad($1)
+
+addressB := pointer
+w := int64
+seenB = map(address, w)
+bOnLoad(address q) { seenB[q] = seenB[q] + 2; alda_assert(seenA[q] > 0, 1, "order"); }
+insert after LoadInst call bOnLoad($1)
+`
+
+func TestFusionMergesSamePointRules(t *testing.T) {
+	a, err := compiler.Compile(twoAnalyses, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Fused) != 1 {
+		t.Fatalf("fused specs = %d, want 1", len(a.Fused))
+	}
+	if len(a.Rules) != 1 {
+		t.Fatalf("rules after fusion = %d, want 1", len(a.Rules))
+	}
+	r := a.Rules[0]
+	// $1 appears in both parts but the fused arg list dedups it.
+	if len(r.Args) != 1 {
+		t.Fatalf("fused args = %d, want 1 (deduplicated $1)", len(r.Args))
+	}
+	if r.HandlerID < len(a.Info.HandlerOrder) {
+		t.Fatalf("fused rule must use a fused handler id, got %d", r.HandlerID)
+	}
+	spec := a.Fused[0]
+	if len(spec.Parts) != 2 || spec.Parts[0].HandlerName != "aOnLoad" || spec.Parts[1].HandlerName != "bOnLoad" {
+		t.Fatalf("parts: %+v", spec.Parts)
+	}
+	if spec.Parts[0].ArgIdx[0] != 0 || spec.Parts[1].ArgIdx[0] != 0 {
+		t.Fatalf("arg mapping: %+v", spec.Parts)
+	}
+	if !strings.Contains(a.Plan(), "fused hook") {
+		t.Error("plan does not mention fusion")
+	}
+}
+
+func TestFusionPreservesOrderAndSemantics(t *testing.T) {
+	// bOnLoad asserts aOnLoad already ran for this event (declaration
+	// order), and the fused execution must satisfy it — both with and
+	// without fusion.
+	for _, fuse := range []bool{true, false} {
+		opts := compiler.DefaultOptions()
+		opts.FuseHandlers = fuse
+		res := runSrc(t, twoAnalyses, opts, loadsProg(5), nil)
+		if len(res.Reports) != 0 {
+			t.Fatalf("fuse=%v: %d reports", fuse, len(res.Reports))
+		}
+	}
+}
+
+func TestFusionSkipsResultHandlers(t *testing.T) {
+	src := `
+address := pointer
+label := int64
+label mark(address p) { return 7; }
+count(address p) { }
+also(address p) { }
+insert after LoadInst call mark($1)
+insert after LoadInst call count($1)
+insert after LoadInst call also($1)
+`
+	a, err := compiler.Compile(src, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// count+also fuse; mark (has a result) stays standalone.
+	if len(a.Fused) != 1 || len(a.Fused[0].Parts) != 2 {
+		t.Fatalf("fused: %+v", a.Fused)
+	}
+	if len(a.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2 (mark + fused)", len(a.Rules))
+	}
+}
+
+func TestFusionSharedLookupsReduceContainerTraffic(t *testing.T) {
+	run := func(fuse bool) uint64 {
+		opts := compiler.DefaultOptions()
+		opts.FuseHandlers = fuse
+		a, err := compiler.Compile(twoAnalyses, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := a.NewRuntime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := mustInstrument(t, a)
+		m := mustMachine(t, inst, a.NeedShadow)
+		m.Handlers = rt.Handlers()
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rt.ContainerLookups()
+	}
+	fused := run(true)
+	unfused := run(false)
+	if fused >= unfused {
+		t.Fatalf("fusion did not reduce container lookups: %d vs %d", fused, unfused)
+	}
+}
+
+// Robustness: the compiler must fail cleanly — never panic — on
+// arbitrary corruptions of real analysis sources.
+func TestCompilerNeverPanicsOnMutatedSources(t *testing.T) {
+	seeds := []string{twoAnalyses, msanLike}
+	for _, seed := range seeds {
+		for cut := 0; cut < len(seed); cut += 7 {
+			// Truncations.
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on truncation at %d: %v", cut, r)
+					}
+				}()
+				_, _ = compiler.Compile(seed[:cut], compiler.DefaultOptions())
+			}()
+			// Single-byte deletions.
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on deletion at %d: %v", cut, r)
+					}
+				}()
+				_, _ = compiler.Compile(seed[:cut]+seed[cut+1:], compiler.DefaultOptions())
+			}()
+		}
+	}
+}

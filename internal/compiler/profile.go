@@ -1,0 +1,84 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profile-guided coalescing — the future work §3.2.1 sketches. The
+// static analysis conservatively assumes every branch executes, so maps
+// that are only touched on cold paths (MSan's allocation-size sidecar,
+// touched at malloc/free) get coalesced into entries that every hot
+// access then drags through the cache. A profiling run measures real
+// per-member access counts; recompiling with the profile splits cold
+// members out of hot groups.
+
+// Profile holds per-metadata-member dynamic access counts from a
+// profiling run.
+type Profile struct {
+	Counts map[string]uint64
+}
+
+// Hot reports whether a member is hot relative to the hottest member of
+// its candidate group. Members below 1/16 of the group's peak count are
+// considered cold.
+func (p *Profile) hot(name string, peak uint64) bool {
+	if p == nil || peak == 0 {
+		return true
+	}
+	return p.Counts[name] >= peak/16
+}
+
+// String renders the profile sorted by count, for the explain tool.
+func (p *Profile) String() string {
+	type kv struct {
+		name  string
+		count uint64
+	}
+	var rows []kv
+	for n, c := range p.Counts {
+		rows = append(rows, kv{n, c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].name < rows[j].name
+	})
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %12d accesses\n", r.name, r.count)
+	}
+	return b.String()
+}
+
+// Profile returns the per-member access counts accumulated by a runtime
+// compiled with Options.ProfileCollect.
+func (rt *Runtime) Profile() *Profile {
+	p := &Profile{Counts: make(map[string]uint64)}
+	for name, idx := range rt.A.memberCounterIdx {
+		p.Counts[name] = rt.memberCounts[idx]
+	}
+	return p
+}
+
+// partitionByProfile splits one coalescing bucket's members into a hot
+// list and a cold list according to the profile. With no profile, all
+// members are hot (the paper's default conservative behavior).
+func partitionByProfile(p *Profile, metas []string, counts func(string) uint64) (hot, cold []string) {
+	var peak uint64
+	for _, m := range metas {
+		if c := counts(m); c > peak {
+			peak = c
+		}
+	}
+	for _, m := range metas {
+		if p.hot(m, peak) {
+			hot = append(hot, m)
+		} else {
+			cold = append(cold, m)
+		}
+	}
+	return hot, cold
+}

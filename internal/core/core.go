@@ -1,0 +1,149 @@
+// Package core couples the pieces of the ALDA system — ALDAcc
+// compilation (internal/compiler), event-handler insertion
+// (internal/instrument) and execution (internal/vm) — into the
+// end-to-end pipeline everything else builds on: the public alda
+// package, the CLI tools and the benchmark harness.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/compiler"
+	"repro/internal/instrument"
+	"repro/internal/mir"
+	"repro/internal/vm"
+)
+
+// RunOptions control one VM execution.
+type RunOptions struct {
+	Seed     int64
+	MaxSteps uint64
+	Quantum  int
+}
+
+func (o RunOptions) vmConfig(track bool) vm.Config {
+	return vm.Config{
+		Seed:        o.Seed,
+		MaxSteps:    o.MaxSteps,
+		Quantum:     o.Quantum,
+		TrackShadow: track,
+	}
+}
+
+// RunPlain executes an uninstrumented program.
+func RunPlain(p *mir.Program, opt RunOptions) (*vm.Result, error) {
+	m, err := vm.New(p, opt.vmConfig(false))
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// RunAnalysis instruments p with a compiled ALDA analysis and executes
+// it: instantiate a fresh runtime, weave the hooks, run.
+func RunAnalysis(p *mir.Program, a *compiler.Analysis, opt RunOptions) (*vm.Result, error) {
+	inst, err := instrument.Apply(p, a)
+	if err != nil {
+		return nil, err
+	}
+	return RunInstrumented(inst, a, opt)
+}
+
+// RunInstrumented executes an already-instrumented program under a
+// fresh runtime of the analysis. Use this when the same instrumented
+// program runs several times (benchmark repetitions) to keep the
+// instrumentation cost out of the measured loop.
+func RunInstrumented(inst *mir.Program, a *compiler.Analysis, opt RunOptions) (*vm.Result, error) {
+	rt, err := a.NewRuntime()
+	if err != nil {
+		return nil, err
+	}
+	m, err := vm.New(inst, opt.vmConfig(a.NeedShadow))
+	if err != nil {
+		return nil, err
+	}
+	m.Handlers = rt.Handlers()
+	return m.Run()
+}
+
+// RunBaseline executes p under a hand-tuned baseline analysis. The
+// factory is invoked per run because baselines are single-use.
+func RunBaseline(p *mir.Program, factory func() baselines.Baseline, opt RunOptions) (*vm.Result, error) {
+	b := factory()
+	inst, err := baselines.InstrumentBaseline(p, b)
+	if err != nil {
+		return nil, err
+	}
+	m, err := vm.New(inst, opt.vmConfig(b.NeedShadow()))
+	if err != nil {
+		return nil, err
+	}
+	m.Handlers = b.Handlers()
+	return m.Run()
+}
+
+// CollectProfile recompiles the analysis with access counters, runs it
+// over a training program, and returns the per-member access profile —
+// the input to profile-guided coalescing (§3.2.1's future work).
+func CollectProfile(a *compiler.Analysis, train *mir.Program, opt RunOptions) (*compiler.Profile, error) {
+	popts := a.Opts
+	popts.ProfileCollect = true
+	pa, err := compiler.CompileProgram(a.Info.Program, popts)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range a.Externals {
+		pa.Externals[k] = v
+	}
+	inst, err := instrument.Apply(train, pa)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := pa.NewRuntime()
+	if err != nil {
+		return nil, err
+	}
+	m, err := vm.New(inst, opt.vmConfig(pa.NeedShadow))
+	if err != nil {
+		return nil, err
+	}
+	m.Handlers = rt.Handlers()
+	if _, err := m.Run(); err != nil {
+		return nil, err
+	}
+	return rt.Profile(), nil
+}
+
+// RecompileWithProfile rebuilds an analysis under profile-guided
+// coalescing.
+func RecompileWithProfile(a *compiler.Analysis, p *compiler.Profile) (*compiler.Analysis, error) {
+	opts := a.Opts
+	opts.Profile = p
+	na, err := compiler.CompileProgram(a.Info.Program, opts)
+	if err != nil {
+		return nil, err
+	}
+	na.SourceLOC = a.SourceLOC
+	for k, v := range a.Externals {
+		na.Externals[k] = v
+	}
+	return na, nil
+}
+
+// Overhead returns instrumented wall time normalized to the baseline
+// run ("normalized overhead" in every figure of the paper).
+func Overhead(instrumented, plain *vm.Result) float64 {
+	if plain.Wall <= 0 {
+		return 0
+	}
+	return float64(instrumented.Wall) / float64(plain.Wall)
+}
+
+// Validate verifies a program and reports a friendlier error.
+func Validate(p *mir.Program) error {
+	if err := p.Verify(); err != nil {
+		return fmt.Errorf("core: program fails verification: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+// Package instrument implements ALDAcc's event-handler insertion phase
+// (§3.2.4, §5.5): it walks a MIR program, matches each instruction
+// against the compiled analysis's insertion rules, and splices OpHook
+// instructions with fully resolved argument specs ($i, $r, $t, $p,
+// $X.m, sizeof($X) per Table 2).
+//
+// Instrumentation never mutates the input program; it returns an
+// instrumented clone. Programs instrumented with an analysis that uses
+// local metadata must run on a VM with TrackShadow enabled
+// (Analysis.NeedShadow says so); the VM then also performs the
+// automatic shadow propagation through arithmetic that §5.5 calls
+// "function-local tracking".
+package instrument
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/lang/ast"
+	"repro/internal/mir"
+)
+
+// Apply returns an instrumented clone of prog.
+func Apply(prog *mir.Program, a *compiler.Analysis) (*mir.Program, error) {
+	return ApplyRules(prog, a.Rules)
+}
+
+// ApplyRules instruments prog with an explicit rule set. Hand-tuned
+// baseline analyses use this entry point directly: they construct rules
+// against their own Go handler tables without going through ALDA.
+func ApplyRules(prog *mir.Program, rules []compiler.Rule) (*mir.Program, error) {
+	out := prog.Clone()
+	for name, f := range out.Funcs {
+		isEntry := name == out.Entry
+		for bi := range f.Blocks {
+			blk := &f.Blocks[bi]
+			var res []mir.Instr
+			for ii := range blk.Instrs {
+				in := blk.Instrs[ii]
+				var before, after []mir.Instr
+				for ri := range rules {
+					r := &rules[ri]
+					if !matches(r, &in, isEntry, bi == 0 && ii == 0) {
+						continue
+					}
+					hook, err := resolveHook(r, &in)
+					if err != nil {
+						return nil, fmt.Errorf("instrument: %s in %s: %w", r.HandlerName, name, err)
+					}
+					hi := mir.Instr{Op: mir.OpHook, Dst: mir.NoReg, Hook: hook}
+					// "after" on a terminator means after the instruction's
+					// effects but before control transfer.
+					if r.After && !in.Op.IsTerminator() {
+						after = append(after, hi)
+					} else if r.After && in.Op.IsTerminator() {
+						before = append(before, hi)
+					} else {
+						before = append(before, hi)
+					}
+				}
+				res = append(res, before...)
+				res = append(res, in)
+				res = append(res, after...)
+			}
+			blk.Instrs = res
+		}
+	}
+	return out, nil
+}
+
+// matches reports whether rule r applies to instruction in. first marks
+// the very first instruction of the entry function (ProgramStart);
+// isEntry marks entry-function returns (ProgramEnd).
+func matches(r *compiler.Rule, in *mir.Instr, isEntry, first bool) bool {
+	switch r.Kind {
+	case compiler.MatchLoad:
+		return in.Op == mir.OpLoad
+	case compiler.MatchStore:
+		return in.Op == mir.OpStore
+	case compiler.MatchAlloca:
+		return in.Op == mir.OpAlloca
+	case compiler.MatchCondBr:
+		return in.Op == mir.OpCondBr
+	case compiler.MatchAnyCall:
+		return in.Op == mir.OpCall
+	case compiler.MatchCallee:
+		return in.Op == mir.OpCall && in.Callee == r.Callee
+	case compiler.MatchBinOp:
+		return in.Op.IsBinOp()
+	case compiler.MatchCmp:
+		return in.Op.IsCmp()
+	case compiler.MatchLock:
+		return in.Op == mir.OpLock
+	case compiler.MatchUnlock:
+		return in.Op == mir.OpUnlock
+	case compiler.MatchSpawn:
+		return in.Op == mir.OpSpawn
+	case compiler.MatchJoin:
+		return in.Op == mir.OpJoin
+	case compiler.MatchRet:
+		return in.Op == mir.OpRet || in.Op == mir.OpRetVal
+	case compiler.MatchProgramStart:
+		return first
+	case compiler.MatchProgramEnd:
+		return isEntry && (in.Op == mir.OpRet || in.Op == mir.OpRetVal)
+	}
+	return false
+}
+
+// resolveHook lowers the rule's call-args against a concrete
+// instruction.
+func resolveHook(r *compiler.Rule, in *mir.Instr) (*mir.HookRef, error) {
+	ops := mir.Operands(in)
+	h := &mir.HookRef{HandlerID: r.HandlerID, MetaDst: mir.NoReg, Name: r.HandlerName}
+
+	appendOperand := func(i int, meta, sizeof bool) error {
+		if sizeof {
+			h.Args = append(h.Args, mir.HookArg{Kind: mir.HookConst, Const: mir.SizeOfOperand(in, i)})
+			return nil
+		}
+		if i < 1 || i > len(ops) {
+			if r.Kind == compiler.MatchAnyCall {
+				// Generic call instrumentation tolerates shorter arg lists.
+				h.Args = append(h.Args, mir.HookArg{Kind: mir.HookConst, Const: 0})
+				return nil
+			}
+			return fmt.Errorf("$%d out of range: instruction %s has %d operands", i, in.Op, len(ops))
+		}
+		o := ops[i-1]
+		if o.IsConst {
+			if meta {
+				h.Args = append(h.Args, mir.HookArg{Kind: mir.HookConst, Const: 0})
+			} else {
+				h.Args = append(h.Args, mir.HookArg{Kind: mir.HookConst, Const: o.Const})
+			}
+			return nil
+		}
+		kind := mir.HookReg
+		if meta {
+			kind = mir.HookRegMeta
+		}
+		h.Args = append(h.Args, mir.HookArg{Kind: kind, Reg: o.Reg})
+		return nil
+	}
+
+	for _, a := range r.Args {
+		switch a.Kind {
+		case ast.ArgThread:
+			h.Args = append(h.Args, mir.HookArg{Kind: mir.HookThread})
+		case ast.ArgAll:
+			for i := 1; i <= len(ops); i++ {
+				if err := appendOperand(i, a.Meta, a.Sizeof); err != nil {
+					return nil, err
+				}
+			}
+		case ast.ArgOperand:
+			if err := appendOperand(a.Index, a.Meta, a.Sizeof); err != nil {
+				return nil, err
+			}
+		case ast.ArgReturn:
+			if a.Sizeof {
+				h.Args = append(h.Args, mir.HookArg{Kind: mir.HookConst, Const: mir.SizeOfResult(in)})
+				continue
+			}
+			if !r.After {
+				return nil, fmt.Errorf("$r requires an 'after' insertion")
+			}
+			if !hasDst(in) {
+				return nil, fmt.Errorf("$r on instruction %s which produces no value", in.Op)
+			}
+			kind := mir.HookReg
+			if a.Meta {
+				kind = mir.HookRegMeta
+			}
+			h.Args = append(h.Args, mir.HookArg{Kind: kind, Reg: in.Dst})
+		}
+	}
+
+	if r.HasResult && r.After && hasDst(in) {
+		h.MetaDst = in.Dst
+	}
+	return h, nil
+}
+
+func hasDst(in *mir.Instr) bool {
+	switch in.Op {
+	case mir.OpConst, mir.OpMov, mir.OpLoad, mir.OpAlloca, mir.OpSpawn:
+		return true
+	case mir.OpCall:
+		return in.Dst != mir.NoReg
+	}
+	return in.Op.IsBinOp() || in.Op.IsCmp()
+}

@@ -1,0 +1,294 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/lang/ast"
+	"repro/internal/mir"
+)
+
+func buildProg() *mir.Program {
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+	buf := b.Call("malloc", mir.C(16))
+	v := b.Load(mir.R(buf), 8)
+	b.Store(mir.R(buf), mir.R(v), 4)
+	t1 := b.NewBlock()
+	b.CondBr(mir.R(v), t1, t1)
+	b.SetBlock(t1)
+	b.CallVoid("free", mir.R(buf))
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// hooksIn collects (handler name, position) of hooks in a function.
+func hooksIn(f *mir.Func) []string {
+	var out []string
+	for bi := range f.Blocks {
+		for ii, in := range f.Blocks[bi].Instrs {
+			if in.Op == mir.OpHook {
+				var prev, next string
+				if ii > 0 {
+					prev = f.Blocks[bi].Instrs[ii-1].Op.String()
+				}
+				if ii+1 < len(f.Blocks[bi].Instrs) {
+					next = f.Blocks[bi].Instrs[ii+1].Op.String()
+				}
+				out = append(out, in.Hook.Name+":"+prev+"/"+next)
+			}
+		}
+	}
+	return out
+}
+
+func op(i int) ast.CallArg   { return ast.CallArg{Kind: ast.ArgOperand, Index: i} }
+func opM(i int) ast.CallArg  { return ast.CallArg{Kind: ast.ArgOperand, Index: i, Meta: true} }
+func ret() ast.CallArg       { return ast.CallArg{Kind: ast.ArgReturn} }
+func retSz() ast.CallArg     { return ast.CallArg{Kind: ast.ArgReturn, Sizeof: true} }
+func thread() ast.CallArg    { return ast.CallArg{Kind: ast.ArgThread} }
+func allArgs() ast.CallArg   { return ast.CallArg{Kind: ast.ArgAll} }
+func opSz(i int) ast.CallArg { return ast.CallArg{Kind: ast.ArgOperand, Index: i, Sizeof: true} }
+
+func TestPlacementBeforeAfter(t *testing.T) {
+	rules := []compiler.Rule{
+		{Kind: compiler.MatchLoad, After: true, HandlerID: 0, HandlerName: "afterLoad", Args: []ast.CallArg{op(1)}},
+		{Kind: compiler.MatchStore, After: false, HandlerID: 1, HandlerName: "beforeStore", Args: []ast.CallArg{op(2)}},
+		{Kind: compiler.MatchCondBr, After: false, HandlerID: 2, HandlerName: "beforeBr", Args: []ast.CallArg{op(1)}},
+	}
+	out, err := ApplyRules(buildProg(), rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooks := hooksIn(out.Funcs["main"])
+	want := []string{"afterLoad:load/", "beforeStore:/store", "beforeBr:/condbr"}
+	if len(hooks) != 3 {
+		t.Fatalf("hooks: %v", hooks)
+	}
+	for i, w := range want {
+		if !strings.HasPrefix(hooks[i], strings.Split(w, "/")[0]) {
+			t.Errorf("hook %d = %s, want prefix %s", i, hooks[i], w)
+		}
+	}
+	// "before store" must sit directly before the store.
+	if !strings.Contains(hooks[1], "/store") {
+		t.Errorf("store hook misplaced: %s", hooks[1])
+	}
+	// Original program untouched.
+	orig := buildProg()
+	if orig.InstrCount() == out.InstrCount() {
+		t.Error("instrumentation added no instructions")
+	}
+}
+
+func TestCalleeMatch(t *testing.T) {
+	rules := []compiler.Rule{
+		{Kind: compiler.MatchCallee, Callee: "malloc", After: true, HandlerID: 0,
+			HandlerName: "onMalloc", Args: []ast.CallArg{ret(), op(1)}},
+		{Kind: compiler.MatchCallee, Callee: "free", After: false, HandlerID: 1,
+			HandlerName: "onFree", Args: []ast.CallArg{op(1)}},
+	}
+	out, err := ApplyRules(buildProg(), rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooks := hooksIn(out.Funcs["main"])
+	if len(hooks) != 2 {
+		t.Fatalf("hooks: %v", hooks)
+	}
+}
+
+func TestArgResolution(t *testing.T) {
+	rules := []compiler.Rule{
+		{Kind: compiler.MatchStore, After: false, HandlerID: 0, HandlerName: "h",
+			Args: []ast.CallArg{op(1), opM(1), op(2), opSz(1), thread()}, UsesMeta: true},
+	}
+	out, err := ApplyRules(buildProg(), rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hook *mir.HookRef
+	for _, blk := range out.Funcs["main"].Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == mir.OpHook {
+				hook = in.Hook
+			}
+		}
+	}
+	if hook == nil {
+		t.Fatal("no hook")
+	}
+	// store.4 [buf] = v: $1 = v (value), $2 = buf (address)
+	args := hook.Args
+	if len(args) != 5 {
+		t.Fatalf("args: %+v", args)
+	}
+	if args[0].Kind != mir.HookReg {
+		t.Errorf("$1 kind = %v", args[0].Kind)
+	}
+	if args[1].Kind != mir.HookRegMeta || args[1].Reg != args[0].Reg {
+		t.Errorf("$1.m = %+v", args[1])
+	}
+	if args[2].Kind != mir.HookReg {
+		t.Errorf("$2 kind = %v", args[2].Kind)
+	}
+	if args[3].Kind != mir.HookConst || args[3].Const != 4 {
+		t.Errorf("sizeof($1) = %+v", args[3])
+	}
+	if args[4].Kind != mir.HookThread {
+		t.Errorf("$t = %+v", args[4])
+	}
+}
+
+func TestReturnMetaDst(t *testing.T) {
+	rules := []compiler.Rule{
+		{Kind: compiler.MatchLoad, After: true, HandlerID: 0, HandlerName: "onLoad",
+			Args: []ast.CallArg{op(1), retSz()}, HasResult: true},
+	}
+	out, err := ApplyRules(buildProg(), rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blk := range out.Funcs["main"].Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == mir.OpHook {
+				if in.Hook.MetaDst == mir.NoReg {
+					t.Fatal("MetaDst not set for result handler")
+				}
+				if in.Hook.Args[1].Kind != mir.HookConst || in.Hook.Args[1].Const != 8 {
+					t.Fatalf("sizeof($r) = %+v", in.Hook.Args[1])
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no hook found")
+}
+
+func TestDollarPExpansion(t *testing.T) {
+	rules := []compiler.Rule{
+		{Kind: compiler.MatchCallee, Callee: "malloc", After: false, HandlerID: 0,
+			HandlerName: "h", Args: []ast.CallArg{allArgs()}},
+	}
+	out, err := ApplyRules(buildProg(), rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blk := range out.Funcs["main"].Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == mir.OpHook {
+				if len(in.Hook.Args) != 1 {
+					t.Fatalf("$p expanded to %d args, want 1 (malloc arity)", len(in.Hook.Args))
+				}
+				if in.Hook.Args[0].Kind != mir.HookConst || in.Hook.Args[0].Const != 16 {
+					t.Fatalf("arg = %+v", in.Hook.Args[0])
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no hook")
+}
+
+func TestProgramStartEnd(t *testing.T) {
+	rules := []compiler.Rule{
+		{Kind: compiler.MatchProgramStart, After: false, HandlerID: 0, HandlerName: "start"},
+		{Kind: compiler.MatchProgramEnd, After: false, HandlerID: 1, HandlerName: "end"},
+	}
+	p := buildProg()
+	// Add a helper function whose rets must NOT get end hooks.
+	fb := p.NewFunc("helper", 0)
+	fb.Ret()
+	out, err := ApplyRules(p, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := out.Funcs["main"]
+	if main.Blocks[0].Instrs[0].Op != mir.OpHook || main.Blocks[0].Instrs[0].Hook.Name != "start" {
+		t.Fatal("ProgramStart hook not first")
+	}
+	endHooks := 0
+	for _, h := range hooksIn(main) {
+		if strings.HasPrefix(h, "end:") {
+			endHooks++
+		}
+	}
+	if endHooks != 1 {
+		t.Fatalf("end hooks in main = %d", endHooks)
+	}
+	for _, h := range hooksIn(out.Funcs["helper"]) {
+		if strings.HasPrefix(h, "end:") {
+			t.Fatal("end hook leaked into helper")
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	t.Run("out of range operand", func(t *testing.T) {
+		rules := []compiler.Rule{
+			{Kind: compiler.MatchCallee, Callee: "free", After: false, HandlerID: 0,
+				HandlerName: "h", Args: []ast.CallArg{op(5)}},
+		}
+		if _, err := ApplyRules(buildProg(), rules); err == nil ||
+			!strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("$r on before", func(t *testing.T) {
+		rules := []compiler.Rule{
+			{Kind: compiler.MatchLoad, After: false, HandlerID: 0,
+				HandlerName: "h", Args: []ast.CallArg{ret()}},
+		}
+		if _, err := ApplyRules(buildProg(), rules); err == nil ||
+			!strings.Contains(err.Error(), "after") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("$r on store", func(t *testing.T) {
+		rules := []compiler.Rule{
+			{Kind: compiler.MatchStore, After: true, HandlerID: 0,
+				HandlerName: "h", Args: []ast.CallArg{ret()}},
+		}
+		if _, err := ApplyRules(buildProg(), rules); err == nil ||
+			!strings.Contains(err.Error(), "produces no value") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestAnyCallToleratesShortArgLists(t *testing.T) {
+	rules := []compiler.Rule{
+		{Kind: compiler.MatchAnyCall, After: false, HandlerID: 0,
+			HandlerName: "h", Args: []ast.CallArg{op(3)}},
+	}
+	out, err := ApplyRules(buildProg(), rules)
+	if err != nil {
+		t.Fatalf("generic call rule must tolerate short arg lists: %v", err)
+	}
+	found := false
+	for _, blk := range out.Funcs["main"].Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == mir.OpHook && in.Hook.Args[0].Kind == mir.HookConst {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("missing padded hook arg")
+	}
+}
+
+func TestInstrumentedProgramStillVerifies(t *testing.T) {
+	rules := []compiler.Rule{
+		{Kind: compiler.MatchLoad, After: true, HandlerID: 0, HandlerName: "h", Args: []ast.CallArg{op(1)}},
+		{Kind: compiler.MatchRet, After: false, HandlerID: 0, HandlerName: "h2"},
+	}
+	out, err := ApplyRules(buildProg(), rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Verify(); err != nil {
+		t.Fatalf("instrumented program fails verify: %v", err)
+	}
+}

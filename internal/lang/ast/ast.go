@@ -1,0 +1,462 @@
+// Package ast declares the abstract syntax tree for ALDA programs.
+//
+// The tree mirrors the grammar of Figure 2 in the paper: a program is a
+// sequence of type declarations, metadata declarations, constant
+// declarations, event-handler (function) declarations, and insertion
+// declarations.
+package ast
+
+import (
+	"strings"
+
+	"repro/internal/lang/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Program and declarations
+
+// Program is a parsed ALDA source file (possibly several concatenated
+// analyses, per §6.4.2).
+type Program struct {
+	Decls []Decl
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// PrimType enumerates ALDA's primitive types.
+type PrimType int
+
+// Primitive types (§4.1).
+const (
+	Int8 PrimType = iota
+	Int16
+	Int32
+	Int64
+	Pointer
+	LockID
+	ThreadID
+)
+
+var primNames = [...]string{"int8", "int16", "int32", "int64", "pointer", "lockid", "threadid"}
+
+func (p PrimType) String() string { return primNames[p] }
+
+// Bits returns the storage width of the primitive in bits. Pointer,
+// lockid and threadid are modeled as 64-bit.
+func (p PrimType) Bits() int {
+	switch p {
+	case Int8:
+		return 8
+	case Int16:
+		return 16
+	case Int32:
+		return 32
+	}
+	return 64
+}
+
+// TypeDecl is `name := prim (: sync)? (: N)?` — a named type with optional
+// synchronization requirement and optional domain-size bound.
+type TypeDecl struct {
+	NamePos token.Pos
+	Name    string
+	Prim    PrimType
+	Sync    bool
+	Domain  int64 // 0 ⇒ unbounded
+}
+
+func (d *TypeDecl) Pos() token.Pos { return d.NamePos }
+func (d *TypeDecl) declNode()      {}
+
+// ConstDecl is `const NAME = intexpr` (extension; Listing 1 relies on
+// named states such as VIRGIN/EXCLUSIVE).
+type ConstDecl struct {
+	NamePos token.Pos
+	Name    string
+	Value   int64
+}
+
+func (d *ConstDecl) Pos() token.Pos { return d.NamePos }
+func (d *ConstDecl) declNode()      {}
+
+// Specifier is the initial-state qualifier on a metadata declaration.
+type Specifier int
+
+// Initial-state specifiers (§4.2).
+const (
+	Bottom   Specifier = iota // empty / zero (also the ε default)
+	Universe                  // initially contains the whole domain
+)
+
+func (s Specifier) String() string {
+	if s == Universe {
+		return "universe::"
+	}
+	return "bottom::"
+}
+
+// MetaType is the type of a metadata declaration: a named scalar type, a
+// set, or a (possibly nested) map.
+type MetaType struct {
+	Spec Specifier
+
+	// Exactly one of the following shapes:
+	//  Scalar: TypeName != ""
+	//  Set:    IsSet, Elem != ""
+	//  Map:    IsMap, Key != "", Value != nil
+	TypeName string
+	IsSet    bool
+	Elem     string
+	IsMap    bool
+	Key      string
+	Value    *MetaType
+}
+
+// String renders the meta-type in source syntax.
+func (m *MetaType) String() string {
+	var b strings.Builder
+	if m.Spec == Universe {
+		b.WriteString("universe::")
+	}
+	switch {
+	case m.IsMap:
+		b.WriteString("map(")
+		b.WriteString(m.Key)
+		b.WriteString(", ")
+		b.WriteString(m.Value.String())
+		b.WriteString(")")
+	case m.IsSet:
+		b.WriteString("set(")
+		b.WriteString(m.Elem)
+		b.WriteString(")")
+	default:
+		b.WriteString(m.TypeName)
+	}
+	return b.String()
+}
+
+// MetaDecl is `name = metatype` — a global metadata object.
+type MetaDecl struct {
+	NamePos token.Pos
+	Name    string
+	Type    *MetaType
+}
+
+func (d *MetaDecl) Pos() token.Pos { return d.NamePos }
+func (d *MetaDecl) declNode()      {}
+
+// Param is an event-handler parameter.
+type Param struct {
+	NamePos token.Pos
+	Type    string // named type
+	Name    string
+}
+
+// FuncDecl is an event-handler declaration. Result is the optional return
+// type name ("" for none).
+type FuncDecl struct {
+	NamePos token.Pos
+	Result  string
+	Name    string
+	Params  []Param
+	Body    []Stmt
+}
+
+func (d *FuncDecl) Pos() token.Pos { return d.NamePos }
+func (d *FuncDecl) declNode()      {}
+
+// InsertPointKind distinguishes instruction events from function-call
+// events.
+type InsertPointKind int
+
+// Insertion point kinds.
+const (
+	InstPoint InsertPointKind = iota // LoadInst, StoreInst, ...
+	FuncPoint                        // func malloc
+)
+
+// CallArgKind enumerates Table 2's call-arg syntax.
+type CallArgKind int
+
+// Call-arg base kinds.
+const (
+	ArgOperand CallArgKind = iota // $i   — i-th operand / parameter
+	ArgReturn                     // $r   — return value
+	ArgThread                     // $t   — current thread id
+	ArgAll                        // $p   — all operands (expands)
+)
+
+// CallArg is one argument in an insertion declaration's call list:
+// a base ($i/$r/$t/$p) optionally wrapped in sizeof(...) or suffixed .m
+// (local metadata).
+type CallArg struct {
+	ArgPos token.Pos
+	Kind   CallArgKind
+	Index  int  // for ArgOperand: 1-based operand index
+	Meta   bool // $X.m
+	Sizeof bool // sizeof($X)
+}
+
+// InsertDecl is `insert (before|after) point call f(args)`.
+type InsertDecl struct {
+	InsertPos token.Pos
+	After     bool // false ⇒ before
+	PointKind InsertPointKind
+	Point     string // instruction name (e.g. "LoadInst") or function name
+	Handler   string
+	Args      []CallArg
+}
+
+func (d *InsertDecl) Pos() token.Pos { return d.InsertPos }
+func (d *InsertDecl) declNode()      {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is a statement inside an event-handler body. ALDA permits only if
+// statements, return statements and expression statements (§4.3).
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// IfStmt is `if (cond) { .. } (else { .. })?`. Else may be nil.
+type IfStmt struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  []Stmt
+	Else  []Stmt
+}
+
+func (s *IfStmt) Pos() token.Pos { return s.IfPos }
+func (s *IfStmt) stmtNode()      {}
+
+// ReturnStmt is `return expr?;`.
+type ReturnStmt struct {
+	RetPos token.Pos
+	Value  Expr // may be nil
+}
+
+func (s *ReturnStmt) Pos() token.Pos { return s.RetPos }
+func (s *ReturnStmt) stmtNode()      {}
+
+// ExprStmt is an expression evaluated for effect (assignment, method
+// call, external call).
+type ExprStmt struct {
+	X Expr
+}
+
+func (s *ExprStmt) Pos() token.Pos { return s.X.Pos() }
+func (s *ExprStmt) stmtNode()      {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident refers to a parameter, metadata object, or named constant.
+type Ident struct {
+	NamePos token.Pos
+	Name    string
+}
+
+func (e *Ident) Pos() token.Pos { return e.NamePos }
+func (e *Ident) exprNode()      {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos token.Pos
+	Value  int64
+}
+
+func (e *IntLit) Pos() token.Pos { return e.LitPos }
+func (e *IntLit) exprNode()      {}
+
+// StringLit is a string literal (external-call arguments only).
+type StringLit struct {
+	LitPos token.Pos
+	Value  string // unquoted
+}
+
+func (e *StringLit) Pos() token.Pos { return e.LitPos }
+func (e *StringLit) exprNode()      {}
+
+// IndexExpr is `m[k]` — a metadata map lookup.
+type IndexExpr struct {
+	X     Expr // the map (Ident or nested IndexExpr)
+	Index Expr
+}
+
+func (e *IndexExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *IndexExpr) exprNode()      {}
+
+// CallExpr is `f(args)` — builtin (alda_assert, ptr_offset) or external
+// function call.
+type CallExpr struct {
+	NamePos token.Pos
+	Name    string
+	Args    []Expr
+}
+
+func (e *CallExpr) Pos() token.Pos { return e.NamePos }
+func (e *CallExpr) exprNode()      {}
+
+// MethodExpr is `recv.name(args)` — a map/set builtin method such as
+// add, remove, find, set, get, size.
+type MethodExpr struct {
+	Recv Expr
+	Name string
+	Args []Expr
+}
+
+func (e *MethodExpr) Pos() token.Pos { return e.Recv.Pos() }
+func (e *MethodExpr) exprNode()      {}
+
+// UnaryExpr is `!x` or `-x`.
+type UnaryExpr struct {
+	OpPos token.Pos
+	Op    token.Kind // NOT or SUB
+	X     Expr
+}
+
+func (e *UnaryExpr) Pos() token.Pos { return e.OpPos }
+func (e *UnaryExpr) exprNode()      {}
+
+// BinaryExpr is `x op y` for arithmetic, comparison, logical, and
+// set-union/intersection operators.
+type BinaryExpr struct {
+	X  Expr
+	Op token.Kind
+	Y  Expr
+}
+
+func (e *BinaryExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *BinaryExpr) exprNode()      {}
+
+// AssignExpr is `lhs = rhs` where lhs is an IndexExpr (metadata store).
+type AssignExpr struct {
+	LHS Expr
+	RHS Expr
+}
+
+func (e *AssignExpr) Pos() token.Pos { return e.LHS.Pos() }
+func (e *AssignExpr) exprNode()      {}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+// TypeDecls returns the program's type declarations in order.
+func (p *Program) TypeDecls() []*TypeDecl {
+	var out []*TypeDecl
+	for _, d := range p.Decls {
+		if t, ok := d.(*TypeDecl); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// MetaDecls returns the program's metadata declarations in order.
+func (p *Program) MetaDecls() []*MetaDecl {
+	var out []*MetaDecl
+	for _, d := range p.Decls {
+		if t, ok := d.(*MetaDecl); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// FuncDecls returns the program's handler declarations in order.
+func (p *Program) FuncDecls() []*FuncDecl {
+	var out []*FuncDecl
+	for _, d := range p.Decls {
+		if t, ok := d.(*FuncDecl); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// InsertDecls returns the program's insertion declarations in order.
+func (p *Program) InsertDecls() []*InsertDecl {
+	var out []*InsertDecl
+	for _, d := range p.Decls {
+		if t, ok := d.(*InsertDecl); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ConstDecls returns the program's constant declarations in order.
+func (p *Program) ConstDecls() []*ConstDecl {
+	var out []*ConstDecl
+	for _, d := range p.Decls {
+		if t, ok := d.(*ConstDecl); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Walk calls fn for every expression node reachable from e, parents
+// before children.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *IndexExpr:
+		Walk(x.X, fn)
+		Walk(x.Index, fn)
+	case *CallExpr:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *MethodExpr:
+		Walk(x.Recv, fn)
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *BinaryExpr:
+		Walk(x.X, fn)
+		Walk(x.Y, fn)
+	case *AssignExpr:
+		Walk(x.LHS, fn)
+		Walk(x.RHS, fn)
+	}
+}
+
+// WalkStmts calls walkExpr for every expression in the statement list and
+// recurses into nested if bodies.
+func WalkStmts(stmts []Stmt, walkExpr func(Expr)) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *IfStmt:
+			Walk(st.Cond, walkExpr)
+			WalkStmts(st.Then, walkExpr)
+			WalkStmts(st.Else, walkExpr)
+		case *ReturnStmt:
+			Walk(st.Value, walkExpr)
+		case *ExprStmt:
+			Walk(st.X, walkExpr)
+		}
+	}
+}

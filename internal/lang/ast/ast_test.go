@@ -1,0 +1,79 @@
+package ast
+
+import "testing"
+
+func TestMetaTypeString(t *testing.T) {
+	mt := &MetaType{
+		Spec:  Universe,
+		IsMap: true,
+		Key:   "address",
+		Value: &MetaType{Spec: Universe, IsSet: true, Elem: "lid"},
+	}
+	if got := mt.String(); got != "universe::map(address, universe::set(lid))" {
+		t.Fatalf("string = %q", got)
+	}
+	scalar := &MetaType{TypeName: "status"}
+	if scalar.String() != "status" {
+		t.Fatalf("scalar string = %q", scalar.String())
+	}
+}
+
+func TestPrimType(t *testing.T) {
+	if Int8.Bits() != 8 || Int16.Bits() != 16 || Int32.Bits() != 32 ||
+		Int64.Bits() != 64 || Pointer.Bits() != 64 || LockID.Bits() != 64 {
+		t.Fatal("bits wrong")
+	}
+	if Pointer.String() != "pointer" || ThreadID.String() != "threadid" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestDeclAccessors(t *testing.T) {
+	p := &Program{Decls: []Decl{
+		&TypeDecl{Name: "t"},
+		&ConstDecl{Name: "C"},
+		&MetaDecl{Name: "m", Type: &MetaType{TypeName: "t"}},
+		&FuncDecl{Name: "f"},
+		&InsertDecl{Handler: "f"},
+	}}
+	if len(p.TypeDecls()) != 1 || len(p.ConstDecls()) != 1 || len(p.MetaDecls()) != 1 ||
+		len(p.FuncDecls()) != 1 || len(p.InsertDecls()) != 1 {
+		t.Fatal("accessors miscount")
+	}
+}
+
+func TestWalk(t *testing.T) {
+	// m[a + 1].add(f(b)) — walk must visit every node once.
+	e := &MethodExpr{
+		Recv: &IndexExpr{
+			X:     &Ident{Name: "m"},
+			Index: &BinaryExpr{X: &Ident{Name: "a"}, Y: &IntLit{Value: 1}},
+		},
+		Name: "add",
+		Args: []Expr{&CallExpr{Name: "f", Args: []Expr{&Ident{Name: "b"}}}},
+	}
+	count := 0
+	Walk(e, func(Expr) { count++ })
+	if count != 8 {
+		t.Fatalf("walk visited %d nodes, want 8", count)
+	}
+}
+
+func TestWalkStmts(t *testing.T) {
+	stmts := []Stmt{
+		&IfStmt{
+			Cond: &Ident{Name: "c"},
+			Then: []Stmt{&ExprStmt{X: &Ident{Name: "x"}}},
+			Else: []Stmt{&ReturnStmt{Value: &Ident{Name: "y"}}},
+		},
+	}
+	var names []string
+	WalkStmts(stmts, func(e Expr) {
+		if id, ok := e.(*Ident); ok {
+			names = append(names, id.Name)
+		}
+	})
+	if len(names) != 3 {
+		t.Fatalf("visited idents: %v", names)
+	}
+}

@@ -1,0 +1,308 @@
+// Package lexer implements the scanner for ALDA source text.
+//
+// The scanner is hand written, handles // line and /* block */ comments,
+// decimal and hexadecimal integer literals, string literals with the
+// usual escapes, and never panics on malformed input: unrecognized bytes
+// are reported as ILLEGAL tokens and scanning continues.
+package lexer
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/lang/token"
+)
+
+// Error is a lexical error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans ALDA source text into tokens.
+type Lexer struct {
+	src    string
+	off    int  // byte offset of current rune
+	rd     int  // byte offset after current rune
+	ch     rune // current rune, -1 at EOF
+	line   int
+	col    int
+	errors []*Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	l := &Lexer{src: src, line: 1, col: 0}
+	l.next()
+	return l
+}
+
+// Errors returns lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errors }
+
+const eof = -1
+
+func (l *Lexer) next() {
+	if l.rd >= len(l.src) {
+		l.off = len(l.src)
+		if l.ch == '\n' {
+			l.line++
+			l.col = 0
+		}
+		l.ch = eof
+		l.col++
+		return
+	}
+	if l.ch == '\n' {
+		l.line++
+		l.col = 0
+	}
+	r, w := rune(l.src[l.rd]), 1
+	if r >= utf8.RuneSelf {
+		r, w = utf8.DecodeRuneInString(l.src[l.rd:])
+	}
+	l.off = l.rd
+	l.rd += w
+	l.ch = r
+	l.col++
+}
+
+func (l *Lexer) peek() rune {
+	if l.rd >= len(l.src) {
+		return eof
+	}
+	r := rune(l.src[l.rd])
+	if r >= utf8.RuneSelf {
+		r, _ = utf8.DecodeRuneInString(l.src[l.rd:])
+	}
+	return r
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) errorf(p token.Pos, format string, args ...any) {
+	l.errors = append(l.errors, &Error{Pos: p, Msg: fmt.Sprintf(format, args...)})
+}
+
+func isLetter(ch rune) bool {
+	return ch == '_' || unicode.IsLetter(ch)
+}
+
+func isDigit(ch rune) bool { return '0' <= ch && ch <= '9' }
+
+func isHexDigit(ch rune) bool {
+	return isDigit(ch) || ('a' <= ch && ch <= 'f') || ('A' <= ch && ch <= 'F')
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		for l.ch == ' ' || l.ch == '\t' || l.ch == '\r' || l.ch == '\n' {
+			l.next()
+		}
+		if l.ch == '/' && l.peek() == '/' {
+			for l.ch != '\n' && l.ch != eof {
+				l.next()
+			}
+			continue
+		}
+		if l.ch == '/' && l.peek() == '*' {
+			start := l.pos()
+			l.next() // '/'
+			l.next() // '*'
+			closed := false
+			for l.ch != eof {
+				if l.ch == '*' && l.peek() == '/' {
+					l.next()
+					l.next()
+					closed = true
+					break
+				}
+				l.next()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *Lexer) scanIdent() string {
+	start := l.off
+	for isLetter(l.ch) || isDigit(l.ch) {
+		l.next()
+	}
+	return l.src[start:l.off]
+}
+
+func (l *Lexer) scanNumber() (string, bool) {
+	start := l.off
+	if l.ch == '0' && (l.peek() == 'x' || l.peek() == 'X') {
+		l.next()
+		l.next()
+		if !isHexDigit(l.ch) {
+			return l.src[start:l.off], false
+		}
+		for isHexDigit(l.ch) {
+			l.next()
+		}
+		return l.src[start:l.off], true
+	}
+	for isDigit(l.ch) {
+		l.next()
+	}
+	return l.src[start:l.off], true
+}
+
+func (l *Lexer) scanString() (string, bool) {
+	start := l.off
+	l.next() // opening quote
+	for {
+		switch l.ch {
+		case eof, '\n':
+			return l.src[start:l.off], false
+		case '\\':
+			l.next()
+			if l.ch != eof {
+				l.next()
+			}
+		case '"':
+			l.next()
+			return l.src[start:l.off], true
+		default:
+			l.next()
+		}
+	}
+}
+
+// Next returns the next token. At end of input it returns EOF tokens
+// forever.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+
+	switch ch := l.ch; {
+	case ch == eof:
+		return token.Token{Kind: token.EOF, Pos: pos}
+
+	case isLetter(ch):
+		lit := l.scanIdent()
+		kind := token.Lookup(lit)
+		if kind == token.IDENT {
+			return token.Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+		}
+		return token.Token{Kind: kind, Lit: lit, Pos: pos}
+
+	case isDigit(ch):
+		lit, ok := l.scanNumber()
+		if !ok {
+			l.errorf(pos, "malformed number %q", lit)
+			return token.Token{Kind: token.ILLEGAL, Lit: lit, Pos: pos}
+		}
+		return token.Token{Kind: token.INT, Lit: lit, Pos: pos}
+
+	case ch == '"':
+		lit, ok := l.scanString()
+		if !ok {
+			l.errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.ILLEGAL, Lit: lit, Pos: pos}
+		}
+		return token.Token{Kind: token.STRING, Lit: lit, Pos: pos}
+	}
+
+	// Operator or delimiter.
+	ch := l.ch
+	l.next()
+	two := func(next rune, ifTwo, ifOne token.Kind) token.Token {
+		if l.ch == next {
+			l.next()
+			return token.Token{Kind: ifTwo, Pos: pos}
+		}
+		return token.Token{Kind: ifOne, Pos: pos}
+	}
+
+	switch ch {
+	case '=':
+		return two('=', token.EQL, token.ASSIGN)
+	case ':':
+		if l.ch == '=' {
+			l.next()
+			return token.Token{Kind: token.DECLARE, Pos: pos}
+		}
+		if l.ch == ':' {
+			l.next()
+			return token.Token{Kind: token.COLONPATH, Pos: pos}
+		}
+		return token.Token{Kind: token.COLON, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMICOLON, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Pos: pos}
+	case '+':
+		return token.Token{Kind: token.ADD, Pos: pos}
+	case '-':
+		return token.Token{Kind: token.SUB, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.MUL, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.QUO, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.REM, Pos: pos}
+	case '^':
+		return token.Token{Kind: token.XOR, Pos: pos}
+	case '&':
+		return two('&', token.LAND, token.AND)
+	case '|':
+		return two('|', token.LOR, token.OR)
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '<':
+		if l.ch == '<' {
+			l.next()
+			return token.Token{Kind: token.SHL, Pos: pos}
+		}
+		return two('=', token.LEQ, token.LSS)
+	case '>':
+		if l.ch == '>' {
+			l.next()
+			return token.Token{Kind: token.SHR, Pos: pos}
+		}
+		return two('=', token.GEQ, token.GTR)
+	case '$':
+		return token.Token{Kind: token.DOLLAR, Pos: pos}
+	}
+
+	l.errorf(pos, "unexpected character %q", ch)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(ch), Pos: pos}
+}
+
+// ScanAll tokenizes all of src, always ending with an EOF token.
+func ScanAll(src string) ([]token.Token, []*Error) {
+	l := New(src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, l.Errors()
+		}
+	}
+}

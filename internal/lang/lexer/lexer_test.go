@@ -1,0 +1,142 @@
+package lexer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lang/token"
+)
+
+func kinds(src string) []token.Kind {
+	toks, _ := ScanAll(src)
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	src := `addr := pointer : sync
+m = universe::map(tid, set(lid))
+if (x != 3) { m[x].add(1); }`
+	want := []token.Kind{
+		token.IDENT, token.DECLARE, token.POINTER, token.COLON, token.SYNC,
+		token.IDENT, token.ASSIGN, token.UNIVERSE, token.COLONPATH, token.MAP,
+		token.LPAREN, token.IDENT, token.COMMA, token.SET, token.LPAREN, token.IDENT,
+		token.RPAREN, token.RPAREN,
+		token.IF, token.LPAREN, token.IDENT, token.NEQ, token.INT, token.RPAREN,
+		token.LBRACE, token.IDENT, token.LBRACKET, token.IDENT, token.RBRACKET,
+		token.DOT, token.IDENT, token.LPAREN, token.INT, token.RPAREN,
+		token.SEMICOLON, token.RBRACE,
+		token.EOF,
+	}
+	got := kinds(src)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := `+ - * / % & | ^ << >> && || ! == != < <= > >= $ :: = :=`
+	want := []token.Kind{
+		token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.AND, token.OR, token.XOR, token.SHL, token.SHR,
+		token.LAND, token.LOR, token.NOT,
+		token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.DOLLAR, token.COLONPATH, token.ASSIGN, token.DECLARE, token.EOF,
+	}
+	got := kinds(src)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "a // line comment\n/* block\ncomment */ b"
+	got := kinds(src)
+	want := []token.Kind{token.IDENT, token.IDENT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("comments not skipped: %v", got)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, errs := ScanAll("12 0x1F 0")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Lit != "12" || toks[1].Lit != "0x1F" || toks[2].Lit != "0" {
+		t.Fatalf("literals: %v", toks)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks, errs := ScanAll(`"hello \"world\""`)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Kind != token.STRING {
+		t.Fatalf("kind = %v", toks[0].Kind)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := ScanAll("a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"\"unterminated",
+		"/* unterminated block",
+		"a @ b",
+		"0xzz",
+	}
+	for _, src := range cases {
+		_, errs := ScanAll(src)
+		if len(errs) == 0 {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+// Property: the lexer terminates and never panics on arbitrary input,
+// and always ends the stream with EOF.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		toks, _ := ScanAll(src)
+		return len(toks) > 0 && toks[len(toks)-1].Kind == token.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeywordTable(t *testing.T) {
+	for _, kw := range []string{"map", "set", "insert", "before", "after", "call",
+		"func", "return", "if", "else", "int8", "int64", "pointer", "lockid",
+		"threadid", "universe", "bottom", "sync", "sizeof", "const"} {
+		if token.Lookup(kw) == token.IDENT {
+			t.Errorf("%q not a keyword", kw)
+		}
+	}
+	if token.Lookup("banana") != token.IDENT {
+		t.Error("banana became a keyword")
+	}
+}

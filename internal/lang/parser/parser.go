@@ -1,0 +1,659 @@
+// Package parser implements a recursive-descent parser for ALDA.
+//
+// The parser accepts the grammar of Figure 2 of the paper plus two
+// extensions required to write the paper's own listings: `const`
+// declarations for named states (Listing 1 uses VIRGIN/EXCLUSIVE/...)
+// and `else` blocks on if statements. It produces position-tagged
+// errors and recovers at statement boundaries so a single mistake does
+// not hide the rest of the file.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/lexer"
+	"repro/internal/lang/token"
+)
+
+// Error is a syntax error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a non-empty list of parse errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	var b strings.Builder
+	for i, e := range l {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+type parser struct {
+	toks   []token.Token
+	pos    int
+	errors ErrorList
+}
+
+// Parse parses an ALDA source file. On syntax errors it returns a
+// partial program together with an ErrorList.
+func Parse(src string) (*ast.Program, error) {
+	toks, lexErrs := lexer.ScanAll(src)
+	p := &parser{toks: toks}
+	for _, le := range lexErrs {
+		p.errors = append(p.errors, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	prog := p.parseProgram()
+	if len(p.errors) > 0 {
+		return prog, p.errors
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; intended for embedded,
+// test-covered analysis sources.
+func MustParse(src string) *ast.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *parser) cur() token.Token { return p.toks[p.pos] }
+func (p *parser) peek() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf("expected %s, found %s", k, p.cur())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *parser) errorf(format string, args ...any) {
+	p.errors = append(p.errors, &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// syncTop skips tokens until a plausible start of a new top-level
+// declaration.
+func (p *parser) syncTop() {
+	depth := 0
+	for {
+		switch p.cur().Kind {
+		case token.EOF:
+			return
+		case token.LBRACE:
+			depth++
+		case token.RBRACE:
+			if depth > 0 {
+				depth--
+			}
+			p.next()
+			if depth == 0 {
+				return
+			}
+			continue
+		case token.INSERT, token.CONST:
+			if depth == 0 {
+				return
+			}
+		case token.IDENT:
+			if depth == 0 {
+				switch p.peek().Kind {
+				case token.DECLARE, token.ASSIGN:
+					return
+				}
+			}
+		}
+		p.next()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{}
+	for !p.at(token.EOF) {
+		nerr := len(p.errors)
+		d := p.parseDecl()
+		if d != nil {
+			prog.Decls = append(prog.Decls, d)
+		}
+		if len(p.errors) > nerr {
+			p.syncTop()
+		}
+	}
+	return prog
+}
+
+func (p *parser) parseDecl() ast.Decl {
+	switch p.cur().Kind {
+	case token.CONST:
+		return p.parseConstDecl()
+	case token.INSERT:
+		return p.parseInsertDecl()
+	case token.IDENT:
+		switch p.peek().Kind {
+		case token.DECLARE:
+			return p.parseTypeDecl()
+		case token.ASSIGN:
+			return p.parseMetaDecl()
+		default:
+			return p.parseFuncDecl()
+		}
+	default:
+		p.errorf("expected declaration, found %s", p.cur())
+		p.next()
+		return nil
+	}
+}
+
+func (p *parser) parseInt() int64 {
+	neg := p.accept(token.SUB)
+	t := p.expect(token.INT)
+	v, err := strconv.ParseInt(t.Lit, 0, 64)
+	if err != nil {
+		// Try as unsigned (e.g. 0xffffffffffffffff) then reinterpret.
+		u, uerr := strconv.ParseUint(t.Lit, 0, 64)
+		if uerr != nil {
+			p.errorf("invalid integer literal %q", t.Lit)
+			return 0
+		}
+		v = int64(u)
+	}
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+func (p *parser) parseTypeDecl() ast.Decl {
+	name := p.expect(token.IDENT)
+	p.expect(token.DECLARE)
+	d := &ast.TypeDecl{NamePos: name.Pos, Name: name.Lit}
+	switch t := p.cur(); t.Kind {
+	case token.INT8:
+		d.Prim = ast.Int8
+	case token.INT16:
+		d.Prim = ast.Int16
+	case token.INT32:
+		d.Prim = ast.Int32
+	case token.INT64:
+		d.Prim = ast.Int64
+	case token.POINTER:
+		d.Prim = ast.Pointer
+	case token.LOCKID:
+		d.Prim = ast.LockID
+	case token.THREADID:
+		d.Prim = ast.ThreadID
+	default:
+		p.errorf("expected primitive type, found %s", t)
+		return d
+	}
+	p.next()
+	for p.accept(token.COLON) {
+		switch {
+		case p.at(token.SYNC):
+			p.next()
+			d.Sync = true
+		case p.at(token.INT):
+			d.Domain = p.parseInt()
+			if d.Domain <= 0 {
+				p.errorf("type domain must be positive, got %d", d.Domain)
+			}
+		default:
+			p.errorf("expected 'sync' or domain size after ':', found %s", p.cur())
+			return d
+		}
+	}
+	p.accept(token.SEMICOLON)
+	return d
+}
+
+func (p *parser) parseConstDecl() ast.Decl {
+	p.expect(token.CONST)
+	name := p.expect(token.IDENT)
+	p.expect(token.ASSIGN)
+	v := p.parseInt()
+	p.accept(token.SEMICOLON)
+	return &ast.ConstDecl{NamePos: name.Pos, Name: name.Lit, Value: v}
+}
+
+func (p *parser) parseMetaDecl() ast.Decl {
+	name := p.expect(token.IDENT)
+	p.expect(token.ASSIGN)
+	mt := p.parseMetaType()
+	p.accept(token.SEMICOLON)
+	return &ast.MetaDecl{NamePos: name.Pos, Name: name.Lit, Type: mt}
+}
+
+func (p *parser) parseMetaType() *ast.MetaType {
+	mt := &ast.MetaType{}
+	if p.at(token.UNIVERSE) || p.at(token.BOTTOM) {
+		if p.cur().Kind == token.UNIVERSE {
+			mt.Spec = ast.Universe
+		} else {
+			mt.Spec = ast.Bottom
+		}
+		p.next()
+		p.expect(token.COLONPATH)
+	}
+	switch p.cur().Kind {
+	case token.MAP:
+		p.next()
+		p.expect(token.LPAREN)
+		key := p.expect(token.IDENT)
+		p.expect(token.COMMA)
+		val := p.parseMetaType()
+		p.expect(token.RPAREN)
+		mt.IsMap = true
+		mt.Key = key.Lit
+		mt.Value = val
+	case token.SET:
+		p.next()
+		p.expect(token.LPAREN)
+		elem := p.expect(token.IDENT)
+		p.expect(token.RPAREN)
+		mt.IsSet = true
+		mt.Elem = elem.Lit
+	case token.IDENT:
+		mt.TypeName = p.next().Lit
+	default:
+		p.errorf("expected map, set or type name, found %s", p.cur())
+	}
+	return mt
+}
+
+func (p *parser) parseFuncDecl() ast.Decl {
+	first := p.expect(token.IDENT)
+	d := &ast.FuncDecl{NamePos: first.Pos}
+	if p.at(token.IDENT) {
+		d.Result = first.Lit
+		d.Name = p.next().Lit
+	} else {
+		d.Name = first.Lit
+	}
+	p.expect(token.LPAREN)
+	for !p.at(token.RPAREN) && !p.at(token.EOF) {
+		tname := p.expect(token.IDENT)
+		pname := p.expect(token.IDENT)
+		d.Params = append(d.Params, ast.Param{NamePos: pname.Pos, Type: tname.Lit, Name: pname.Lit})
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.RPAREN)
+	d.Body = p.parseBlock()
+	return d
+}
+
+func (p *parser) parseBlock() []ast.Stmt {
+	p.expect(token.LBRACE)
+	var stmts []ast.Stmt
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		nerr := len(p.errors)
+		s := p.parseStmt()
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+		if len(p.errors) > nerr {
+			p.syncStmt()
+		}
+	}
+	p.expect(token.RBRACE)
+	return stmts
+}
+
+// syncStmt skips to after the next ';' or to a '}' at the current level.
+func (p *parser) syncStmt() {
+	depth := 0
+	for {
+		switch p.cur().Kind {
+		case token.EOF:
+			return
+		case token.SEMICOLON:
+			p.next()
+			if depth == 0 {
+				return
+			}
+			continue
+		case token.LBRACE:
+			depth++
+		case token.RBRACE:
+			if depth == 0 {
+				return
+			}
+			depth--
+		}
+		p.next()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.cur().Kind {
+	case token.IF:
+		return p.parseIf()
+	case token.RETURN:
+		pos := p.next().Pos
+		var val ast.Expr
+		if !p.at(token.SEMICOLON) && !p.at(token.RBRACE) {
+			val = p.parseExpr()
+		}
+		p.accept(token.SEMICOLON)
+		return &ast.ReturnStmt{RetPos: pos, Value: val}
+	case token.SEMICOLON:
+		p.next()
+		return nil
+	default:
+		x := p.parseExprOrAssign()
+		p.accept(token.SEMICOLON)
+		if x == nil {
+			return nil
+		}
+		return &ast.ExprStmt{X: x}
+	}
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	pos := p.expect(token.IF).Pos
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	thenB := p.parseBlock()
+	var elseB []ast.Stmt
+	if p.accept(token.ELSE) {
+		if p.at(token.IF) {
+			elseB = []ast.Stmt{p.parseIf()}
+		} else {
+			elseB = p.parseBlock()
+		}
+	}
+	return &ast.IfStmt{IfPos: pos, Cond: cond, Then: thenB, Else: elseB}
+}
+
+func (p *parser) parseExprOrAssign() ast.Expr {
+	lhs := p.parseExpr()
+	if p.accept(token.ASSIGN) {
+		rhs := p.parseExpr()
+		return &ast.AssignExpr{LHS: lhs, RHS: rhs}
+	}
+	return lhs
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		op := p.cur().Kind
+		prec := op.Precedence()
+		if prec < minPrec || prec == 0 {
+			return x
+		}
+		p.next()
+		y := p.parseBinary(prec + 1)
+		x = &ast.BinaryExpr{X: x, Op: op, Y: y}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.cur().Kind {
+	case token.NOT:
+		pos := p.next().Pos
+		return &ast.UnaryExpr{OpPos: pos, Op: token.NOT, X: p.parseUnary()}
+	case token.SUB:
+		pos := p.next().Pos
+		return &ast.UnaryExpr{OpPos: pos, Op: token.SUB, X: p.parseUnary()}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.cur().Kind {
+		case token.LBRACKET:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBRACKET)
+			x = &ast.IndexExpr{X: x, Index: idx}
+		case token.DOT:
+			p.next()
+			// `set` is a keyword but also a legal method name
+			// (Table 1: m.set(k, v, n)).
+			var name token.Token
+			if p.at(token.SET) {
+				name = p.next()
+				name.Lit = "set"
+			} else {
+				name = p.expect(token.IDENT)
+			}
+			p.expect(token.LPAREN)
+			args := p.parseArgs()
+			x = &ast.MethodExpr{Recv: x, Name: name.Lit, Args: args}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parseArgs() []ast.Expr {
+	var args []ast.Expr
+	for !p.at(token.RPAREN) && !p.at(token.EOF) {
+		args = append(args, p.parseExpr())
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.RPAREN)
+	return args
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	switch t := p.cur(); t.Kind {
+	case token.IDENT:
+		p.next()
+		if p.accept(token.LPAREN) {
+			args := p.parseArgs()
+			return &ast.CallExpr{NamePos: t.Pos, Name: t.Lit, Args: args}
+		}
+		return &ast.Ident{NamePos: t.Pos, Name: t.Lit}
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 0, 64)
+		if err != nil {
+			u, uerr := strconv.ParseUint(t.Lit, 0, 64)
+			if uerr != nil {
+				p.errorf("invalid integer literal %q", t.Lit)
+			}
+			v = int64(u)
+		}
+		return &ast.IntLit{LitPos: t.Pos, Value: v}
+	case token.STRING:
+		p.next()
+		unq, err := strconv.Unquote(t.Lit)
+		if err != nil {
+			p.errorf("invalid string literal %s", t.Lit)
+			unq = t.Lit
+		}
+		return &ast.StringLit{LitPos: t.Pos, Value: unq}
+	case token.LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return x
+	default:
+		p.errorf("expected expression, found %s", t)
+		p.next()
+		return &ast.IntLit{LitPos: t.Pos, Value: 0}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Insertion declarations
+
+var instPoints = map[string]bool{
+	"LoadInst":   true,
+	"StoreInst":  true,
+	"AllocaInst": true,
+	"BranchInst": true,
+	"CallInst":   true,
+	"BinOpInst":  true,
+	"CmpInst":    true,
+	"LockInst":   true,
+	"UnlockInst": true,
+	"SpawnInst":  true,
+	"JoinInst":   true,
+	"RetInst":    true,
+	// Pseudo-points: entry and exit of the whole program.
+	"ProgramStart": true,
+	"ProgramEnd":   true,
+}
+
+// IsInstPoint reports whether name is a recognized instruction insertion
+// point.
+func IsInstPoint(name string) bool { return instPoints[name] }
+
+// InstPoints returns the recognized instruction insertion point names.
+func InstPoints() []string {
+	out := make([]string, 0, len(instPoints))
+	for k := range instPoints {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (p *parser) parseInsertDecl() ast.Decl {
+	pos := p.expect(token.INSERT).Pos
+	d := &ast.InsertDecl{InsertPos: pos}
+	switch {
+	case p.accept(token.BEFORE):
+		d.After = false
+	case p.accept(token.AFTER):
+		d.After = true
+	default:
+		p.errorf("expected 'before' or 'after', found %s", p.cur())
+	}
+	if p.accept(token.FUNC) {
+		d.PointKind = ast.FuncPoint
+		d.Point = p.expect(token.IDENT).Lit
+	} else {
+		name := p.expect(token.IDENT)
+		d.PointKind = ast.InstPoint
+		d.Point = name.Lit
+		if !IsInstPoint(name.Lit) {
+			p.errors = append(p.errors, &Error{Pos: name.Pos,
+				Msg: fmt.Sprintf("unknown instruction insertion point %q", name.Lit)})
+		}
+	}
+	p.expect(token.CALL)
+	d.Handler = p.expect(token.IDENT).Lit
+	p.expect(token.LPAREN)
+	for !p.at(token.RPAREN) && !p.at(token.EOF) {
+		d.Args = append(d.Args, p.parseCallArg())
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.RPAREN)
+	p.accept(token.SEMICOLON)
+	return d
+}
+
+func (p *parser) parseCallArg() ast.CallArg {
+	pos := p.cur().Pos
+	if p.at(token.SIZEOF) {
+		p.next()
+		p.expect(token.LPAREN)
+		a := p.parseCallArgBase()
+		p.expect(token.RPAREN)
+		a.Sizeof = true
+		a.ArgPos = pos
+		return a
+	}
+	a := p.parseCallArgBase()
+	a.ArgPos = pos
+	if p.accept(token.DOT) {
+		m := p.expect(token.IDENT)
+		if m.Lit != "m" {
+			p.errors = append(p.errors, &Error{Pos: m.Pos,
+				Msg: fmt.Sprintf("expected .m (local metadata) suffix, found .%s", m.Lit)})
+		}
+		a.Meta = true
+	}
+	return a
+}
+
+func (p *parser) parseCallArgBase() ast.CallArg {
+	p.expect(token.DOLLAR)
+	switch t := p.cur(); t.Kind {
+	case token.INT:
+		p.next()
+		n, err := strconv.Atoi(t.Lit)
+		if err != nil || n < 1 {
+			p.errorf("operand index must be a positive integer, got %q", t.Lit)
+			n = 1
+		}
+		return ast.CallArg{Kind: ast.ArgOperand, Index: n}
+	case token.IDENT:
+		p.next()
+		switch t.Lit {
+		case "r":
+			return ast.CallArg{Kind: ast.ArgReturn}
+		case "t":
+			return ast.CallArg{Kind: ast.ArgThread}
+		case "p":
+			return ast.CallArg{Kind: ast.ArgAll}
+		}
+		p.errorf("unknown call-arg $%s (want $<i>, $r, $t or $p)", t.Lit)
+		return ast.CallArg{Kind: ast.ArgOperand, Index: 1}
+	default:
+		p.errorf("expected call-arg after $, found %s", t)
+		return ast.CallArg{Kind: ast.ArgOperand, Index: 1}
+	}
+}

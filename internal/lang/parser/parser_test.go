@@ -1,0 +1,290 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lang/ast"
+)
+
+// listing1 is the paper's Listing 1 (Eraser) verbatim modulo the named
+// constants the original assumes.
+const listing1 = `
+const VIRGIN = 0
+const EXCLUSIVE = 1
+const SHARED = 2
+const SHARED_MODIFIED = 3
+
+address := pointer : sync
+tid := threadid : 4
+lid := lockid : 256
+status := int8
+
+thread2WLock = universe::map(tid, set(lid))
+thread2Lock = universe::map(tid, set(lid))
+addr2Lock = universe::map(address, universe::set(lid))
+addr2Thread = universe::map(address, set(tid))
+addr2Status = universe::map(address, status)
+
+onLoad(address addr, tid t) {
+    if (!addr2Thread[addr].find(t) && addr2Status[addr] != VIRGIN) {
+        if (addr2Status[addr] == EXCLUSIVE) { addr2Status[addr] = SHARED; }
+        addr2Thread[addr].add(t);
+    }
+    if (addr2Status[addr] > EXCLUSIVE) {
+        addr2Lock[addr] = addr2Lock[addr] & thread2Lock[t];
+    }
+}
+
+onStore(address addr, tid t) {
+    if (!addr2Thread[addr].find(t)) {
+        addr2Thread[addr].add(t);
+        if (addr2Status[addr] == SHARED) { addr2Status[addr] = SHARED_MODIFIED; }
+        if (addr2Status[addr] == EXCLUSIVE) { addr2Status[addr] = SHARED_MODIFIED; }
+        if (addr2Status[addr] == VIRGIN) { addr2Status[addr] = EXCLUSIVE; }
+    } else {
+        if (addr2Status[addr] == SHARED) { addr2Status[addr] = SHARED_MODIFIED; }
+    }
+    if (addr2Status[addr] > EXCLUSIVE)
+    { addr2Lock[addr] = addr2Lock[addr] & thread2WLock[t]; }
+}
+
+insert after LoadInst call onLoad($1, $t)
+insert after StoreInst call onStore($2, $t)
+`
+
+// listing2 is the paper's Listing 2 (MemorySanitizer core) with the
+// store-arg order corrected (the published listing transposes them).
+const listing2 = `
+// Type Declaration
+address := pointer
+size := int64
+label := int64
+value := int8
+// Metadata Declaration
+addr2label = universe::map(address, value)
+addr2size = map(address, size)
+// Event Handler Declaration
+onMalloc(address ptr, size s) {
+    addr2label.set(ptr, s, -1);
+    addr2size[ptr] = s;
+}
+onFree(address ptr) {
+    if (addr2size[ptr]) {
+        addr2label.set(ptr, -1, addr2size[ptr]);
+        addr2size[ptr] = 0;
+    }
+}
+onAlloca(address ptr, size s)
+{ addr2label.set(ptr, -1, s); }
+onStore(address ptr, label l, size s)
+{ addr2label.set(ptr, l, s); }
+label onLoad(address ptr, size s)
+{ return addr2label.get(ptr, s); }
+onBranch(label l)
+{ alda_assert( l, 0 ) ; }
+// Insertion Point Declaration
+insert after AllocaInst call onAlloca($r, sizeof($r))
+insert after func free call onFree($1)
+insert after func malloc call onMalloc($r, $1)
+insert after LoadInst call onLoad($1, sizeof($r))
+insert after StoreInst call onStore($2, $1.m, sizeof($1))
+insert before BranchInst call onBranch($1.m)
+`
+
+func TestParseListing1(t *testing.T) {
+	prog, err := Parse(listing1)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := len(prog.ConstDecls()); got != 4 {
+		t.Errorf("consts = %d", got)
+	}
+	if got := len(prog.TypeDecls()); got != 4 {
+		t.Errorf("types = %d", got)
+	}
+	if got := len(prog.MetaDecls()); got != 5 {
+		t.Errorf("metas = %d", got)
+	}
+	if got := len(prog.FuncDecls()); got != 2 {
+		t.Errorf("funcs = %d", got)
+	}
+	if got := len(prog.InsertDecls()); got != 2 {
+		t.Errorf("inserts = %d", got)
+	}
+
+	addr := prog.TypeDecls()[0]
+	if addr.Name != "address" || addr.Prim != ast.Pointer || !addr.Sync {
+		t.Errorf("address decl wrong: %+v", addr)
+	}
+	lid := prog.TypeDecls()[2]
+	if lid.Domain != 256 {
+		t.Errorf("lid domain = %d", lid.Domain)
+	}
+
+	a2l := prog.MetaDecls()[2]
+	if !a2l.Type.IsMap || a2l.Type.Key != "address" || !a2l.Type.Value.IsSet {
+		t.Errorf("addr2Lock shape wrong: %s", a2l.Type)
+	}
+	if a2l.Type.Spec != ast.Universe || a2l.Type.Value.Spec != ast.Universe {
+		t.Errorf("addr2Lock universe specs wrong")
+	}
+
+	onLoad := prog.FuncDecls()[0]
+	if onLoad.Name != "onLoad" || len(onLoad.Params) != 2 || onLoad.Result != "" {
+		t.Errorf("onLoad signature wrong: %+v", onLoad)
+	}
+	// First statement is the if with a && and ! condition.
+	ifs, ok := onLoad.Body[0].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("first stmt is %T", onLoad.Body[0])
+	}
+	if _, ok := ifs.Cond.(*ast.BinaryExpr); !ok {
+		t.Fatalf("cond is %T", ifs.Cond)
+	}
+
+	ins := prog.InsertDecls()[1]
+	if !ins.After || ins.PointKind != ast.InstPoint || ins.Point != "StoreInst" {
+		t.Errorf("insert decl wrong: %+v", ins)
+	}
+	if len(ins.Args) != 2 || ins.Args[0].Kind != ast.ArgOperand || ins.Args[0].Index != 2 ||
+		ins.Args[1].Kind != ast.ArgThread {
+		t.Errorf("insert args wrong: %+v", ins.Args)
+	}
+}
+
+func TestParseListing2(t *testing.T) {
+	prog, err := Parse(listing2)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := len(prog.FuncDecls()); got != 6 {
+		t.Errorf("funcs = %d", got)
+	}
+	// onLoad has a result type.
+	var onLoad *ast.FuncDecl
+	for _, f := range prog.FuncDecls() {
+		if f.Name == "onLoad" {
+			onLoad = f
+		}
+	}
+	if onLoad == nil || onLoad.Result != "label" {
+		t.Fatalf("onLoad result wrong: %+v", onLoad)
+	}
+	ret, ok := onLoad.Body[0].(*ast.ReturnStmt)
+	if !ok {
+		t.Fatalf("onLoad body[0] is %T", onLoad.Body[0])
+	}
+	if _, ok := ret.Value.(*ast.MethodExpr); !ok {
+		t.Fatalf("return value is %T", ret.Value)
+	}
+
+	// insert args with sizeof and .m
+	var store *ast.InsertDecl
+	for _, d := range prog.InsertDecls() {
+		if d.Handler == "onStore" {
+			store = d
+		}
+	}
+	if store == nil {
+		t.Fatal("no onStore insert")
+	}
+	if !store.Args[1].Meta || store.Args[1].Index != 1 {
+		t.Errorf("$1.m parsed wrong: %+v", store.Args[1])
+	}
+	if !store.Args[2].Sizeof || store.Args[2].Index != 1 {
+		t.Errorf("sizeof($1) parsed wrong: %+v", store.Args[2])
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	prog := MustParse(`t := int64
+f(t a, t b) { return a + b * 2 == a & b | 3; }`)
+	ret := prog.FuncDecls()[0].Body[0].(*ast.ReturnStmt)
+	// Top must be ==? No: precedence: * then & then + | at level 4...
+	// a + (b*2) and (a&b): level check — == binds loosest of these.
+	top, ok := ret.Value.(*ast.BinaryExpr)
+	if !ok {
+		t.Fatalf("top is %T", ret.Value)
+	}
+	if top.Op.String() != "==" {
+		t.Fatalf("top op = %s", top.Op)
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	prog := MustParse(`t := int64
+f(t a) {
+    if (a == 1) { a; } else if (a == 2) { a; } else { a; }
+}`)
+	ifs := prog.FuncDecls()[0].Body[0].(*ast.IfStmt)
+	inner, ok := ifs.Else[0].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("else-if is %T", ifs.Else[0])
+	}
+	if len(inner.Else) != 1 {
+		t.Fatal("final else missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"x := float32", "expected primitive type"},
+		{"insert sideways LoadInst call f()", "expected 'before' or 'after'"},
+		{"insert after BogusInst call f()", "unknown instruction insertion point"},
+		{"t := int64\nf(t a) { if a { a; } }", "expected ("},
+		{"insert after LoadInst call f($q)", "unknown call-arg"},
+		{"t := int64 : 0", "domain must be positive"},
+		{"m = map(k,)", "expected map, set or type name"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error for %q = %q, want substring %q", c.src, err.Error(), c.want)
+		}
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	// One broken declaration must not hide the next one.
+	src := `x := float32
+good := int64
+f(good a) { return a; }`
+	prog, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(prog.FuncDecls()) != 1 {
+		t.Fatalf("recovery failed: funcs = %d", len(prog.FuncDecls()))
+	}
+}
+
+// Property: the parser terminates without panicking on arbitrary input.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertPointNames(t *testing.T) {
+	for _, p := range InstPoints() {
+		if !IsInstPoint(p) {
+			t.Errorf("%s not recognized", p)
+		}
+	}
+	if IsInstPoint("NopeInst") {
+		t.Error("NopeInst recognized")
+	}
+}

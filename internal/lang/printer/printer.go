@@ -1,0 +1,250 @@
+// Package printer renders ALDA ASTs back to canonical source text —
+// the formatter behind cmd/aldafmt. Formatting is deterministic and
+// idempotent: print(parse(print(parse(src)))) == print(parse(src)).
+package printer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang/ast"
+)
+
+// Print renders a program in canonical form: declarations in source
+// order, four-space indentation, one statement per line, spaces around
+// binary operators, and section-separating blank lines.
+func Print(prog *ast.Program) string {
+	p := &printer{}
+	var prevKind string
+	for _, d := range prog.Decls {
+		kind := declKind(d)
+		if prevKind != "" && kind != prevKind {
+			p.nl()
+		}
+		p.decl(d)
+		prevKind = kind
+	}
+	return p.b.String()
+}
+
+func declKind(d ast.Decl) string {
+	switch d.(type) {
+	case *ast.ConstDecl:
+		return "const"
+	case *ast.TypeDecl:
+		return "type"
+	case *ast.MetaDecl:
+		return "meta"
+	case *ast.FuncDecl:
+		return "func"
+	case *ast.InsertDecl:
+		return "insert"
+	}
+	return "?"
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) nl()                       { p.b.WriteByte('\n') }
+func (p *printer) line(s string)             { p.pad(); p.b.WriteString(s); p.nl() }
+func (p *printer) pad()                      { p.b.WriteString(strings.Repeat("    ", p.indent)) }
+func (p *printer) printf(f string, a ...any) { p.line(fmt.Sprintf(f, a...)) }
+
+func (p *printer) decl(d ast.Decl) {
+	switch x := d.(type) {
+	case *ast.ConstDecl:
+		p.printf("const %s = %d", x.Name, x.Value)
+	case *ast.TypeDecl:
+		s := fmt.Sprintf("%s := %s", x.Name, x.Prim)
+		if x.Sync {
+			s += " : sync"
+		}
+		if x.Domain > 0 {
+			s += fmt.Sprintf(" : %d", x.Domain)
+		}
+		p.line(s)
+	case *ast.MetaDecl:
+		p.printf("%s = %s", x.Name, x.Type)
+	case *ast.FuncDecl:
+		p.funcDecl(x)
+	case *ast.InsertDecl:
+		p.insertDecl(x)
+	}
+}
+
+func (p *printer) funcDecl(d *ast.FuncDecl) {
+	var sig strings.Builder
+	if d.Result != "" {
+		sig.WriteString(d.Result)
+		sig.WriteByte(' ')
+	}
+	sig.WriteString(d.Name)
+	sig.WriteByte('(')
+	for i, pr := range d.Params {
+		if i > 0 {
+			sig.WriteString(", ")
+		}
+		sig.WriteString(pr.Type + " " + pr.Name)
+	}
+	sig.WriteString(") {")
+	p.line(sig.String())
+	p.indent++
+	p.stmts(d.Body)
+	p.indent--
+	p.line("}")
+	p.nl()
+}
+
+func (p *printer) stmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		p.stmt(s)
+	}
+}
+
+func (p *printer) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.IfStmt:
+		p.printf("if (%s) {", expr(x.Cond))
+		p.indent++
+		p.stmts(x.Then)
+		p.indent--
+		if len(x.Else) == 0 {
+			p.line("}")
+			return
+		}
+		// else-if chains render flat.
+		if inner, ok := x.Else[0].(*ast.IfStmt); ok && len(x.Else) == 1 {
+			p.pad()
+			p.b.WriteString("} else ")
+			p.ifTail(inner)
+			return
+		}
+		p.line("} else {")
+		p.indent++
+		p.stmts(x.Else)
+		p.indent--
+		p.line("}")
+	case *ast.ReturnStmt:
+		if x.Value == nil {
+			p.line("return;")
+		} else {
+			p.printf("return %s;", expr(x.Value))
+		}
+	case *ast.ExprStmt:
+		p.printf("%s;", expr(x.X))
+	}
+}
+
+// ifTail continues an `} else if ...` chain without re-indenting.
+func (p *printer) ifTail(x *ast.IfStmt) {
+	p.b.WriteString(fmt.Sprintf("if (%s) {\n", expr(x.Cond)))
+	p.indent++
+	p.stmts(x.Then)
+	p.indent--
+	if len(x.Else) == 0 {
+		p.line("}")
+		return
+	}
+	if inner, ok := x.Else[0].(*ast.IfStmt); ok && len(x.Else) == 1 {
+		p.pad()
+		p.b.WriteString("} else ")
+		p.ifTail(inner)
+		return
+	}
+	p.line("} else {")
+	p.indent++
+	p.stmts(x.Else)
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) insertDecl(d *ast.InsertDecl) {
+	when := "before"
+	if d.After {
+		when = "after"
+	}
+	point := d.Point
+	if d.PointKind == ast.FuncPoint {
+		point = "func " + d.Point
+	}
+	args := make([]string, len(d.Args))
+	for i, a := range d.Args {
+		args[i] = callArg(a)
+	}
+	p.printf("insert %s %s call %s(%s)", when, point, d.Handler, strings.Join(args, ", "))
+}
+
+func callArg(a ast.CallArg) string {
+	var base string
+	switch a.Kind {
+	case ast.ArgOperand:
+		base = fmt.Sprintf("$%d", a.Index)
+	case ast.ArgReturn:
+		base = "$r"
+	case ast.ArgThread:
+		base = "$t"
+	case ast.ArgAll:
+		base = "$p"
+	}
+	if a.Sizeof {
+		return "sizeof(" + base + ")"
+	}
+	if a.Meta {
+		return base + ".m"
+	}
+	return base
+}
+
+// expr renders an expression with minimal parentheses: parens appear
+// only where a child binds looser than (or equal to, on the right) its
+// parent.
+func expr(e ast.Expr) string { return exprPrec(e, 0) }
+
+func exprPrec(e ast.Expr, parent int) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.IntLit:
+		return fmt.Sprintf("%d", x.Value)
+	case *ast.StringLit:
+		return fmt.Sprintf("%q", x.Value)
+	case *ast.IndexExpr:
+		return exprPrec(x.X, 9) + "[" + expr(x.Index) + "]"
+	case *ast.MethodExpr:
+		return exprPrec(x.Recv, 9) + "." + x.Name + "(" + argList(x.Args) + ")"
+	case *ast.CallExpr:
+		return x.Name + "(" + argList(x.Args) + ")"
+	case *ast.UnaryExpr:
+		return x.Op.String() + exprPrec(x.X, 8)
+	case *ast.AssignExpr:
+		return expr(x.LHS) + " = " + expr(x.RHS)
+	case *ast.BinaryExpr:
+		prec := x.Op.Precedence()
+		s := exprPrec(x.X, prec-1) + " " + x.Op.String() + " " + exprPrec(x.Y, prec)
+		if prec <= parent {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	return "?"
+}
+
+func argList(args []ast.Expr) string {
+	out := make([]string, len(args))
+	for i, a := range args {
+		out[i] = expr(a)
+	}
+	return strings.Join(out, ", ")
+}
+
+// Format parses-and-prints, reporting parse errors.
+func Format(src string, parse func(string) (*ast.Program, error)) (string, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return "", err
+	}
+	return Print(prog), nil
+}

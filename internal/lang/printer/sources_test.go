@@ -1,0 +1,27 @@
+package printer
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// shippedSources reads the embedded analyses' .alda files straight from
+// the repository (importing internal/analyses here would be fine, but
+// reading from disk keeps this package's dependencies frontend-only).
+func shippedSources(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob("../../analyses/*.alda")
+	if err != nil || len(paths) == 0 {
+		t.Skipf("analysis sources not found: %v", err)
+	}
+	var out []string
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, string(b))
+	}
+	return out
+}

@@ -1,0 +1,701 @@
+// Package sema performs name resolution and type checking of parsed
+// ALDA programs and produces the typed model that the ALDAcc compiler
+// consumes.
+//
+// The checker enforces ALDA's restrictions (§4.3): handler bodies have
+// no loops, no local variables and no pointers; the only indirection is
+// through the declared map/set metadata. It also implements the
+// concatenation-combination rule of §6.4.2: when several analysis
+// sources are concatenated, duplicate *identical* type and constant
+// declarations merge silently while conflicting ones are errors.
+package sema
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/token"
+)
+
+// Error is a semantic error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a non-empty list of semantic errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	var b strings.Builder
+	for i, e := range l {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Typed model
+
+// Type is a declared named type.
+type Type struct {
+	Name   string
+	Prim   ast.PrimType
+	Sync   bool
+	Domain int64 // 0 ⇒ unbounded
+}
+
+// Bits returns the value width in bits.
+func (t *Type) Bits() int { return t.Prim.Bits() }
+
+// ValueKind classifies the value stored at the leaves of a metadata
+// object.
+type ValueKind int
+
+// Leaf value kinds.
+const (
+	ScalarValue ValueKind = iota
+	SetValue
+)
+
+// MetaObj is a checked metadata declaration. Nested maps are flattened:
+// map(K1, map(K2, V)) becomes a single object with Keys = [K1, K2].
+type MetaObj struct {
+	Name string
+	Decl *ast.MetaDecl
+
+	Keys     []*Type // empty ⇒ a global scalar or global set
+	Kind     ValueKind
+	Scalar   *Type // when Kind == ScalarValue
+	Elem     *Type // when Kind == SetValue
+	Universe bool  // initial state is the full domain
+	Sync     bool  // any key or the declared types demand locking
+}
+
+// IsMap reports whether the object is keyed.
+func (m *MetaObj) IsMap() bool { return len(m.Keys) > 0 }
+
+// Handler is a checked event-handler declaration.
+type Handler struct {
+	Name   string
+	Decl   *ast.FuncDecl
+	Params []*Type
+	Result *Type // nil if none
+}
+
+// VType is the checked type of an expression occurrence.
+type VType struct {
+	Kind   VKind
+	Scalar *Type    // KScalar
+	Elem   *Type    // KSet
+	Meta   *MetaObj // KMapRef and leaf accesses
+	Depth  int      // KMapRef: number of keys consumed so far
+}
+
+// VKind classifies expression types.
+type VKind int
+
+// Expression type kinds.
+const (
+	KScalar VKind = iota
+	KSet
+	KMapRef // partially-indexed map object
+	KVoid
+)
+
+func (v VType) String() string {
+	switch v.Kind {
+	case KScalar:
+		if v.Scalar != nil {
+			return v.Scalar.Name
+		}
+		return "int"
+	case KSet:
+		if v.Elem != nil {
+			return "set(" + v.Elem.Name + ")"
+		}
+		return "set(?)"
+	case KMapRef:
+		return fmt.Sprintf("map<%s,depth=%d>", v.Meta.Name, v.Depth)
+	}
+	return "void"
+}
+
+// Info is the result of checking: the complete typed model of the
+// analysis program.
+type Info struct {
+	Program *ast.Program
+
+	Types     map[string]*Type
+	Consts    map[string]int64
+	Metas     map[string]*MetaObj
+	MetaOrder []*MetaObj
+
+	Handlers     map[string]*Handler
+	HandlerOrder []*Handler
+
+	Inserts []*ast.InsertDecl
+
+	// ExprTypes records the checked type of every expression node, for
+	// the code generator.
+	ExprTypes map[ast.Expr]VType
+
+	// Externals lists external (escape-hatch) function names called from
+	// handler bodies, in first-use order.
+	Externals []string
+}
+
+// Builtin function names (Table 1).
+const (
+	BuiltinAssert    = "alda_assert"
+	BuiltinPtrOffset = "ptr_offset"
+)
+
+// ---------------------------------------------------------------------------
+// Checker
+
+type checker struct {
+	info   *Info
+	errs   ErrorList
+	extSet map[string]bool
+}
+
+// Check type-checks the program.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{
+		info: &Info{
+			Program:   prog,
+			Types:     make(map[string]*Type),
+			Consts:    make(map[string]int64),
+			Metas:     make(map[string]*MetaObj),
+			Handlers:  make(map[string]*Handler),
+			ExprTypes: make(map[ast.Expr]VType),
+		},
+		extSet: make(map[string]bool),
+	}
+	c.collectTypes(prog)
+	c.collectConsts(prog)
+	c.collectMetas(prog)
+	c.collectHandlers(prog)
+	for _, h := range c.info.HandlerOrder {
+		c.checkHandler(h)
+	}
+	c.checkInserts(prog)
+	if len(c.errs) > 0 {
+		return c.info, c.errs
+	}
+	return c.info, nil
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) collectTypes(prog *ast.Program) {
+	for _, d := range prog.TypeDecls() {
+		if prev, ok := c.info.Types[d.Name]; ok {
+			// Concatenation-merge (§6.4.2): the primitive must agree;
+			// sync is a requirement so it ORs; bounded domains must not
+			// contradict (an unbounded redeclaration adopts the bound).
+			if prev.Prim != d.Prim {
+				c.errorf(d.Pos(), "conflicting redeclaration of type %s (was %s)", d.Name, prev.Prim)
+				continue
+			}
+			if d.Sync {
+				prev.Sync = true
+			}
+			switch {
+			case d.Domain == 0 || d.Domain == prev.Domain:
+				// compatible
+			case prev.Domain == 0:
+				prev.Domain = d.Domain
+			default:
+				c.errorf(d.Pos(), "conflicting domain for type %s (%d vs %d)", d.Name, prev.Domain, d.Domain)
+			}
+			continue
+		}
+		c.info.Types[d.Name] = &Type{Name: d.Name, Prim: d.Prim, Sync: d.Sync, Domain: d.Domain}
+	}
+}
+
+func (c *checker) collectConsts(prog *ast.Program) {
+	for _, d := range prog.ConstDecls() {
+		if prev, ok := c.info.Consts[d.Name]; ok {
+			if prev != d.Value {
+				c.errorf(d.Pos(), "conflicting redeclaration of const %s (%d vs %d)", d.Name, prev, d.Value)
+			}
+			continue
+		}
+		if _, isType := c.info.Types[d.Name]; isType {
+			c.errorf(d.Pos(), "%s already declared as a type", d.Name)
+			continue
+		}
+		c.info.Consts[d.Name] = d.Value
+	}
+}
+
+func (c *checker) lookupType(pos token.Pos, name string) *Type {
+	if t, ok := c.info.Types[name]; ok {
+		return t
+	}
+	c.errorf(pos, "undeclared type %s", name)
+	return &Type{Name: name, Prim: ast.Int64}
+}
+
+func (c *checker) collectMetas(prog *ast.Program) {
+	for _, d := range prog.MetaDecls() {
+		obj := c.buildMeta(d)
+		if obj == nil {
+			continue
+		}
+		if prev, ok := c.info.Metas[d.Name]; ok {
+			if !sameShape(prev, obj) {
+				c.errorf(d.Pos(), "conflicting redeclaration of metadata %s", d.Name)
+			}
+			continue
+		}
+		if _, isType := c.info.Types[d.Name]; isType {
+			c.errorf(d.Pos(), "%s already declared as a type", d.Name)
+			continue
+		}
+		if _, isConst := c.info.Consts[d.Name]; isConst {
+			c.errorf(d.Pos(), "%s already declared as a constant", d.Name)
+			continue
+		}
+		c.info.Metas[d.Name] = obj
+		c.info.MetaOrder = append(c.info.MetaOrder, obj)
+	}
+}
+
+func sameShape(a, b *MetaObj) bool {
+	if a.Kind != b.Kind || a.Universe != b.Universe || len(a.Keys) != len(b.Keys) {
+		return false
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			return false
+		}
+	}
+	return a.Scalar == b.Scalar && a.Elem == b.Elem
+}
+
+func (c *checker) buildMeta(d *ast.MetaDecl) *MetaObj {
+	obj := &MetaObj{Name: d.Name, Decl: d}
+	mt := d.Type
+	// The outermost specifier applies to the leaf value; the paper's
+	// examples also write the specifier on nested positions
+	// (universe::map(address, universe::set(lid))) — either position
+	// marks the leaf universe-initialized.
+	universe := mt.Spec == ast.Universe
+	for mt.IsMap {
+		kt := c.lookupType(d.Pos(), mt.Key)
+		obj.Keys = append(obj.Keys, kt)
+		mt = mt.Value
+		if mt.Spec == ast.Universe {
+			universe = true
+		}
+	}
+	switch {
+	case mt.IsSet:
+		obj.Kind = SetValue
+		obj.Elem = c.lookupType(d.Pos(), mt.Elem)
+	case mt.TypeName != "":
+		obj.Kind = ScalarValue
+		obj.Scalar = c.lookupType(d.Pos(), mt.TypeName)
+	default:
+		c.errorf(d.Pos(), "metadata %s has no leaf value type", d.Name)
+		return nil
+	}
+	obj.Universe = universe
+	for _, k := range obj.Keys {
+		if k.Sync {
+			obj.Sync = true
+		}
+	}
+	if obj.Scalar != nil && obj.Scalar.Sync {
+		obj.Sync = true
+	}
+	if obj.Elem != nil && obj.Elem.Sync {
+		obj.Sync = true
+	}
+	return obj
+}
+
+func (c *checker) collectHandlers(prog *ast.Program) {
+	for _, d := range prog.FuncDecls() {
+		if _, ok := c.info.Handlers[d.Name]; ok {
+			c.errorf(d.Pos(), "duplicate handler %s (combined analyses must use distinct handler names)", d.Name)
+			continue
+		}
+		h := &Handler{Name: d.Name, Decl: d}
+		if d.Result != "" {
+			h.Result = c.lookupType(d.Pos(), d.Result)
+		}
+		seen := make(map[string]bool)
+		for _, p := range d.Params {
+			if seen[p.Name] {
+				c.errorf(p.NamePos, "duplicate parameter %s in handler %s", p.Name, d.Name)
+			}
+			seen[p.Name] = true
+			h.Params = append(h.Params, c.lookupType(p.NamePos, p.Type))
+		}
+		c.info.Handlers[d.Name] = h
+		c.info.HandlerOrder = append(c.info.HandlerOrder, h)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Handler body checking
+
+type scope struct {
+	handler *Handler
+	params  map[string]*Type
+}
+
+func (c *checker) checkHandler(h *Handler) {
+	sc := &scope{handler: h, params: make(map[string]*Type)}
+	for i, p := range h.Decl.Params {
+		sc.params[p.Name] = h.Params[i]
+	}
+	c.checkStmts(sc, h.Decl.Body)
+}
+
+func (c *checker) checkStmts(sc *scope, stmts []ast.Stmt) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.IfStmt:
+			vt := c.checkExpr(sc, st.Cond)
+			if vt.Kind == KMapRef || vt.Kind == KSet {
+				c.errorf(st.Cond.Pos(), "%s cannot be used as a condition (conditions are scalar)", vt)
+			}
+			c.checkStmts(sc, st.Then)
+			c.checkStmts(sc, st.Else)
+		case *ast.ReturnStmt:
+			if st.Value == nil {
+				if sc.handler.Result != nil {
+					c.errorf(st.Pos(), "handler %s must return a %s value", sc.handler.Name, sc.handler.Result.Name)
+				}
+				continue
+			}
+			if sc.handler.Result == nil {
+				c.errorf(st.Pos(), "handler %s has no return type", sc.handler.Name)
+			}
+			vt := c.checkExpr(sc, st.Value)
+			if vt.Kind != KScalar {
+				c.errorf(st.Value.Pos(), "return value must be scalar, got %s", vt)
+			}
+		case *ast.ExprStmt:
+			c.checkExpr(sc, st.X)
+		}
+	}
+}
+
+func (c *checker) record(e ast.Expr, vt VType) VType {
+	c.info.ExprTypes[e] = vt
+	return vt
+}
+
+func scalar(t *Type) VType { return VType{Kind: KScalar, Scalar: t} }
+
+func (c *checker) checkExpr(sc *scope, e ast.Expr) VType {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return c.record(e, VType{Kind: KScalar})
+
+	case *ast.StringLit:
+		return c.record(e, VType{Kind: KScalar})
+
+	case *ast.Ident:
+		if t, ok := sc.params[x.Name]; ok {
+			return c.record(e, scalar(t))
+		}
+		if _, ok := c.info.Consts[x.Name]; ok {
+			return c.record(e, VType{Kind: KScalar})
+		}
+		if m, ok := c.info.Metas[x.Name]; ok {
+			if !m.IsMap() {
+				if m.Kind == SetValue {
+					return c.record(e, VType{Kind: KSet, Elem: m.Elem, Meta: m})
+				}
+				return c.record(e, VType{Kind: KScalar, Scalar: m.Scalar, Meta: m})
+			}
+			return c.record(e, VType{Kind: KMapRef, Meta: m, Depth: 0})
+		}
+		c.errorf(x.Pos(), "undeclared identifier %s", x.Name)
+		return c.record(e, VType{Kind: KScalar})
+
+	case *ast.IndexExpr:
+		base := c.checkExpr(sc, x.X)
+		if base.Kind != KMapRef {
+			c.errorf(x.Pos(), "cannot index %s", base)
+			return c.record(e, VType{Kind: KScalar})
+		}
+		idx := c.checkExpr(sc, x.Index)
+		if idx.Kind != KScalar {
+			c.errorf(x.Index.Pos(), "map key must be scalar, got %s", idx)
+		}
+		m := base.Meta
+		keyT := m.Keys[base.Depth]
+		if idx.Scalar != nil && idx.Scalar != keyT && idx.Scalar.Prim != keyT.Prim {
+			c.errorf(x.Index.Pos(), "map %s expects key of type %s, got %s", m.Name, keyT.Name, idx.Scalar.Name)
+		}
+		depth := base.Depth + 1
+		if depth < len(m.Keys) {
+			return c.record(e, VType{Kind: KMapRef, Meta: m, Depth: depth})
+		}
+		if m.Kind == SetValue {
+			return c.record(e, VType{Kind: KSet, Elem: m.Elem, Meta: m})
+		}
+		return c.record(e, VType{Kind: KScalar, Scalar: m.Scalar, Meta: m})
+
+	case *ast.AssignExpr:
+		lhs := c.checkExpr(sc, x.LHS)
+		rhs := c.checkExpr(sc, x.RHS)
+		if !isMetaLeaf(x.LHS, lhs) {
+			c.errorf(x.LHS.Pos(), "assignment target must be a metadata location")
+		}
+		switch lhs.Kind {
+		case KScalar:
+			if rhs.Kind != KScalar {
+				c.errorf(x.RHS.Pos(), "cannot assign %s to scalar metadata", rhs)
+			}
+		case KSet:
+			if rhs.Kind != KSet {
+				c.errorf(x.RHS.Pos(), "cannot assign %s to set metadata", rhs)
+			} else if rhs.Elem != nil && lhs.Elem != nil && rhs.Elem != lhs.Elem {
+				c.errorf(x.RHS.Pos(), "set element type mismatch: %s vs %s", lhs.Elem.Name, rhs.Elem.Name)
+			}
+		default:
+			c.errorf(x.LHS.Pos(), "cannot assign to %s", lhs)
+		}
+		return c.record(e, VType{Kind: KVoid})
+
+	case *ast.UnaryExpr:
+		vt := c.checkExpr(sc, x.X)
+		if vt.Kind != KScalar {
+			c.errorf(x.X.Pos(), "operand of %s must be scalar, got %s", x.Op, vt)
+		}
+		return c.record(e, VType{Kind: KScalar, Scalar: vt.Scalar})
+
+	case *ast.BinaryExpr:
+		xt := c.checkExpr(sc, x.X)
+		yt := c.checkExpr(sc, x.Y)
+		// & and | double as set intersection/union.
+		if xt.Kind == KSet || yt.Kind == KSet {
+			if x.Op != token.AND && x.Op != token.OR {
+				c.errorf(x.Pos(), "operator %s not defined on sets", x.Op)
+				return c.record(e, VType{Kind: KScalar})
+			}
+			if xt.Kind != KSet || yt.Kind != KSet {
+				c.errorf(x.Pos(), "both operands of set %s must be sets", x.Op)
+				return c.record(e, VType{Kind: KSet, Elem: firstElem(xt, yt)})
+			}
+			if xt.Elem != nil && yt.Elem != nil && xt.Elem != yt.Elem {
+				c.errorf(x.Pos(), "set element type mismatch: %s vs %s", xt.Elem.Name, yt.Elem.Name)
+			}
+			return c.record(e, VType{Kind: KSet, Elem: firstElem(xt, yt)})
+		}
+		if xt.Kind != KScalar || yt.Kind != KScalar {
+			c.errorf(x.Pos(), "operands of %s must be scalar", x.Op)
+		}
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ, token.LAND, token.LOR:
+			return c.record(e, VType{Kind: KScalar})
+		}
+		st := xt.Scalar
+		if st == nil {
+			st = yt.Scalar
+		}
+		return c.record(e, VType{Kind: KScalar, Scalar: st})
+
+	case *ast.MethodExpr:
+		return c.record(e, c.checkMethod(sc, x))
+
+	case *ast.CallExpr:
+		return c.record(e, c.checkCall(sc, x))
+	}
+	c.errorf(e.Pos(), "unsupported expression")
+	return c.record(e, VType{Kind: KScalar})
+}
+
+func firstElem(a, b VType) *Type {
+	if a.Elem != nil {
+		return a.Elem
+	}
+	return b.Elem
+}
+
+// isMetaLeaf reports whether e denotes a storable metadata location.
+func isMetaLeaf(e ast.Expr, vt VType) bool {
+	if vt.Meta == nil {
+		return false
+	}
+	switch e.(type) {
+	case *ast.IndexExpr:
+		return vt.Kind == KScalar || vt.Kind == KSet
+	case *ast.Ident:
+		// global scalar/set object
+		return vt.Kind == KScalar || vt.Kind == KSet
+	}
+	return false
+}
+
+func (c *checker) checkMethod(sc *scope, x *ast.MethodExpr) VType {
+	recv := c.checkExpr(sc, x.Recv)
+	argTypes := make([]VType, len(x.Args))
+	for i, a := range x.Args {
+		argTypes[i] = c.checkExpr(sc, a)
+	}
+	requireScalars := func() {
+		for i, at := range argTypes {
+			if at.Kind != KScalar {
+				c.errorf(x.Args[i].Pos(), "argument %d of %s must be scalar", i+1, x.Name)
+			}
+		}
+	}
+
+	switch recv.Kind {
+	case KSet:
+		switch x.Name {
+		case "add", "remove", "find":
+			if len(x.Args) != 1 {
+				c.errorf(x.Pos(), "set.%s takes exactly 1 argument", x.Name)
+			}
+			requireScalars()
+			if x.Name == "find" {
+				return VType{Kind: KScalar}
+			}
+			return VType{Kind: KVoid}
+		case "size", "empty":
+			if len(x.Args) != 0 {
+				c.errorf(x.Pos(), "set.%s takes no arguments", x.Name)
+			}
+			return VType{Kind: KScalar}
+		case "clear":
+			if len(x.Args) != 0 {
+				c.errorf(x.Pos(), "set.clear takes no arguments")
+			}
+			return VType{Kind: KVoid}
+		}
+		c.errorf(x.Pos(), "unknown set method %s", x.Name)
+		return VType{Kind: KScalar}
+
+	case KMapRef:
+		m := recv.Meta
+		if recv.Depth != len(m.Keys)-1 {
+			// Range ops address the final key dimension.
+			c.errorf(x.Pos(), "map method %s on %s requires all but the last key to be indexed", x.Name, m.Name)
+		}
+		switch x.Name {
+		case "set":
+			if len(x.Args) != 2 && len(x.Args) != 3 {
+				c.errorf(x.Pos(), "map.set takes (k, v) or (k, v, n)")
+			}
+			requireScalars()
+			if m.Kind != ScalarValue {
+				c.errorf(x.Pos(), "map.set requires scalar-valued map %s", m.Name)
+			}
+			return VType{Kind: KVoid}
+		case "get":
+			if len(x.Args) != 1 && len(x.Args) != 2 {
+				c.errorf(x.Pos(), "map.get takes (k) or (k, n)")
+			}
+			requireScalars()
+			if m.Kind != ScalarValue {
+				c.errorf(x.Pos(), "map.get requires scalar-valued map %s", m.Name)
+			}
+			return VType{Kind: KScalar, Scalar: m.Scalar, Meta: m}
+		case "remove":
+			if len(x.Args) != 1 {
+				c.errorf(x.Pos(), "map.remove takes (k)")
+			}
+			requireScalars()
+			return VType{Kind: KVoid}
+		case "has":
+			if len(x.Args) != 1 {
+				c.errorf(x.Pos(), "map.has takes (k)")
+			}
+			requireScalars()
+			return VType{Kind: KScalar}
+		}
+		c.errorf(x.Pos(), "unknown map method %s", x.Name)
+		return VType{Kind: KScalar}
+	}
+
+	c.errorf(x.Pos(), "cannot call method %s on %s", x.Name, recv)
+	return VType{Kind: KScalar}
+}
+
+func (c *checker) checkCall(sc *scope, x *ast.CallExpr) VType {
+	switch x.Name {
+	case BuiltinAssert:
+		if len(x.Args) != 2 && len(x.Args) != 3 {
+			c.errorf(x.Pos(), "alda_assert takes (expr, expected) with an optional message")
+		}
+		for i, a := range x.Args {
+			at := c.checkExpr(sc, a)
+			if _, isMsg := a.(*ast.StringLit); isMsg && i == 2 {
+				continue
+			}
+			if at.Kind != KScalar {
+				c.errorf(a.Pos(), "alda_assert argument must be scalar, got %s", at)
+			}
+		}
+		return VType{Kind: KVoid}
+	case BuiltinPtrOffset:
+		if len(x.Args) != 2 {
+			c.errorf(x.Pos(), "ptr_offset takes (ptr, n)")
+		}
+		for _, a := range x.Args {
+			if at := c.checkExpr(sc, a); at.Kind != KScalar {
+				c.errorf(a.Pos(), "ptr_offset argument must be scalar, got %s", at)
+			}
+		}
+		return VType{Kind: KScalar}
+	}
+	// External function call (escape hatch, §3.3). All arguments must be
+	// scalar; result is a 64-bit scalar.
+	for _, a := range x.Args {
+		if at := c.checkExpr(sc, a); at.Kind != KScalar {
+			c.errorf(a.Pos(), "external call argument must be scalar, got %s", at)
+		}
+	}
+	if !c.extSet[x.Name] {
+		c.extSet[x.Name] = true
+		c.info.Externals = append(c.info.Externals, x.Name)
+	}
+	return VType{Kind: KScalar}
+}
+
+// ---------------------------------------------------------------------------
+// Insertion declarations
+
+func (c *checker) checkInserts(prog *ast.Program) {
+	for _, d := range prog.InsertDecls() {
+		h, ok := c.info.Handlers[d.Handler]
+		if !ok {
+			c.errorf(d.Pos(), "insertion references undeclared handler %s", d.Handler)
+			continue
+		}
+		hasAll := false
+		for _, a := range d.Args {
+			if a.Kind == ast.ArgAll {
+				hasAll = true
+			}
+			if a.Kind == ast.ArgReturn && !d.After && d.PointKind == ast.FuncPoint {
+				c.errorf(a.ArgPos, "$r is not available before the call in %s", d.Handler)
+			}
+		}
+		if !hasAll && len(d.Args) != len(h.Params) {
+			c.errorf(d.Pos(), "handler %s takes %d parameters but insertion passes %d arguments",
+				d.Handler, len(h.Params), len(d.Args))
+		}
+		c.info.Inserts = append(c.info.Inserts, d)
+	}
+}

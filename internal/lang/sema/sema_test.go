@@ -1,0 +1,220 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang/parser"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+const prelude = `
+address := pointer
+tid := threadid : 8
+lid := lockid : 256
+counter := int64
+status := int8
+`
+
+func TestMetaShapes(t *testing.T) {
+	info := mustCheck(t, prelude+`
+m1 = map(address, counter)
+m2 = universe::map(address, set(lid))
+m3 = map(tid, map(tid, counter))
+g1 = counter
+g2 = set(lid)
+`)
+	m1 := info.Metas["m1"]
+	if !m1.IsMap() || m1.Kind != ScalarValue || m1.Scalar.Name != "counter" {
+		t.Errorf("m1 shape: %+v", m1)
+	}
+	m2 := info.Metas["m2"]
+	if m2.Kind != SetValue || !m2.Universe || m2.Elem.Name != "lid" {
+		t.Errorf("m2 shape: %+v", m2)
+	}
+	m3 := info.Metas["m3"]
+	if len(m3.Keys) != 2 || m3.Keys[0].Name != "tid" || m3.Keys[1].Name != "tid" {
+		t.Errorf("m3 keys: %+v", m3.Keys)
+	}
+	g1 := info.Metas["g1"]
+	if g1.IsMap() || g1.Kind != ScalarValue {
+		t.Errorf("g1 shape: %+v", g1)
+	}
+	g2 := info.Metas["g2"]
+	if g2.IsMap() || g2.Kind != SetValue {
+		t.Errorf("g2 shape: %+v", g2)
+	}
+}
+
+func TestSyncPropagation(t *testing.T) {
+	info := mustCheck(t, `
+address := pointer : sync
+counter := int64
+m = map(address, counter)
+`)
+	if !info.Metas["m"].Sync {
+		t.Error("sync key did not mark the map sync")
+	}
+}
+
+func TestHandlerTyping(t *testing.T) {
+	info := mustCheck(t, prelude+`
+m = map(address, counter)
+s = map(tid, set(lid))
+counter h(address a, tid t, lid l) {
+    m[a] = m[a] + 1;
+    s[t].add(l);
+    if (s[t].find(l) && m[a] > 3) {
+        alda_assert(m[a], 4, "boom");
+    }
+    return m[a];
+}
+insert after LoadInst call h($1, $t, $1)
+`)
+	h := info.Handlers["h"]
+	if h.Result == nil || h.Result.Name != "counter" {
+		t.Errorf("result: %+v", h.Result)
+	}
+	if len(info.Inserts) != 1 {
+		t.Errorf("inserts: %d", len(info.Inserts))
+	}
+}
+
+func TestExternalsCollected(t *testing.T) {
+	info := mustCheck(t, prelude+`
+h(address a) {
+    my_helper(a, 3);
+    other_helper(a);
+    my_helper(a, 4);
+}
+`)
+	if len(info.Externals) != 2 || info.Externals[0] != "my_helper" || info.Externals[1] != "other_helper" {
+		t.Errorf("externals: %v", info.Externals)
+	}
+}
+
+func TestRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undeclared type", `m = map(nope, alsonope)`, "undeclared type"},
+		{"undeclared ident", prelude + `h(address a) { b = 3; }`, "undeclared identifier"},
+		{"dup handler", prelude + `h(address a) { } h(address a) { }`, "duplicate handler"},
+		{"dup param", prelude + `h(address a, tid a) { }`, "duplicate parameter"},
+		{"assign to param", prelude + `h(address a) { a = 3; }`, "assignment target must be a metadata location"},
+		{"set as condition", prelude + `s = set(lid)
+h(address a) { if (s) { } }`, "cannot be used as a condition"},
+		{"return without type", prelude + `h(address a) { return a; }`, "has no return type"},
+		{"missing return value", prelude + `counter h(address a) { return; }`, "must return"},
+		{"set arith", prelude + `s = set(lid)
+r = set(lid)
+h(lid l) { s = s + r; }`, "not defined on sets"},
+		{"mixed set scalar", prelude + `s = set(lid)
+h(lid l) { s = s & l; }`, "must be sets"},
+		{"insert unknown handler", prelude + `insert after LoadInst call nothere($1)`, "undeclared handler"},
+		{"insert arity", prelude + `h(address a, tid t) { }
+insert after LoadInst call h($1)`, "passes 1"},
+		{"bad set method", prelude + `s = set(lid)
+h(lid l) { s.push(l); }`, "unknown set method"},
+		{"map set on set-valued", prelude + `m = map(address, set(lid))
+h(address a, lid l) { m.set(a, l, 4); }`, "requires scalar-valued map"},
+		{"conflicting type redecl", `t := int64
+t := int32`, "conflicting redeclaration"},
+		{"conflicting const", `const A = 1
+const A = 2`, "conflicting redeclaration of const"},
+		{"conflicting domain", `l := lockid : 4
+l := lockid : 8`, "conflicting domain"},
+		{"name collision", `t := int64
+t = map(t, t)`, "already declared"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := check(t, c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %q, want substring %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
+func TestConcatenationMerges(t *testing.T) {
+	// Identical and compatible redeclarations merge (§6.4.2).
+	info := mustCheck(t, `
+address := pointer
+counter := int64
+m1 = map(address, counter)
+h1(address a) { m1[a] = 1; }
+insert after LoadInst call h1($1)
+
+address := pointer : sync
+counter := int64
+m1 = map(address, counter)
+m2 = map(address, counter)
+h2(address a) { m2[a] = 2; }
+insert after StoreInst call h2($2)
+`)
+	if !info.Types["address"].Sync {
+		t.Error("sync did not OR-merge")
+	}
+	if len(info.MetaOrder) != 2 {
+		t.Errorf("metas = %d, want 2 (m1 deduped)", len(info.MetaOrder))
+	}
+	if len(info.Inserts) != 2 {
+		t.Errorf("inserts = %d", len(info.Inserts))
+	}
+}
+
+func TestDomainAdoptedOnMerge(t *testing.T) {
+	info := mustCheck(t, `
+l := lockid
+l := lockid : 64
+`)
+	if info.Types["l"].Domain != 64 {
+		t.Errorf("domain = %d", info.Types["l"].Domain)
+	}
+}
+
+func TestRBeforeFuncRejected(t *testing.T) {
+	_, err := check(t, prelude+`
+h(address a) { }
+insert before func malloc call h($r)
+`)
+	if err == nil || !strings.Contains(err.Error(), "$r is not available") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNestedMapAccess(t *testing.T) {
+	info := mustCheck(t, prelude+`
+vc = map(address, map(tid, counter))
+h(address a, tid t) {
+    vc[a][t] = vc[a][t] + 1;
+}
+`)
+	vc := info.Metas["vc"]
+	if len(vc.Keys) != 2 {
+		t.Fatalf("keys = %d", len(vc.Keys))
+	}
+}

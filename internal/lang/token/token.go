@@ -1,0 +1,240 @@
+// Package token defines the lexical tokens of the ALDA language and
+// source positions used across the frontend.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds are contiguous between keywordBeg and
+// keywordEnd so IsKeyword can test by range.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	IDENT  // onLoad, addr2Lock
+	INT    // 12, -1, 0x1f
+	STRING // "msg" (used by alda_assert messages and external calls)
+
+	// Operators and delimiters.
+	ASSIGN    // =
+	DECLARE   // :=
+	COLON     // :
+	SEMICOLON // ;
+	COMMA     // ,
+	DOT       // .
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	AND // & (set intersection / bitwise and)
+	OR  // | (set union / bitwise or)
+	XOR // ^
+
+	SHL // <<
+	SHR // >>
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	EQL // ==
+	NEQ // !=
+	LSS // <
+	LEQ // <=
+	GTR // >
+	GEQ // >=
+
+	DOLLAR    // $ (insertion call-arg prefix)
+	COLONPATH // :: (universe:: / bottom::)
+
+	keywordBeg
+	// Declarations.
+	CONST  // const
+	INSERT // insert
+	BEFORE // before
+	AFTER  // after
+	CALL   // call
+	FUNC   // func
+	RETURN // return
+	IF     // if
+	ELSE   // else
+
+	// Primitive types.
+	INT8     // int8
+	INT16    // int16
+	INT32    // int32
+	INT64    // int64
+	POINTER  // pointer
+	LOCKID   // lockid
+	THREADID // threadid
+
+	// Metadata constructors and specifiers.
+	MAP      // map
+	SET      // set
+	UNIVERSE // universe
+	BOTTOM   // bottom
+	SYNC     // sync
+	SIZEOF   // sizeof
+	keywordEnd
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL:   "ILLEGAL",
+	EOF:       "EOF",
+	IDENT:     "IDENT",
+	INT:       "INT",
+	STRING:    "STRING",
+	ASSIGN:    "=",
+	DECLARE:   ":=",
+	COLON:     ":",
+	SEMICOLON: ";",
+	COMMA:     ",",
+	DOT:       ".",
+	LPAREN:    "(",
+	RPAREN:    ")",
+	LBRACE:    "{",
+	RBRACE:    "}",
+	LBRACKET:  "[",
+	RBRACKET:  "]",
+	ADD:       "+",
+	SUB:       "-",
+	MUL:       "*",
+	QUO:       "/",
+	REM:       "%",
+	AND:       "&",
+	OR:        "|",
+	XOR:       "^",
+	SHL:       "<<",
+	SHR:       ">>",
+	LAND:      "&&",
+	LOR:       "||",
+	NOT:       "!",
+	EQL:       "==",
+	NEQ:       "!=",
+	LSS:       "<",
+	LEQ:       "<=",
+	GTR:       ">",
+	GEQ:       ">=",
+	DOLLAR:    "$",
+	COLONPATH: "::",
+	CONST:     "const",
+	INSERT:    "insert",
+	BEFORE:    "before",
+	AFTER:     "after",
+	CALL:      "call",
+	FUNC:      "func",
+	RETURN:    "return",
+	IF:        "if",
+	ELSE:      "else",
+	INT8:      "int8",
+	INT16:     "int16",
+	INT32:     "int32",
+	INT64:     "int64",
+	POINTER:   "pointer",
+	LOCKID:    "lockid",
+	THREADID:  "threadid",
+	MAP:       "map",
+	SET:       "set",
+	UNIVERSE:  "universe",
+	BOTTOM:    "bottom",
+	SYNC:      "sync",
+	SIZEOF:    "sizeof",
+}
+
+// String returns the canonical spelling of the kind (or its name for
+// classes like IDENT).
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > keywordBeg && k < keywordEnd }
+
+// IsPrimitiveType reports whether k names one of ALDA's six primitive
+// types.
+func (k Kind) IsPrimitiveType() bool {
+	switch k {
+	case INT8, INT16, INT32, INT64, POINTER, LOCKID, THREADID:
+		return true
+	}
+	return false
+}
+
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier spelling to its keyword kind, or IDENT.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Pos is a line/column source position (1-based). A zero Pos is invalid.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p refers to an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Token is a lexeme with its kind and position.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT, INT, STRING, ILLEGAL
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, STRING, ILLEGAL:
+		return fmt.Sprintf("%s(%q)@%s", t.Kind, t.Lit, t.Pos)
+	}
+	return fmt.Sprintf("%s@%s", t.Kind, t.Pos)
+}
+
+// Precedence returns the binary-operator precedence for expression
+// parsing, or 0 if k is not a binary operator. Mirrors C/Go ordering.
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case EQL, NEQ, LSS, LEQ, GTR, GEQ:
+		return 3
+	case ADD, SUB, OR, XOR:
+		return 4
+	case MUL, QUO, REM, SHL, SHR, AND:
+		return 5
+	}
+	return 0
+}

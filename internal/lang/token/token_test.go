@@ -1,0 +1,66 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	if Lookup("map") != MAP || Lookup("sync") != SYNC || Lookup("int8") != INT8 {
+		t.Fatal("keyword lookup broken")
+	}
+	if Lookup("foo") != IDENT {
+		t.Fatal("non-keyword not IDENT")
+	}
+}
+
+func TestIsKeywordAndPrimitive(t *testing.T) {
+	for _, k := range []Kind{MAP, SET, SYNC, INSERT, IF, ELSE, SIZEOF, CONST} {
+		if !k.IsKeyword() {
+			t.Errorf("%v not keyword", k)
+		}
+	}
+	if IDENT.IsKeyword() || ADD.IsKeyword() {
+		t.Error("non-keyword classified as keyword")
+	}
+	for _, k := range []Kind{INT8, INT16, INT32, INT64, POINTER, LOCKID, THREADID} {
+		if !k.IsPrimitiveType() {
+			t.Errorf("%v not primitive", k)
+		}
+	}
+	if MAP.IsPrimitiveType() {
+		t.Error("map is not a primitive")
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	if !(LOR.Precedence() < LAND.Precedence() &&
+		LAND.Precedence() < EQL.Precedence() &&
+		EQL.Precedence() < ADD.Precedence() &&
+		ADD.Precedence() < MUL.Precedence()) {
+		t.Fatal("precedence ordering wrong")
+	}
+	if LPAREN.Precedence() != 0 {
+		t.Fatal("non-operator has precedence")
+	}
+	// & binds like *, | binds like + (C-ish but loop-free ALDA is fine
+	// with this simplification and it matches the published examples).
+	if AND.Precedence() != MUL.Precedence() || OR.Precedence() != ADD.Precedence() {
+		t.Fatal("set-operator precedence wrong")
+	}
+}
+
+func TestPosAndString(t *testing.T) {
+	p := Pos{Line: 3, Col: 9}
+	if p.String() != "3:9" || !p.IsValid() {
+		t.Fatal("pos formatting")
+	}
+	var zero Pos
+	if zero.IsValid() || zero.String() != "-" {
+		t.Fatal("zero pos")
+	}
+	tok := Token{Kind: IDENT, Lit: "x", Pos: p}
+	if tok.String() == "" {
+		t.Fatal("token string empty")
+	}
+	if MAP.String() != "map" || ILLEGAL.String() != "ILLEGAL" {
+		t.Fatal("kind strings")
+	}
+}

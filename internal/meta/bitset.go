@@ -1,0 +1,118 @@
+// Package meta implements the runtime metadata containers that the
+// ALDAcc compiler selects among: fixed-domain bit-vector sets, dynamic
+// tree sets with universe/complement support, and four map containers
+// (array, offset shadow memory, page table, hash) that associate program
+// values with metadata entries.
+//
+// Entries are flat []uint64 word slices; scalar members are bit-packed
+// fields within the words and set members are either inline bit-vectors
+// or handles into a tree-set arena. The compiler decides the layout; this
+// package supplies the mechanics.
+package meta
+
+import "math/bits"
+
+// BitWords returns the number of uint64 words needed for a bit-vector
+// over a domain of n elements.
+func BitWords(n int64) int { return int((n + 63) / 64) }
+
+// BitSet operations over a []uint64 slice interpreted as a bit-vector
+// with the given domain size. The final partial word keeps its unused
+// high bits zero (for normal sets) or one only transiently; all mutation
+// helpers re-mask so Count and Empty stay exact.
+
+// bitMaskLast returns the valid-bit mask for the last word of a domain.
+func bitMaskLast(domain int64) uint64 {
+	r := uint(domain % 64)
+	if r == 0 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << r) - 1
+}
+
+// BitAdd sets element e.
+func BitAdd(w []uint64, e uint64) {
+	i := e >> 6
+	if i < uint64(len(w)) {
+		w[i] |= 1 << (e & 63)
+	}
+}
+
+// BitRemove clears element e.
+func BitRemove(w []uint64, e uint64) {
+	i := e >> 6
+	if i < uint64(len(w)) {
+		w[i] &^= 1 << (e & 63)
+	}
+}
+
+// BitFind reports whether element e is present.
+func BitFind(w []uint64, e uint64) bool {
+	i := e >> 6
+	return i < uint64(len(w)) && w[i]&(1<<(e&63)) != 0
+}
+
+// BitCount returns the population count.
+func BitCount(w []uint64) int {
+	n := 0
+	for _, x := range w {
+		n += bits.OnesCount64(x)
+	}
+	return n
+}
+
+// BitEmpty reports whether no element is present.
+func BitEmpty(w []uint64) bool {
+	for _, x := range w {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BitAnd stores x ∩ y into dst. All slices must have equal length.
+func BitAnd(dst, x, y []uint64) {
+	for i := range dst {
+		dst[i] = x[i] & y[i]
+	}
+}
+
+// BitOr stores x ∪ y into dst.
+func BitOr(dst, x, y []uint64) {
+	for i := range dst {
+		dst[i] = x[i] | y[i]
+	}
+}
+
+// BitCopy copies src into dst.
+func BitCopy(dst, src []uint64) { copy(dst, src) }
+
+// BitClear empties the set.
+func BitClear(w []uint64) {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// BitFillUniverse sets every element of the domain.
+func BitFillUniverse(w []uint64, domain int64) {
+	for i := range w {
+		w[i] = ^uint64(0)
+	}
+	if len(w) > 0 {
+		w[len(w)-1] = bitMaskLast(domain)
+	}
+}
+
+// BitElems appends the elements of the set to dst in ascending order.
+func BitElems(dst []uint64, w []uint64) []uint64 {
+	for i, x := range w {
+		for x != 0 {
+			b := bits.TrailingZeros64(x)
+			dst = append(dst, uint64(i*64+b))
+			x &= x - 1
+		}
+	}
+	return dst
+}

@@ -1,0 +1,161 @@
+package meta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWords(t *testing.T) {
+	cases := []struct {
+		domain int64
+		words  int
+	}{
+		{1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}, {256, 4}, {4096, 64},
+	}
+	for _, c := range cases {
+		if got := BitWords(c.domain); got != c.words {
+			t.Errorf("BitWords(%d) = %d, want %d", c.domain, got, c.words)
+		}
+	}
+}
+
+func TestBitSetBasic(t *testing.T) {
+	const domain = 200
+	w := make([]uint64, BitWords(domain))
+	if !BitEmpty(w) {
+		t.Fatal("new set not empty")
+	}
+	BitAdd(w, 0)
+	BitAdd(w, 63)
+	BitAdd(w, 64)
+	BitAdd(w, 199)
+	if BitCount(w) != 4 {
+		t.Fatalf("count = %d, want 4", BitCount(w))
+	}
+	for _, e := range []uint64{0, 63, 64, 199} {
+		if !BitFind(w, e) {
+			t.Errorf("missing element %d", e)
+		}
+	}
+	if BitFind(w, 1) || BitFind(w, 100) {
+		t.Error("found absent element")
+	}
+	BitRemove(w, 63)
+	if BitFind(w, 63) || BitCount(w) != 3 {
+		t.Error("remove failed")
+	}
+	BitClear(w)
+	if !BitEmpty(w) {
+		t.Error("clear failed")
+	}
+}
+
+func TestBitFillUniverse(t *testing.T) {
+	for _, domain := range []int64{1, 7, 64, 65, 100, 128, 256} {
+		w := make([]uint64, BitWords(domain))
+		BitFillUniverse(w, domain)
+		if got := BitCount(w); got != int(domain) {
+			t.Errorf("domain %d: universe count = %d", domain, got)
+		}
+		for e := int64(0); e < domain; e++ {
+			if !BitFind(w, uint64(e)) {
+				t.Errorf("domain %d: missing %d", domain, e)
+			}
+		}
+	}
+}
+
+func TestBitOutOfRangeIgnored(t *testing.T) {
+	w := make([]uint64, 2)
+	BitAdd(w, 1<<20) // beyond the slice: must not panic or corrupt
+	if !BitEmpty(w) {
+		t.Error("out-of-range add mutated the set")
+	}
+	if BitFind(w, 1<<20) {
+		t.Error("out-of-range find returned true")
+	}
+	BitRemove(w, 1<<20)
+}
+
+// Property: bit-vector set operations agree with a map-based reference
+// model under random operation sequences.
+func TestBitSetQuick(t *testing.T) {
+	const domain = 300
+	f := func(ops []uint16) bool {
+		w := make([]uint64, BitWords(domain))
+		ref := make(map[uint64]bool)
+		for _, op := range ops {
+			e := uint64(op) % domain
+			switch op % 3 {
+			case 0:
+				BitAdd(w, e)
+				ref[e] = true
+			case 1:
+				BitRemove(w, e)
+				delete(ref, e)
+			case 2:
+				if BitFind(w, e) != ref[e] {
+					return false
+				}
+			}
+		}
+		if BitCount(w) != len(ref) {
+			return false
+		}
+		return BitEmpty(w) == (len(ref) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: And/Or match set intersection/union on the reference model.
+func TestBitAndOrQuick(t *testing.T) {
+	const domain = 190
+	words := BitWords(domain)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		a := make([]uint64, words)
+		b := make([]uint64, words)
+		refA := make(map[uint64]bool)
+		refB := make(map[uint64]bool)
+		for i := 0; i < 50; i++ {
+			ea := uint64(rng.Intn(domain))
+			eb := uint64(rng.Intn(domain))
+			BitAdd(a, ea)
+			refA[ea] = true
+			BitAdd(b, eb)
+			refB[eb] = true
+		}
+		and := make([]uint64, words)
+		or := make([]uint64, words)
+		BitAnd(and, a, b)
+		BitOr(or, a, b)
+		for e := uint64(0); e < domain; e++ {
+			if BitFind(and, e) != (refA[e] && refB[e]) {
+				t.Fatalf("trial %d: intersection wrong at %d", trial, e)
+			}
+			if BitFind(or, e) != (refA[e] || refB[e]) {
+				t.Fatalf("trial %d: union wrong at %d", trial, e)
+			}
+		}
+	}
+}
+
+func TestBitElems(t *testing.T) {
+	w := make([]uint64, 4)
+	for _, e := range []uint64{3, 64, 65, 200} {
+		BitAdd(w, e)
+	}
+	got := BitElems(nil, w)
+	want := []uint64{3, 64, 65, 200}
+	if len(got) != len(want) {
+		t.Fatalf("elems = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elems = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,657 @@
+package meta
+
+// Container is the uniform interface over the four map structures the
+// compiler selects among. Keys are pre-normalized by the caller: for
+// address-keyed maps the key is the granule index (address >> granule
+// shift); for small-domain maps it is the raw value.
+//
+// Entry returns the value words for a key, materializing the entry from
+// the group's init template if needed. Peek returns nil instead of
+// materializing. Fill and RangeOr are the range operations behind ALDA's
+// map.set(k, v, n) and map.get(k, n) builtins, specialized per container
+// so offset shadow memory gets its fast path.
+type Container interface {
+	Entry(key uint64) []uint64
+	Peek(key uint64) []uint64
+	Fill(key, n uint64, off, width uint, v uint64)
+	RangeOr(key, n uint64, off, width uint) uint64
+	Remove(key uint64)
+	ForEach(fn func(key uint64, entry []uint64))
+	// Lookups returns the number of Entry/Peek/Fill/RangeOr calls served,
+	// for the aldaexplain tool and tests.
+	Lookups() uint64
+	// Bytes returns the container's current metadata storage in bytes
+	// (backing arrays, materialized chunks/pages, hash entries) — the
+	// quantity behind the paper's §6.2 memory-footprint comparison.
+	Bytes() uint64
+}
+
+func templateIsZero(t []uint64) bool {
+	for _, w := range t {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// ArrayMap — direct-indexed storage for small bounded key domains
+// ("ALDAcc prefers an array for maps of limited domain size", §5.3).
+
+// ArrayMap stores domain × entryWords words contiguously and indexes
+// directly. Keys are taken modulo the domain for memory safety; bounded
+// domains are a language-level contract (§3.1.2) that sema enforces when
+// it can.
+type ArrayMap struct {
+	words    []uint64
+	ew       int
+	domain   uint64
+	lookups  uint64
+	touched  []bool
+	template []uint64
+}
+
+// NewArrayMap returns an ArrayMap over a bounded key domain with entries
+// initialized from template (nil ⇒ zero).
+func NewArrayMap(domain int64, entryWords int, template []uint64) *ArrayMap {
+	m := &ArrayMap{
+		words:    make([]uint64, int(domain)*entryWords),
+		ew:       entryWords,
+		domain:   uint64(domain),
+		touched:  make([]bool, domain),
+		template: template,
+	}
+	if template != nil && !templateIsZero(template) {
+		for k := int64(0); k < domain; k++ {
+			copy(m.words[int(k)*entryWords:], template)
+		}
+	}
+	return m
+}
+
+func (m *ArrayMap) slot(key uint64) int { return int(key%m.domain) * m.ew }
+
+// Entry returns the entry words for key.
+func (m *ArrayMap) Entry(key uint64) []uint64 {
+	m.lookups++
+	i := m.slot(key)
+	m.touched[key%m.domain] = true
+	return m.words[i : i+m.ew : i+m.ew]
+}
+
+// Peek returns the entry words without marking the key live.
+func (m *ArrayMap) Peek(key uint64) []uint64 {
+	m.lookups++
+	if !m.touched[key%m.domain] {
+		return nil
+	}
+	i := m.slot(key)
+	return m.words[i : i+m.ew : i+m.ew]
+}
+
+// Fill sets the field on n consecutive keys starting at key.
+func (m *ArrayMap) Fill(key, n uint64, off, width uint, v uint64) {
+	m.lookups++
+	for i := uint64(0); i < n; i++ {
+		e := m.Entry(key + i)
+		StoreField(e, off, width, v)
+	}
+}
+
+// RangeOr ORs the field over n consecutive keys starting at key.
+func (m *ArrayMap) RangeOr(key, n uint64, off, width uint) uint64 {
+	m.lookups++
+	var acc uint64
+	for i := uint64(0); i < n; i++ {
+		acc |= LoadField(m.Entry(key+i), off, width)
+	}
+	return acc
+}
+
+// Remove resets the entry to the template.
+func (m *ArrayMap) Remove(key uint64) {
+	i := m.slot(key)
+	e := m.words[i : i+m.ew]
+	if m.template != nil {
+		copy(e, m.template)
+	} else {
+		for j := range e {
+			e[j] = 0
+		}
+	}
+	m.touched[key%m.domain] = false
+}
+
+// ForEach visits every touched entry.
+func (m *ArrayMap) ForEach(fn func(key uint64, entry []uint64)) {
+	for k := uint64(0); k < m.domain; k++ {
+		if m.touched[k] {
+			i := int(k) * m.ew
+			fn(k, m.words[i:i+m.ew])
+		}
+	}
+}
+
+// Lookups returns the lookup counter.
+func (m *ArrayMap) Lookups() uint64 { return m.lookups }
+
+// Bytes returns the backing storage size.
+func (m *ArrayMap) Bytes() uint64 { return uint64(len(m.words))*8 + uint64(len(m.touched)) }
+
+// ---------------------------------------------------------------------------
+// ShadowMap — offset-based shadow memory (§5.3). Chunked flat arrays with
+// pure array indexing on the fast path: chunk pointer + offset, no
+// hashing and no presence probes beyond a nil chunk check. Memory is
+// proportional to the touched address range.
+
+const (
+	shadowChunkBits = 16 // 65536 entries per chunk
+	shadowChunkSize = 1 << shadowChunkBits
+	shadowChunkMask = shadowChunkSize - 1
+)
+
+// ShadowMap maps a bounded granule-index space to entries.
+type ShadowMap struct {
+	chunks   [][]uint64
+	ew       int
+	keyMask  uint64
+	lookups  uint64
+	template []uint64
+	zeroTmpl bool
+}
+
+// NewShadowMap returns a shadow map covering maxKeys granule indices
+// (rounded up to a power of two); keys are masked into range.
+func NewShadowMap(maxKeys uint64, entryWords int, template []uint64) *ShadowMap {
+	size := uint64(1)
+	for size < maxKeys {
+		size <<= 1
+	}
+	nchunks := (size + shadowChunkSize - 1) >> shadowChunkBits
+	return &ShadowMap{
+		chunks:   make([][]uint64, nchunks),
+		ew:       entryWords,
+		keyMask:  size - 1,
+		template: template,
+		zeroTmpl: template == nil || templateIsZero(template),
+	}
+}
+
+func (m *ShadowMap) chunk(ci uint64) []uint64 {
+	c := m.chunks[ci]
+	if c == nil {
+		c = make([]uint64, shadowChunkSize*m.ew)
+		if !m.zeroTmpl {
+			for i := 0; i < shadowChunkSize; i++ {
+				copy(c[i*m.ew:], m.template)
+			}
+		}
+		m.chunks[ci] = c
+	}
+	return c
+}
+
+// Entry returns the entry words for key.
+func (m *ShadowMap) Entry(key uint64) []uint64 {
+	m.lookups++
+	key &= m.keyMask
+	c := m.chunk(key >> shadowChunkBits)
+	i := int(key&shadowChunkMask) * m.ew
+	return c[i : i+m.ew : i+m.ew]
+}
+
+// Peek returns the entry words if the chunk is materialized.
+func (m *ShadowMap) Peek(key uint64) []uint64 {
+	m.lookups++
+	key &= m.keyMask
+	c := m.chunks[key>>shadowChunkBits]
+	if c == nil {
+		return nil
+	}
+	i := int(key&shadowChunkMask) * m.ew
+	return c[i : i+m.ew : i+m.ew]
+}
+
+// Fill sets the field on n consecutive keys starting at key, walking
+// chunks directly. The single-key case — a word-or-smaller program
+// access at default granularity — takes a fast path.
+func (m *ShadowMap) Fill(key, n uint64, off, width uint, v uint64) {
+	m.lookups++
+	if n == 1 {
+		key &= m.keyMask
+		c := m.chunk(key >> shadowChunkBits)
+		i := int(key&shadowChunkMask) * m.ew
+		StoreField(c[i:i+m.ew], off, width, v)
+		return
+	}
+	for n > 0 {
+		k := key & m.keyMask
+		c := m.chunk(k >> shadowChunkBits)
+		in := k & shadowChunkMask
+		run := shadowChunkSize - in
+		if run > n {
+			run = n
+		}
+		base := int(in) * m.ew
+		for i := uint64(0); i < run; i++ {
+			StoreField(c[base:base+m.ew], off, width, v)
+			base += m.ew
+		}
+		key += run
+		n -= run
+	}
+}
+
+// RangeOr ORs the field over n consecutive keys.
+func (m *ShadowMap) RangeOr(key, n uint64, off, width uint) uint64 {
+	m.lookups++
+	if n == 1 {
+		key &= m.keyMask
+		c := m.chunks[key>>shadowChunkBits]
+		if c == nil {
+			if m.zeroTmpl {
+				return 0
+			}
+			return LoadField(m.template, off, width)
+		}
+		i := int(key&shadowChunkMask) * m.ew
+		return LoadField(c[i:i+m.ew], off, width)
+	}
+	var acc uint64
+	for n > 0 {
+		k := key & m.keyMask
+		ci := k >> shadowChunkBits
+		in := k & shadowChunkMask
+		run := shadowChunkSize - in
+		if run > n {
+			run = n
+		}
+		c := m.chunks[ci]
+		if c == nil {
+			if !m.zeroTmpl {
+				acc |= LoadField(m.template, off, width)
+			}
+		} else {
+			base := int(in) * m.ew
+			for i := uint64(0); i < run; i++ {
+				acc |= LoadField(c[base:base+m.ew], off, width)
+				base += m.ew
+			}
+		}
+		key += run
+		n -= run
+	}
+	return acc
+}
+
+// Remove resets the entry to the template.
+func (m *ShadowMap) Remove(key uint64) {
+	key &= m.keyMask
+	c := m.chunks[key>>shadowChunkBits]
+	if c == nil {
+		return
+	}
+	i := int(key&shadowChunkMask) * m.ew
+	e := c[i : i+m.ew]
+	if m.template != nil {
+		copy(e, m.template)
+	} else {
+		for j := range e {
+			e[j] = 0
+		}
+	}
+}
+
+// ForEach visits every entry in materialized chunks.
+func (m *ShadowMap) ForEach(fn func(key uint64, entry []uint64)) {
+	for ci, c := range m.chunks {
+		if c == nil {
+			continue
+		}
+		for i := 0; i < shadowChunkSize; i++ {
+			base := i * m.ew
+			fn(uint64(ci)<<shadowChunkBits|uint64(i), c[base:base+m.ew])
+		}
+	}
+}
+
+// Lookups returns the lookup counter.
+func (m *ShadowMap) Lookups() uint64 { return m.lookups }
+
+// Bytes returns the size of materialized chunks.
+func (m *ShadowMap) Bytes() uint64 {
+	var n uint64
+	for _, c := range m.chunks {
+		if c != nil {
+			n += uint64(len(c)) * 8
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// PageTableMap — two-level structure with a hashed directory (§5.3's
+// memory-efficient choice for high shadow factors). Each lookup pays a
+// hash probe into the directory plus an index into the page.
+
+const (
+	pageBits = 12 // 4096 entries per page
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// PageTableMap maps arbitrary uint64 keys to entries via a directory of
+// lazily-allocated pages.
+type PageTableMap struct {
+	dir      map[uint64][]uint64
+	ew       int
+	lookups  uint64
+	template []uint64
+	zeroTmpl bool
+
+	// one-entry inline cache: page-table walks in real shadow-memory
+	// systems cache the last directory hit, and it is what makes the
+	// page table competitive on sequential access.
+	lastPI   uint64
+	lastPage []uint64
+}
+
+// NewPageTableMap returns an empty page-table map.
+func NewPageTableMap(entryWords int, template []uint64) *PageTableMap {
+	return &PageTableMap{
+		dir:      make(map[uint64][]uint64),
+		ew:       entryWords,
+		template: template,
+		zeroTmpl: template == nil || templateIsZero(template),
+		lastPI:   ^uint64(0),
+	}
+}
+
+func (m *PageTableMap) page(pi uint64) []uint64 {
+	if pi == m.lastPI {
+		return m.lastPage
+	}
+	p, ok := m.dir[pi]
+	if !ok {
+		p = make([]uint64, pageSize*m.ew)
+		if !m.zeroTmpl {
+			for i := 0; i < pageSize; i++ {
+				copy(p[i*m.ew:], m.template)
+			}
+		}
+		m.dir[pi] = p
+	}
+	m.lastPI, m.lastPage = pi, p
+	return p
+}
+
+// Entry returns the entry words for key.
+func (m *PageTableMap) Entry(key uint64) []uint64 {
+	m.lookups++
+	p := m.page(key >> pageBits)
+	i := int(key&pageMask) * m.ew
+	return p[i : i+m.ew : i+m.ew]
+}
+
+// Peek returns the entry words if the page exists.
+func (m *PageTableMap) Peek(key uint64) []uint64 {
+	m.lookups++
+	pi := key >> pageBits
+	var p []uint64
+	if pi == m.lastPI {
+		p = m.lastPage
+	} else {
+		p = m.dir[pi]
+	}
+	if p == nil {
+		return nil
+	}
+	i := int(key&pageMask) * m.ew
+	return p[i : i+m.ew : i+m.ew]
+}
+
+// Fill sets the field on n consecutive keys starting at key.
+func (m *PageTableMap) Fill(key, n uint64, off, width uint, v uint64) {
+	m.lookups++
+	if n == 1 {
+		p := m.page(key >> pageBits)
+		i := int(key&pageMask) * m.ew
+		StoreField(p[i:i+m.ew], off, width, v)
+		return
+	}
+	for n > 0 {
+		p := m.page(key >> pageBits)
+		in := key & pageMask
+		run := uint64(pageSize) - in
+		if run > n {
+			run = n
+		}
+		base := int(in) * m.ew
+		for i := uint64(0); i < run; i++ {
+			StoreField(p[base:base+m.ew], off, width, v)
+			base += m.ew
+		}
+		key += run
+		n -= run
+	}
+}
+
+// RangeOr ORs the field over n consecutive keys.
+func (m *PageTableMap) RangeOr(key, n uint64, off, width uint) uint64 {
+	m.lookups++
+	if n == 1 {
+		pi := key >> pageBits
+		var p []uint64
+		if pi == m.lastPI {
+			p = m.lastPage
+		} else {
+			p = m.dir[pi]
+		}
+		if p == nil {
+			if m.zeroTmpl {
+				return 0
+			}
+			return LoadField(m.template, off, width)
+		}
+		i := int(key&pageMask) * m.ew
+		return LoadField(p[i:i+m.ew], off, width)
+	}
+	var acc uint64
+	for n > 0 {
+		pi := key >> pageBits
+		in := key & pageMask
+		run := uint64(pageSize) - in
+		if run > n {
+			run = n
+		}
+		var p []uint64
+		if pi == m.lastPI {
+			p = m.lastPage
+		} else {
+			p = m.dir[pi]
+		}
+		if p == nil {
+			if !m.zeroTmpl {
+				acc |= LoadField(m.template, off, width)
+			}
+		} else {
+			base := int(in) * m.ew
+			for i := uint64(0); i < run; i++ {
+				acc |= LoadField(p[base:base+m.ew], off, width)
+				base += m.ew
+			}
+		}
+		key += run
+		n -= run
+	}
+	return acc
+}
+
+// Remove resets the entry to the template.
+func (m *PageTableMap) Remove(key uint64) {
+	pi := key >> pageBits
+	p := m.dir[pi]
+	if p == nil {
+		return
+	}
+	i := int(key&pageMask) * m.ew
+	e := p[i : i+m.ew]
+	if m.template != nil {
+		copy(e, m.template)
+	} else {
+		for j := range e {
+			e[j] = 0
+		}
+	}
+}
+
+// ForEach visits every entry in materialized pages.
+func (m *PageTableMap) ForEach(fn func(key uint64, entry []uint64)) {
+	for pi, p := range m.dir {
+		for i := 0; i < pageSize; i++ {
+			base := i * m.ew
+			fn(pi<<pageBits|uint64(i), p[base:base+m.ew])
+		}
+	}
+}
+
+// Lookups returns the lookup counter.
+func (m *PageTableMap) Lookups() uint64 { return m.lookups }
+
+// Bytes returns the size of materialized pages plus directory overhead.
+func (m *PageTableMap) Bytes() uint64 {
+	var n uint64
+	for _, p := range m.dir {
+		n += uint64(len(p)) * 8
+	}
+	return n + uint64(len(m.dir))*16
+}
+
+// ---------------------------------------------------------------------------
+// HashMap — the generic fallback for sparse, unbounded key spaces.
+
+// HashMap maps arbitrary keys to entries via a Go map.
+type HashMap struct {
+	m        map[uint64][]uint64
+	ew       int
+	lookups  uint64
+	template []uint64
+}
+
+// NewHashMap returns an empty hash map.
+func NewHashMap(entryWords int, template []uint64) *HashMap {
+	return &HashMap{m: make(map[uint64][]uint64), ew: entryWords, template: template}
+}
+
+// Entry returns the entry words for key, creating from template.
+func (m *HashMap) Entry(key uint64) []uint64 {
+	m.lookups++
+	e, ok := m.m[key]
+	if !ok {
+		e = make([]uint64, m.ew)
+		if m.template != nil {
+			copy(e, m.template)
+		}
+		m.m[key] = e
+	}
+	return e
+}
+
+// Peek returns the entry words or nil.
+func (m *HashMap) Peek(key uint64) []uint64 {
+	m.lookups++
+	return m.m[key]
+}
+
+// Fill sets the field on n consecutive keys.
+func (m *HashMap) Fill(key, n uint64, off, width uint, v uint64) {
+	m.lookups++
+	for i := uint64(0); i < n; i++ {
+		StoreField(m.Entry(key+i), off, width, v)
+	}
+}
+
+// RangeOr ORs the field over n consecutive keys.
+func (m *HashMap) RangeOr(key, n uint64, off, width uint) uint64 {
+	m.lookups++
+	var acc uint64
+	tmplV := uint64(0)
+	if m.template != nil {
+		tmplV = LoadField(m.template, off, width)
+	}
+	for i := uint64(0); i < n; i++ {
+		if e, ok := m.m[key+i]; ok {
+			acc |= LoadField(e, off, width)
+		} else {
+			acc |= tmplV
+		}
+	}
+	return acc
+}
+
+// Remove deletes the entry.
+func (m *HashMap) Remove(key uint64) { delete(m.m, key) }
+
+// ForEach visits every entry.
+func (m *HashMap) ForEach(fn func(key uint64, entry []uint64)) {
+	for k, e := range m.m {
+		fn(k, e)
+	}
+}
+
+// Lookups returns the lookup counter.
+func (m *HashMap) Lookups() uint64 { return m.lookups }
+
+// Bytes returns entry storage plus hash-table overhead.
+func (m *HashMap) Bytes() uint64 {
+	return uint64(len(m.m)) * (uint64(m.ew)*8 + 32)
+}
+
+// ---------------------------------------------------------------------------
+// HashMap2 — composite two-key fallback used when a nested map has two
+// unbounded key dimensions (e.g. map(pointer, map(pointer, v))).
+
+// HashMap2 maps key pairs to entries.
+type HashMap2 struct {
+	m        map[[2]uint64][]uint64
+	ew       int
+	lookups  uint64
+	template []uint64
+}
+
+// NewHashMap2 returns an empty two-key hash map.
+func NewHashMap2(entryWords int, template []uint64) *HashMap2 {
+	return &HashMap2{m: make(map[[2]uint64][]uint64), ew: entryWords, template: template}
+}
+
+// Entry returns the entry words for (k1, k2), creating from template.
+func (m *HashMap2) Entry(k1, k2 uint64) []uint64 {
+	m.lookups++
+	k := [2]uint64{k1, k2}
+	e, ok := m.m[k]
+	if !ok {
+		e = make([]uint64, m.ew)
+		if m.template != nil {
+			copy(e, m.template)
+		}
+		m.m[k] = e
+	}
+	return e
+}
+
+// Lookups returns the lookup counter.
+func (m *HashMap2) Lookups() uint64 { return m.lookups }
+
+// Bytes returns entry storage plus hash-table overhead.
+func (m *HashMap2) Bytes() uint64 {
+	return uint64(len(m.m)) * (uint64(m.ew)*8 + 40)
+}
+
+// Compile-time interface checks.
+var (
+	_ Container = (*ArrayMap)(nil)
+	_ Container = (*ShadowMap)(nil)
+	_ Container = (*PageTableMap)(nil)
+	_ Container = (*HashMap)(nil)
+)

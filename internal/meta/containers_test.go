@@ -1,0 +1,237 @@
+package meta
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFieldsRoundTrip(t *testing.T) {
+	words := make([]uint64, 4)
+	StoreField(words, 0, 8, 0xAB)
+	StoreField(words, 8, 8, 0xCD)
+	StoreField(words, 16, 16, 0xBEEF)
+	StoreField(words, 64, 64, ^uint64(0))
+	StoreField(words, 130, 2, 3)
+	if got := LoadField(words, 0, 8); got != 0xAB {
+		t.Errorf("field@0 = %#x", got)
+	}
+	if got := LoadField(words, 8, 8); got != 0xCD {
+		t.Errorf("field@8 = %#x", got)
+	}
+	if got := LoadField(words, 16, 16); got != 0xBEEF {
+		t.Errorf("field@16 = %#x", got)
+	}
+	if got := LoadField(words, 64, 64); got != ^uint64(0) {
+		t.Errorf("field@64 = %#x", got)
+	}
+	if got := LoadField(words, 130, 2); got != 3 {
+		t.Errorf("field@130 = %#x", got)
+	}
+	// Overwrite must not disturb neighbors.
+	StoreField(words, 8, 8, 0x11)
+	if LoadField(words, 0, 8) != 0xAB || LoadField(words, 16, 16) != 0xBEEF {
+		t.Error("store disturbed neighboring fields")
+	}
+}
+
+func TestSignExtendTruncate(t *testing.T) {
+	if got := SignExtend(0xFF, 8); int64(got) != -1 {
+		t.Errorf("SignExtend(0xFF, 8) = %d", int64(got))
+	}
+	if got := SignExtend(0x7F, 8); got != 127 {
+		t.Errorf("SignExtend(0x7F, 8) = %d", got)
+	}
+	if got := SignExtend(5, 64); got != 5 {
+		t.Errorf("SignExtend(5, 64) = %d", got)
+	}
+	if got := Truncate(0x1FF, 8); got != 0xFF {
+		t.Errorf("Truncate = %#x", got)
+	}
+	if got := Truncate(^uint64(0), 64); got != ^uint64(0) {
+		t.Errorf("Truncate 64 = %#x", got)
+	}
+}
+
+// refContainer is the oracle: a map of key -> entry copy.
+type refContainer struct {
+	m    map[uint64][]uint64
+	ew   int
+	tmpl []uint64
+}
+
+func newRef(ew int, tmpl []uint64) *refContainer {
+	return &refContainer{m: make(map[uint64][]uint64), ew: ew, tmpl: tmpl}
+}
+
+func (r *refContainer) entry(key uint64) []uint64 {
+	e, ok := r.m[key]
+	if !ok {
+		e = make([]uint64, r.ew)
+		copy(e, r.tmpl)
+		r.m[key] = e
+	}
+	return e
+}
+
+func (r *refContainer) fill(key, n uint64, off, width uint, v uint64) {
+	for i := uint64(0); i < n; i++ {
+		StoreField(r.entry(key+i), off, width, v)
+	}
+}
+
+func (r *refContainer) rangeOr(key, n uint64, off, width uint) uint64 {
+	var acc uint64
+	tv := uint64(0)
+	if r.tmpl != nil {
+		tv = LoadField(r.tmpl, off, width)
+	}
+	for i := uint64(0); i < n; i++ {
+		if e, ok := r.m[key+i]; ok {
+			acc |= LoadField(e, off, width)
+		} else {
+			acc |= tv
+		}
+	}
+	return acc
+}
+
+// containersUnderTest builds all four implementations over the same
+// parameters (keys are confined to [0, maxKey)).
+func containersUnderTest(ew int, tmpl []uint64, maxKey uint64) map[string]Container {
+	return map[string]Container{
+		"array":     NewArrayMap(int64(maxKey), ew, tmpl),
+		"shadow":    NewShadowMap(maxKey, ew, tmpl),
+		"pagetable": NewPageTableMap(ew, tmpl),
+		"hash":      NewHashMap(ew, tmpl),
+	}
+}
+
+// Property: every container implementation agrees with the reference
+// model under random mixed operations, with both zero and non-zero
+// (universe-style) templates.
+func TestContainersAgainstReference(t *testing.T) {
+	const maxKey = 1 << 14
+	for _, tc := range []struct {
+		name string
+		ew   int
+		tmpl []uint64
+	}{
+		{"1word-zero", 1, nil},
+		{"2word-universe", 2, []uint64{^uint64(0), 0x00FF}},
+		{"3word-zero", 3, []uint64{0, 0, 0}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for name, c := range containersUnderTest(tc.ew, tc.tmpl, maxKey) {
+				rng := rand.New(rand.NewSource(42))
+				ref := newRef(tc.ew, tc.tmpl)
+				for i := 0; i < 3000; i++ {
+					key := uint64(rng.Intn(maxKey - 64))
+					off := uint(rng.Intn(tc.ew)) * 64
+					width := uint(8 << rng.Intn(4)) // 8,16,32,64
+					switch rng.Intn(5) {
+					case 0: // point write via Entry
+						v := rng.Uint64()
+						StoreField(c.Entry(key), off, width, v)
+						StoreField(ref.entry(key), off, width, v)
+					case 1: // point read
+						got := LoadField(c.Entry(key), off, width)
+						want := LoadField(ref.entry(key), off, width)
+						if got != want {
+							t.Fatalf("%s: entry read at %d: got %#x want %#x", name, key, got, want)
+						}
+					case 2: // range fill
+						n := uint64(rng.Intn(80) + 1)
+						v := rng.Uint64()
+						c.Fill(key, n, off, width, v)
+						ref.fill(key, n, off, width, v)
+					case 3: // range or
+						n := uint64(rng.Intn(80) + 1)
+						got := c.RangeOr(key, n, off, width)
+						want := ref.rangeOr(key, n, off, width)
+						if got != want {
+							t.Fatalf("%s: rangeOr(%d,%d): got %#x want %#x", name, key, n, got, want)
+						}
+					case 4: // remove
+						c.Remove(key)
+						if e, ok := ref.m[key]; ok {
+							copy(e, ref.tmpl)
+							for j := len(ref.tmpl); j < tc.ew; j++ {
+								e[j] = 0
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestContainerPeek(t *testing.T) {
+	for name, c := range containersUnderTest(1, nil, 1<<12) {
+		if e := c.Peek(100); e != nil && name != "array" {
+			// array materializes eagerly but reports untouched as nil too
+			t.Errorf("%s: peek of untouched key returned entry", name)
+		}
+		StoreField(c.Entry(100), 0, 64, 7)
+		e := c.Peek(100)
+		if e == nil || e[0] != 7 {
+			t.Errorf("%s: peek after write = %v", name, e)
+		}
+	}
+}
+
+func TestContainerForEach(t *testing.T) {
+	for name, c := range containersUnderTest(1, nil, 1<<12) {
+		StoreField(c.Entry(5), 0, 64, 50)
+		StoreField(c.Entry(9), 0, 64, 90)
+		sum := uint64(0)
+		cnt := 0
+		c.ForEach(func(k uint64, e []uint64) {
+			if e[0] != 0 {
+				sum += e[0]
+				cnt++
+			}
+		})
+		if sum != 140 || cnt != 2 {
+			t.Errorf("%s: foreach sum=%d cnt=%d", name, sum, cnt)
+		}
+	}
+}
+
+func TestContainerLookupCounters(t *testing.T) {
+	c := NewShadowMap(1<<12, 1, nil)
+	c.Entry(1)
+	c.Fill(2, 4, 0, 64, 9)
+	c.RangeOr(2, 4, 0, 64)
+	if c.Lookups() != 3 {
+		t.Errorf("lookups = %d, want 3", c.Lookups())
+	}
+}
+
+func TestHashMap2(t *testing.T) {
+	m := NewHashMap2(2, []uint64{7, 0})
+	e := m.Entry(1, 2)
+	if e[0] != 7 {
+		t.Fatalf("template not applied: %v", e)
+	}
+	e[1] = 99
+	if m.Entry(1, 2)[1] != 99 {
+		t.Fatal("entry not stable")
+	}
+	if m.Entry(2, 1)[1] == 99 {
+		t.Fatal("key order ignored")
+	}
+	if m.Lookups() != 3 {
+		t.Fatalf("lookups = %d", m.Lookups())
+	}
+}
+
+func TestShadowMapKeyMasking(t *testing.T) {
+	m := NewShadowMap(1<<10, 1, nil)
+	// Keys beyond the range wrap rather than panic.
+	e := m.Entry(1 << 40)
+	e[0] = 5
+	if m.Entry((1 << 40) & (1<<10 - 1))[0] != 5 {
+		t.Fatal("masked key does not alias")
+	}
+}

@@ -1,0 +1,49 @@
+package meta
+
+// Bit-packed scalar fields within entry word slices. The compiler's
+// metadata-layout phase assigns each scalar member of a coalesced group a
+// (bit offset, bit width) within the entry; these helpers implement the
+// loads and stores. Fields never straddle a word boundary — the layout
+// phase pads to the next word when a field would — so each access is a
+// single shift/mask.
+
+// LoadField reads a width-bit unsigned field at bit offset off.
+func LoadField(words []uint64, off, width uint) uint64 {
+	w := words[off>>6]
+	w >>= off & 63
+	if width >= 64 {
+		return w
+	}
+	return w & ((uint64(1) << width) - 1)
+}
+
+// StoreField writes the low width bits of v at bit offset off.
+func StoreField(words []uint64, off, width uint, v uint64) {
+	i := off >> 6
+	sh := off & 63
+	if width >= 64 {
+		words[i] = v
+		return
+	}
+	mask := ((uint64(1) << width) - 1) << sh
+	words[i] = (words[i] &^ mask) | ((v << sh) & mask)
+}
+
+// SignExtend interprets the low width bits of v as a two's-complement
+// value and extends it to 64 bits. Analyses store labels like -1; loads
+// must observe the same value they stored regardless of field width.
+func SignExtend(v uint64, width uint) uint64 {
+	if width >= 64 {
+		return v
+	}
+	sh := 64 - width
+	return uint64(int64(v<<sh) >> sh)
+}
+
+// Truncate keeps the low width bits of v.
+func Truncate(v uint64, width uint) uint64 {
+	if width >= 64 {
+		return v
+	}
+	return v & ((uint64(1) << width) - 1)
+}

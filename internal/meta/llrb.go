@@ -1,0 +1,211 @@
+package meta
+
+// llrb is a left-leaning red-black tree over uint64 keys, the ordered
+// backbone of TreeSet. It implements insert, delete, lookup, min, and
+// in-order iteration with the classic Sedgewick recursive formulation.
+
+type llrbNode struct {
+	key         uint64
+	left, right *llrbNode
+	red         bool
+	size        int // subtree size, maintained for O(1) Len
+}
+
+type llrb struct {
+	root *llrbNode
+}
+
+func isRed(n *llrbNode) bool { return n != nil && n.red }
+
+func nodeSize(n *llrbNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *llrbNode) fix() *llrbNode {
+	n.size = 1 + nodeSize(n.left) + nodeSize(n.right)
+	return n
+}
+
+func rotateLeft(h *llrbNode) *llrbNode {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.red = h.red
+	h.red = true
+	h.fix()
+	return x.fix()
+}
+
+func rotateRight(h *llrbNode) *llrbNode {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.red = h.red
+	h.red = true
+	h.fix()
+	return x.fix()
+}
+
+func flipColors(h *llrbNode) {
+	h.red = !h.red
+	if h.left != nil {
+		h.left.red = !h.left.red
+	}
+	if h.right != nil {
+		h.right.red = !h.right.red
+	}
+}
+
+func (t *llrb) Len() int { return nodeSize(t.root) }
+
+func (t *llrb) Contains(key uint64) bool {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func (t *llrb) Insert(key uint64) {
+	t.root = insert(t.root, key)
+	t.root.red = false
+}
+
+func insert(h *llrbNode, key uint64) *llrbNode {
+	if h == nil {
+		return &llrbNode{key: key, red: true, size: 1}
+	}
+	switch {
+	case key < h.key:
+		h.left = insert(h.left, key)
+	case key > h.key:
+		h.right = insert(h.right, key)
+	default:
+		return h // already present
+	}
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h.fix()
+}
+
+func moveRedLeft(h *llrbNode) *llrbNode {
+	flipColors(h)
+	if h.right != nil && isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight(h *llrbNode) *llrbNode {
+	flipColors(h)
+	if h.left != nil && isRed(h.left.left) {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func fixUp(h *llrbNode) *llrbNode {
+	if isRed(h.right) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h.fix()
+}
+
+func minNode(h *llrbNode) *llrbNode {
+	for h.left != nil {
+		h = h.left
+	}
+	return h
+}
+
+func deleteMin(h *llrbNode) *llrbNode {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = deleteMin(h.left)
+	return fixUp(h)
+}
+
+// Delete removes key if present and reports whether it was found.
+func (t *llrb) Delete(key uint64) bool {
+	if !t.Contains(key) {
+		return false
+	}
+	t.root = deleteNode(t.root, key)
+	if t.root != nil {
+		t.root.red = false
+	}
+	return true
+}
+
+func deleteNode(h *llrbNode, key uint64) *llrbNode {
+	if key < h.key {
+		if !isRed(h.left) && h.left != nil && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = deleteNode(h.left, key)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if key == h.key && h.right == nil {
+			return nil
+		}
+		if h.right != nil && !isRed(h.right) && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if key == h.key {
+			m := minNode(h.right)
+			h.key = m.key
+			h.right = deleteMin(h.right)
+		} else {
+			h.right = deleteNode(h.right, key)
+		}
+	}
+	return fixUp(h)
+}
+
+// Walk visits keys in ascending order; fn returning false stops the walk.
+func (t *llrb) Walk(fn func(uint64) bool) { walk(t.root, fn) }
+
+func walk(n *llrbNode, fn func(uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !walk(n.left, fn) {
+		return false
+	}
+	if !fn(n.key) {
+		return false
+	}
+	return walk(n.right, fn)
+}

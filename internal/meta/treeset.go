@@ -1,0 +1,169 @@
+package meta
+
+// TreeSet is the dynamically-sized set representation ALDAcc falls back
+// to when a set's domain is unbounded or too large for an inline
+// bit-vector (§5.3: "when a set is not of fixed size ... ALDAcc defaults
+// to a tree-based set as they are the most flexible").
+//
+// To support `universe::` initial states over unbounded domains, a
+// TreeSet can be in *complement* form: Complement == true means the set
+// contains every element of the domain except Items. The full set
+// algebra (add/remove/find/union/intersection) is closed over both
+// forms, so `U ∩ S` works without materializing U.
+type TreeSet struct {
+	Complement bool
+	items      llrb
+}
+
+// NewTreeSet returns an empty set.
+func NewTreeSet() *TreeSet { return &TreeSet{} }
+
+// NewUniverseTreeSet returns the universe set (complement of empty).
+func NewUniverseTreeSet() *TreeSet { return &TreeSet{Complement: true} }
+
+// Add inserts e.
+func (s *TreeSet) Add(e uint64) {
+	if s.Complement {
+		s.items.Delete(e) // no longer excluded
+		return
+	}
+	s.items.Insert(e)
+}
+
+// Remove deletes e.
+func (s *TreeSet) Remove(e uint64) {
+	if s.Complement {
+		s.items.Insert(e) // now excluded
+		return
+	}
+	s.items.Delete(e)
+}
+
+// Find reports membership.
+func (s *TreeSet) Find(e uint64) bool {
+	if s.Complement {
+		return !s.items.Contains(e)
+	}
+	return s.items.Contains(e)
+}
+
+// Empty reports whether the set has no elements. A complement set is
+// empty only over a finite domain, which TreeSet does not track, so a
+// complement set is never empty.
+func (s *TreeSet) Empty() bool {
+	if s.Complement {
+		return false
+	}
+	return s.items.Len() == 0
+}
+
+// Size returns the number of elements for normal sets, and -1 for
+// complement (infinite) sets.
+func (s *TreeSet) Size() int {
+	if s.Complement {
+		return -1
+	}
+	return s.items.Len()
+}
+
+// Clear empties the set in place.
+func (s *TreeSet) Clear() {
+	s.Complement = false
+	s.items = llrb{}
+}
+
+// Clone returns a deep copy.
+func (s *TreeSet) Clone() *TreeSet {
+	out := &TreeSet{Complement: s.Complement}
+	s.items.Walk(func(e uint64) bool {
+		out.items.Insert(e)
+		return true
+	})
+	return out
+}
+
+// Elems returns the explicitly tracked elements in ascending order (the
+// members for a normal set, the exclusions for a complement set).
+func (s *TreeSet) Elems() []uint64 {
+	out := make([]uint64, 0, s.items.Len())
+	s.items.Walk(func(e uint64) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// Intersect returns a ∩ b as a new set.
+func Intersect(a, b *TreeSet) *TreeSet {
+	switch {
+	case !a.Complement && !b.Complement:
+		out := NewTreeSet()
+		small, big := a, b
+		if small.items.Len() > big.items.Len() {
+			small, big = big, small
+		}
+		small.items.Walk(func(e uint64) bool {
+			if big.items.Contains(e) {
+				out.items.Insert(e)
+			}
+			return true
+		})
+		return out
+	case !a.Complement && b.Complement:
+		out := NewTreeSet()
+		a.items.Walk(func(e uint64) bool {
+			if !b.items.Contains(e) {
+				out.items.Insert(e)
+			}
+			return true
+		})
+		return out
+	case a.Complement && !b.Complement:
+		return Intersect(b, a)
+	default: // both complements: ¬A ∩ ¬B = ¬(A ∪ B)
+		out := NewUniverseTreeSet()
+		a.items.Walk(func(e uint64) bool {
+			out.items.Insert(e)
+			return true
+		})
+		b.items.Walk(func(e uint64) bool {
+			out.items.Insert(e)
+			return true
+		})
+		return out
+	}
+}
+
+// Union returns a ∪ b as a new set.
+func Union(a, b *TreeSet) *TreeSet {
+	switch {
+	case !a.Complement && !b.Complement:
+		out := a.Clone()
+		b.items.Walk(func(e uint64) bool {
+			out.items.Insert(e)
+			return true
+		})
+		return out
+	case !a.Complement && b.Complement:
+		// A ∪ ¬B = ¬(B \ A)
+		out := NewUniverseTreeSet()
+		b.items.Walk(func(e uint64) bool {
+			if !a.items.Contains(e) {
+				out.items.Insert(e)
+			}
+			return true
+		})
+		return out
+	case a.Complement && !b.Complement:
+		return Union(b, a)
+	default: // ¬A ∪ ¬B = ¬(A ∩ B)
+		out := NewUniverseTreeSet()
+		a.items.Walk(func(e uint64) bool {
+			if b.items.Contains(e) {
+				out.items.Insert(e)
+			}
+			return true
+		})
+		return out
+	}
+}

@@ -1,0 +1,195 @@
+package meta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLLRBBasic(t *testing.T) {
+	var tr llrb
+	keys := []uint64{5, 3, 8, 1, 4, 7, 9, 2, 6, 0}
+	for i, k := range keys {
+		tr.Insert(k)
+		if tr.Len() != i+1 {
+			t.Fatalf("len after %d inserts = %d", i+1, tr.Len())
+		}
+	}
+	tr.Insert(5) // duplicate
+	if tr.Len() != 10 {
+		t.Fatalf("duplicate insert changed len to %d", tr.Len())
+	}
+	// In-order walk must be sorted.
+	var prev int64 = -1
+	tr.Walk(func(k uint64) bool {
+		if int64(k) <= prev {
+			t.Fatalf("walk out of order: %d after %d", k, prev)
+		}
+		prev = int64(k)
+		return true
+	})
+	if !tr.Delete(5) || tr.Contains(5) {
+		t.Fatal("delete 5 failed")
+	}
+	if tr.Delete(100) {
+		t.Fatal("delete of absent key returned true")
+	}
+	if tr.Len() != 9 {
+		t.Fatalf("len after delete = %d", tr.Len())
+	}
+}
+
+func TestLLRBWalkEarlyStop(t *testing.T) {
+	var tr llrb
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i)
+	}
+	n := 0
+	tr.Walk(func(k uint64) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("walk visited %d, want 10", n)
+	}
+}
+
+// Property: the LLRB agrees with a map under random insert/delete.
+func TestLLRBQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var tr llrb
+		ref := make(map[uint64]bool)
+		for _, op := range ops {
+			k := uint64(op) % 128
+			if op%2 == 0 {
+				tr.Insert(k)
+				ref[k] = true
+			} else {
+				tr.Delete(k)
+				delete(ref, k)
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+		}
+		for k := uint64(0); k < 128; k++ {
+			if tr.Contains(k) != ref[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeSetComplementSemantics(t *testing.T) {
+	u := NewUniverseTreeSet()
+	if !u.Find(42) || !u.Find(1<<60) {
+		t.Fatal("universe must contain everything")
+	}
+	if u.Empty() {
+		t.Fatal("universe is not empty")
+	}
+	if u.Size() != -1 {
+		t.Fatalf("universe size = %d, want -1", u.Size())
+	}
+	u.Remove(42)
+	if u.Find(42) {
+		t.Fatal("removed element still present")
+	}
+	if !u.Find(43) {
+		t.Fatal("unrelated element vanished")
+	}
+	u.Add(42)
+	if !u.Find(42) {
+		t.Fatal("re-added element missing")
+	}
+}
+
+func TestTreeSetClone(t *testing.T) {
+	s := NewTreeSet()
+	s.Add(1)
+	s.Add(2)
+	c := s.Clone()
+	c.Add(3)
+	if s.Find(3) {
+		t.Fatal("clone aliases original")
+	}
+	if !c.Find(1) || !c.Find(2) {
+		t.Fatal("clone lost elements")
+	}
+
+	u := NewUniverseTreeSet()
+	u.Remove(9)
+	cu := u.Clone()
+	if cu.Find(9) || !cu.Find(10) {
+		t.Fatal("complement clone wrong")
+	}
+}
+
+// refSet models a set over a small universe [0, n) with explicit
+// membership, the oracle for complement algebra.
+type refSet [64]bool
+
+func refFromTree(s *TreeSet) refSet {
+	var r refSet
+	for i := range r {
+		r[i] = s.Find(uint64(i))
+	}
+	return r
+}
+
+// Property: Intersect and Union are correct for all four
+// normal/complement form combinations.
+func TestTreeSetAlgebraQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	build := func() *TreeSet {
+		var s *TreeSet
+		if rng.Intn(2) == 0 {
+			s = NewTreeSet()
+		} else {
+			s = NewUniverseTreeSet()
+		}
+		for i := 0; i < 10; i++ {
+			e := uint64(rng.Intn(64))
+			if rng.Intn(2) == 0 {
+				s.Add(e)
+			} else {
+				s.Remove(e)
+			}
+		}
+		return s
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := build(), build()
+		ra, rb := refFromTree(a), refFromTree(b)
+		ri := refFromTree(Intersect(a, b))
+		ru := refFromTree(Union(a, b))
+		for e := 0; e < 64; e++ {
+			if ri[e] != (ra[e] && rb[e]) {
+				t.Fatalf("trial %d: intersect wrong at %d (a=%v b=%v)", trial, e, ra[e], rb[e])
+			}
+			if ru[e] != (ra[e] || rb[e]) {
+				t.Fatalf("trial %d: union wrong at %d", trial, e)
+			}
+		}
+	}
+}
+
+func TestTreeSetElems(t *testing.T) {
+	s := NewTreeSet()
+	for _, e := range []uint64{9, 1, 5} {
+		s.Add(e)
+	}
+	got := s.Elems()
+	want := []uint64{1, 5, 9}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("elems = %v, want %v", got, want)
+	}
+	s.Clear()
+	if !s.Empty() || s.Size() != 0 {
+		t.Fatal("clear failed")
+	}
+}

@@ -1,0 +1,291 @@
+// Package mir defines the miniature intermediate representation that
+// stands in for LLVM IR in this reproduction.
+//
+// MIR is a register machine over 64-bit values organized as functions of
+// basic blocks. It provides exactly what ALDAcc needs from an
+// instrumentation substrate: a typed instruction stream with
+// identifiable insertion points (loads, stores, allocas, branches, calls,
+// lock operations, thread operations) and stable operand numbering for
+// the $i call-arg syntax of Table 2. Programs are built with the Builder
+// API (package mir's FuncBuilder), checked by Verify, and executed by
+// package vm.
+package mir
+
+import "fmt"
+
+// Reg is a virtual register index within a function frame.
+type Reg int32
+
+// NoReg marks an absent destination register.
+const NoReg Reg = -1
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNop Op = iota
+
+	OpConst // Dst = Imm
+	OpMov   // Dst = A
+
+	// Binary arithmetic (Dst = A op B). Div/Rem are signed and trap-free:
+	// division by zero yields 0, matching a hardened runtime.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+
+	// Comparisons (Dst = A op B ? 1 : 0), signed.
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+
+	OpLoad   // Dst = mem[A], Size bytes
+	OpStore  // mem[A] = B, Size bytes
+	OpAlloca // Dst = stack allocation of Imm bytes
+
+	OpBr     // goto Target
+	OpCondBr // if A != 0 goto Target else Else
+	OpCall   // Dst = Callee(Args...) — user function or library model
+	OpRet    // return (no value)
+	OpRetVal // return A
+
+	OpLock   // acquire lock A
+	OpUnlock // release lock A
+	OpSpawn  // Dst = spawn Callee(Args...), returns thread handle
+	OpJoin   // join thread A
+
+	OpHook // inserted analysis event call (see HookRef)
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+	OpLoad: "load", OpStore: "store", OpAlloca: "alloca",
+	OpBr: "br", OpCondBr: "condbr", OpCall: "call",
+	OpRet: "ret", OpRetVal: "retval",
+	OpLock: "lock", OpUnlock: "unlock", OpSpawn: "spawn", OpJoin: "join",
+	OpHook: "hook",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsBinOp reports whether o is an arithmetic binary operation
+// (the BinOpInst insertion point).
+func (o Op) IsBinOp() bool { return o >= OpAdd && o <= OpShr }
+
+// IsCmp reports whether o is a comparison (the CmpInst insertion point).
+func (o Op) IsCmp() bool { return o >= OpEq && o <= OpGe }
+
+// IsTerminator reports whether o ends a basic block.
+func (o Op) IsTerminator() bool {
+	switch o {
+	case OpBr, OpCondBr, OpRet, OpRetVal:
+		return true
+	}
+	return false
+}
+
+// Operand is a register or constant instruction input.
+type Operand struct {
+	IsConst bool
+	Reg     Reg
+	Const   int64
+}
+
+// R makes a register operand.
+func R(r Reg) Operand { return Operand{Reg: r} }
+
+// C makes a constant operand.
+func C(v int64) Operand { return Operand{IsConst: true, Const: v} }
+
+func (o Operand) String() string {
+	if o.IsConst {
+		return fmt.Sprintf("%d", o.Const)
+	}
+	return fmt.Sprintf("r%d", o.Reg)
+}
+
+// HookRef attaches an analysis event call to an instruction stream. The
+// instrumenter fills it in; the VM dispatches on it. HandlerID indexes
+// the analysis's handler table; Args are pre-resolved argument fetch
+// specs.
+type HookRef struct {
+	HandlerID int
+	Args      []HookArg
+	// MetaDst, when valid, receives the handler's return value into the
+	// shadow register of the hooked instruction's destination.
+	MetaDst Reg
+	// Name is the handler name, for diagnostics.
+	Name string
+}
+
+// HookArgKind says how the VM materializes one hook argument.
+type HookArgKind uint8
+
+// Hook argument sources. $r and $X.m references are resolved by the
+// instrumenter to registers, so the runtime only distinguishes these
+// four.
+const (
+	HookConst   HookArgKind = iota // fixed value (e.g. sizeof)
+	HookReg                        // value of a register
+	HookRegMeta                    // shadow (local metadata) of a register
+	HookThread                     // current thread id
+)
+
+// HookArg is one resolved hook argument.
+type HookArg struct {
+	Kind  HookArgKind
+	Reg   Reg
+	Const int64
+}
+
+// Instr is a single MIR instruction.
+type Instr struct {
+	Op     Op
+	Dst    Reg
+	A, B   Operand
+	Size   uint8 // OpLoad/OpStore access width (1, 2, 4, 8)
+	Imm    int64 // OpConst value; OpAlloca byte size
+	Callee string
+	Args   []Operand
+	Target int // OpBr/OpCondBr taken block
+	Else   int // OpCondBr fall-through block
+	Hook   *HookRef
+}
+
+// Block is a basic block: a straight-line instruction list ending in a
+// terminator.
+type Block struct {
+	Instrs []Instr
+}
+
+// Func is a MIR function. Parameters arrive in registers 0..NParams-1.
+type Func struct {
+	Name    string
+	NParams int
+	NRegs   int
+	Blocks  []Block
+}
+
+// Program is a set of functions; execution starts at Entry.
+type Program struct {
+	Funcs map[string]*Func
+	Entry string
+}
+
+// NewProgram returns an empty program with entry point "main".
+func NewProgram() *Program {
+	return &Program{Funcs: make(map[string]*Func), Entry: "main"}
+}
+
+// Clone deep-copies the program so instrumentation never mutates the
+// caller's copy.
+func (p *Program) Clone() *Program {
+	out := &Program{Funcs: make(map[string]*Func, len(p.Funcs)), Entry: p.Entry}
+	for name, f := range p.Funcs {
+		nf := &Func{Name: f.Name, NParams: f.NParams, NRegs: f.NRegs, Blocks: make([]Block, len(f.Blocks))}
+		for i, b := range f.Blocks {
+			instrs := make([]Instr, len(b.Instrs))
+			copy(instrs, b.Instrs)
+			for j := range instrs {
+				if instrs[j].Args != nil {
+					args := make([]Operand, len(instrs[j].Args))
+					copy(args, instrs[j].Args)
+					instrs[j].Args = args
+				}
+				// HookRefs are immutable after creation; share them.
+			}
+			nf.Blocks[i] = Block{Instrs: instrs}
+		}
+		out.Funcs[name] = nf
+	}
+	return out
+}
+
+// InstrCount returns the static number of instructions in the program.
+func (p *Program) InstrCount() int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+// Operands returns the instrumentation-visible operand list of an
+// instruction in LLVM order, implementing Table 2's $i numbering:
+//
+//	LoadInst:   $1 = address
+//	StoreInst:  $1 = stored value, $2 = address (LLVM operand order)
+//	CondBr:     $1 = condition
+//	BinOp/Cmp:  $1, $2 = inputs
+//	Call/Spawn: $i = i-th argument
+//	Lock/Unlock/Join: $1 = lock / thread handle
+//	Alloca:     (no value operands; $r is the resulting pointer)
+func Operands(in *Instr) []Operand {
+	switch in.Op {
+	case OpLoad:
+		return []Operand{in.A}
+	case OpStore:
+		return []Operand{in.B, in.A}
+	case OpCondBr:
+		return []Operand{in.A}
+	case OpCall, OpSpawn:
+		return in.Args
+	case OpLock, OpUnlock, OpJoin:
+		return []Operand{in.A}
+	case OpMov, OpRetVal:
+		return []Operand{in.A}
+	default:
+		if in.Op.IsBinOp() || in.Op.IsCmp() {
+			return []Operand{in.A, in.B}
+		}
+	}
+	return nil
+}
+
+// SizeOfOperand returns the byte size associated with operand index i
+// (1-based) for sizeof($i), or 8 when the IR carries no width.
+func SizeOfOperand(in *Instr, i int) int64 {
+	switch in.Op {
+	case OpStore:
+		if i == 1 {
+			return int64(in.Size)
+		}
+	case OpLoad:
+		if i == 1 {
+			return 8 // address operand — pointer width
+		}
+	}
+	return 8
+}
+
+// SizeOfResult returns the byte size for sizeof($r).
+func SizeOfResult(in *Instr) int64 {
+	switch in.Op {
+	case OpLoad:
+		return int64(in.Size)
+	case OpAlloca:
+		return in.Imm
+	}
+	return 8
+}

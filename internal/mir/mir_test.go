@@ -1,0 +1,196 @@
+package mir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderAndVerify(t *testing.T) {
+	p := NewProgram()
+	b := p.NewFunc("main", 0)
+	a := b.Const(10)
+	c := b.Const(32)
+	s := b.Add(R(a), R(c))
+	b.RetVal(R(s))
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	t.Run("missing entry", func(t *testing.T) {
+		p := NewProgram()
+		fb := p.NewFunc("other", 0)
+		fb.Ret()
+		if err := p.Verify(); err == nil || !strings.Contains(err.Error(), "entry") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("entry with params", func(t *testing.T) {
+		p := NewProgram()
+		fb := p.NewFunc("main", 2)
+		fb.Ret()
+		if err := p.Verify(); err == nil || !strings.Contains(err.Error(), "no parameters") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("no terminator", func(t *testing.T) {
+		p := NewProgram()
+		fb := p.NewFunc("main", 0)
+		fb.Const(1)
+		if err := p.Verify(); err == nil || !strings.Contains(err.Error(), "terminator") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("branch out of range", func(t *testing.T) {
+		p := NewProgram()
+		fb := p.NewFunc("main", 0)
+		fb.Br(99)
+		if err := p.Verify(); err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("arity mismatch", func(t *testing.T) {
+		p := NewProgram()
+		callee := p.NewFunc("f", 2)
+		callee.Ret()
+		fb := p.NewFunc("main", 0)
+		fb.Call("f", C(1))
+		fb.Ret()
+		if err := p.Verify(); err == nil || !strings.Contains(err.Error(), "wants 2") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad access size", func(t *testing.T) {
+		p := NewProgram()
+		fb := p.NewFunc("main", 0)
+		a := fb.Alloca(8)
+		fb.Store(R(a), C(1), 3)
+		fb.Ret()
+		if err := p.Verify(); err == nil || !strings.Contains(err.Error(), "size") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("register out of range", func(t *testing.T) {
+		p := NewProgram()
+		fb := p.NewFunc("main", 0)
+		f := fb.Func()
+		f.Blocks[0].Instrs = append(f.Blocks[0].Instrs,
+			Instr{Op: OpMov, Dst: 0, A: R(99)}, Instr{Op: OpRet})
+		f.NRegs = 1
+		if err := p.Verify(); err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestOperandNumbering(t *testing.T) {
+	// StoreInst: $1 = value, $2 = address (LLVM order).
+	st := &Instr{Op: OpStore, A: R(1), B: R(2), Size: 8}
+	ops := Operands(st)
+	if len(ops) != 2 || ops[0].Reg != 2 || ops[1].Reg != 1 {
+		t.Fatalf("store operands = %v", ops)
+	}
+	ld := &Instr{Op: OpLoad, A: R(3), Size: 4}
+	ops = Operands(ld)
+	if len(ops) != 1 || ops[0].Reg != 3 {
+		t.Fatalf("load operands = %v", ops)
+	}
+	if SizeOfResult(ld) != 4 {
+		t.Fatalf("sizeof($r) for load = %d", SizeOfResult(ld))
+	}
+	if SizeOfOperand(st, 1) != 8 {
+		t.Fatalf("sizeof($1) for store = %d", SizeOfOperand(st, 1))
+	}
+	al := &Instr{Op: OpAlloca, Imm: 48}
+	if SizeOfResult(al) != 48 {
+		t.Fatalf("sizeof($r) for alloca = %d", SizeOfResult(al))
+	}
+	call := &Instr{Op: OpCall, Callee: "f", Args: []Operand{C(1), R(2)}}
+	ops = Operands(call)
+	if len(ops) != 2 || !ops[0].IsConst || ops[1].Reg != 2 {
+		t.Fatalf("call operands = %v", ops)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewProgram()
+	fb := p.NewFunc("main", 0)
+	fb.Const(1)
+	fb.Ret()
+	q := p.Clone()
+	q.Funcs["main"].Blocks[0].Instrs[0].Imm = 42
+	if p.Funcs["main"].Blocks[0].Instrs[0].Imm != 1 {
+		t.Fatal("clone aliases original instructions")
+	}
+}
+
+func TestLoopHelper(t *testing.T) {
+	p := NewProgram()
+	fb := p.NewFunc("main", 0)
+	count := 0
+	fb.Loop(C(5), func(i Reg) { count++ })
+	fb.Ret()
+	if count != 1 {
+		t.Fatalf("body emitted %d times at build time", count)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("loop structure invalid: %v", err)
+	}
+}
+
+func TestPrinter(t *testing.T) {
+	p := NewProgram()
+	fb := p.NewFunc("main", 0)
+	a := fb.Const(7)
+	fb.Store(R(a), C(3), 8)
+	fb.Lock(R(a))
+	fb.Unlock(R(a))
+	h := fb.Spawn("main2", C(1))
+	fb.Join(R(h))
+	fb.CondBr(R(a), 0, 0)
+	f2 := p.NewFunc("main2", 1)
+	f2.RetVal(R(0))
+	out := p.String()
+	for _, want := range []string{"func main", "const 7", "store.8", "lock r", "spawn main2(1)", "join", "condbr", "ret r0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printer output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !OpAdd.IsBinOp() || OpEq.IsBinOp() || !OpEq.IsCmp() {
+		t.Error("op classification wrong")
+	}
+	for _, op := range []Op{OpBr, OpCondBr, OpRet, OpRetVal} {
+		if !op.IsTerminator() {
+			t.Errorf("%s not a terminator", op)
+		}
+	}
+	if OpCall.IsTerminator() {
+		t.Error("call is not a terminator")
+	}
+}
+
+func TestInstrCount(t *testing.T) {
+	p := NewProgram()
+	fb := p.NewFunc("main", 0)
+	fb.Const(1)
+	fb.Const(2)
+	fb.Ret()
+	if got := p.InstrCount(); got != 3 {
+		t.Fatalf("instr count = %d", got)
+	}
+}
+
+func TestDuplicateFunctionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate function")
+		}
+	}()
+	p := NewProgram()
+	p.NewFunc("f", 0)
+	p.NewFunc("f", 0)
+}

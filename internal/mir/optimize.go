@@ -1,0 +1,212 @@
+package mir
+
+// Optimize performs conservative scalar optimizations on a program:
+// per-block constant folding and copy propagation, followed by
+// function-level dead-code elimination of pure value definitions. It
+// models the target compiler's optimizer running *before* analysis
+// instrumentation — the pipeline order the paper discusses when it
+// moves vectorization after instrumentation (§5.6.1): optimizations
+// applied first change which instructions an analysis observes, so
+// aldacc-style tools must choose their spot in the pipeline.
+//
+// The pass never removes or reorders memory operations, calls, locks,
+// thread operations, hooks or terminators, so program behavior
+// (including everything analyses can observe about memory) is
+// unchanged; only pure register arithmetic is simplified.
+//
+// It returns the number of instructions eliminated.
+func Optimize(p *Program) int {
+	removed := 0
+	for _, f := range p.Funcs {
+		for bi := range f.Blocks {
+			propagateBlock(&f.Blocks[bi])
+		}
+		removed += eliminateDead(f)
+	}
+	return removed
+}
+
+// propagateBlock folds constants and propagates copies within one
+// block.
+func propagateBlock(b *Block) {
+	// known maps a register to a constant or register alias valid at the
+	// current point in the block.
+	known := make(map[Reg]Operand)
+
+	resolve := func(o Operand) Operand {
+		for !o.IsConst {
+			alias, ok := known[o.Reg]
+			if !ok {
+				return o
+			}
+			if !alias.IsConst && alias.Reg == o.Reg {
+				return o
+			}
+			o = alias
+		}
+		return o
+	}
+	kill := func(r Reg) {
+		delete(known, r)
+		for k, v := range known {
+			if !v.IsConst && v.Reg == r {
+				delete(known, k)
+			}
+		}
+	}
+
+	for ii := range b.Instrs {
+		in := &b.Instrs[ii]
+		// Rewrite operands through the known map.
+		switch in.Op {
+		case OpConst, OpAlloca, OpBr:
+			// no register inputs
+		case OpCall, OpSpawn:
+			for ai := range in.Args {
+				in.Args[ai] = resolve(in.Args[ai])
+			}
+		case OpStore:
+			in.A = resolve(in.A)
+			in.B = resolve(in.B)
+		default:
+			in.A = resolve(in.A)
+			if in.Op.IsBinOp() || in.Op.IsCmp() {
+				in.B = resolve(in.B)
+			}
+		}
+
+		// Fold.
+		if (in.Op.IsBinOp() || in.Op.IsCmp()) && in.A.IsConst && in.B.IsConst {
+			if v, ok := foldBin(in.Op, in.A.Const, in.B.Const); ok {
+				*in = Instr{Op: OpConst, Dst: in.Dst, Imm: v}
+			}
+		}
+
+		// Record new facts / kill stale ones.
+		switch in.Op {
+		case OpConst:
+			kill(in.Dst)
+			known[in.Dst] = C(in.Imm)
+		case OpMov:
+			kill(in.Dst)
+			if !(in.A.IsConst == false && in.A.Reg == in.Dst) {
+				known[in.Dst] = in.A
+			}
+		default:
+			if hasDst(in.Op) && in.Dst != NoReg {
+				kill(in.Dst)
+			}
+		}
+	}
+}
+
+// foldBin evaluates a binary op over constants with the VM's exact
+// semantics (signed comparisons, trap-free division, masked shifts).
+func foldBin(op Op, a, b int64) (int64, bool) {
+	ua, ub := uint64(a), uint64(b)
+	switch op {
+	case OpAdd:
+		return int64(ua + ub), true
+	case OpSub:
+		return int64(ua - ub), true
+	case OpMul:
+		return int64(ua * ub), true
+	case OpDiv:
+		if b == 0 {
+			return 0, true
+		}
+		return a / b, true
+	case OpRem:
+		if b == 0 {
+			return 0, true
+		}
+		return a % b, true
+	case OpAnd:
+		return int64(ua & ub), true
+	case OpOr:
+		return int64(ua | ub), true
+	case OpXor:
+		return int64(ua ^ ub), true
+	case OpShl:
+		return int64(ua << (ub & 63)), true
+	case OpShr:
+		return int64(ua >> (ub & 63)), true
+	case OpEq:
+		return b2i(a == b), true
+	case OpNe:
+		return b2i(a != b), true
+	case OpLt:
+		return b2i(a < b), true
+	case OpLe:
+		return b2i(a <= b), true
+	case OpGt:
+		return b2i(a > b), true
+	case OpGe:
+		return b2i(a >= b), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// eliminateDead removes pure value definitions (const/mov/arith/cmp)
+// whose destination register is never read anywhere in the function.
+// Loads, allocas, calls, and all effectful instructions stay.
+func eliminateDead(f *Func) int {
+	read := make([]bool, f.NRegs)
+	note := func(o Operand) {
+		if !o.IsConst && int(o.Reg) < len(read) {
+			read[o.Reg] = true
+		}
+	}
+	for bi := range f.Blocks {
+		for ii := range f.Blocks[bi].Instrs {
+			in := &f.Blocks[bi].Instrs[ii]
+			switch in.Op {
+			case OpConst, OpAlloca, OpBr:
+			case OpCall, OpSpawn:
+				for _, a := range in.Args {
+					note(a)
+				}
+			case OpStore:
+				note(in.A)
+				note(in.B)
+			case OpHook:
+				if in.Hook != nil {
+					for _, a := range in.Hook.Args {
+						if a.Kind == HookReg || a.Kind == HookRegMeta {
+							read[a.Reg] = true
+						}
+					}
+				}
+			default:
+				note(in.A)
+				if in.Op.IsBinOp() || in.Op.IsCmp() {
+					note(in.B)
+				}
+			}
+		}
+	}
+
+	removed := 0
+	for bi := range f.Blocks {
+		src := f.Blocks[bi].Instrs
+		dst := src[:0]
+		for ii := range src {
+			in := src[ii]
+			pure := in.Op == OpConst || in.Op == OpMov || in.Op.IsBinOp() || in.Op.IsCmp()
+			if pure && in.Dst != NoReg && int(in.Dst) < len(read) && !read[in.Dst] {
+				removed++
+				continue
+			}
+			dst = append(dst, in)
+		}
+		f.Blocks[bi].Instrs = dst
+	}
+	return removed
+}

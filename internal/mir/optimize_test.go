@@ -1,0 +1,117 @@
+package mir
+
+import "testing"
+
+func TestConstantFolding(t *testing.T) {
+	p := NewProgram()
+	b := p.NewFunc("main", 0)
+	x := b.Const(6)
+	y := b.Const(7)
+	z := b.Mul(R(x), R(y))
+	w := b.Add(R(z), C(0))
+	b.RetVal(R(w))
+
+	Optimize(p)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// The return operand must have been folded to the constant 42 (the
+	// ret's operand resolves through the propagated chain).
+	f := p.Funcs["main"]
+	last := f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1]
+	if last.Op != OpRetVal || !last.A.IsConst || last.A.Const != 42 {
+		t.Fatalf("folding failed: %s", f.String())
+	}
+}
+
+func TestFoldSemanticsMatchVM(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{OpDiv, 5, 0, 0},
+		{OpRem, 5, 0, 0},
+		{OpDiv, -7, 2, -3},
+		{OpShl, 1, 64, 1},
+		{OpLt, -1, 1, 1},
+		{OpGe, -6, -5, 0},
+	}
+	for _, c := range cases {
+		got, ok := foldBin(c.op, c.a, c.b)
+		if !ok || got != c.want {
+			t.Errorf("fold %s(%d,%d) = %d,%v want %d", c.op, c.a, c.b, got, ok, c.want)
+		}
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	p := NewProgram()
+	b := p.NewFunc("main", 0)
+	dead := b.Const(99)
+	_ = b.Add(R(dead), C(1)) // dead chain
+	live := b.Const(5)
+	buf := b.Alloca(8)
+	b.Store(R(buf), R(live), 8)
+	v := b.Load(R(buf), 8)
+	b.RetVal(R(v))
+
+	before := p.InstrCount()
+	removed := Optimize(p)
+	if removed == 0 {
+		t.Fatal("nothing eliminated")
+	}
+	if p.InstrCount() >= before {
+		t.Fatal("instruction count did not drop")
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// The store and load must survive.
+	found := map[Op]bool{}
+	for _, in := range p.Funcs["main"].Blocks[0].Instrs {
+		found[in.Op] = true
+	}
+	if !found[OpStore] || !found[OpLoad] || !found[OpAlloca] {
+		t.Fatalf("memory operations eliminated: %s", p.Funcs["main"].String())
+	}
+}
+
+func TestCopyPropKillsOnRedefinition(t *testing.T) {
+	// r1 = const 1; r2 = mov r1; r1 = const 2; ret r2 — r2 must stay 1.
+	p := NewProgram()
+	fb := p.NewFunc("main", 0)
+	f := fb.Func()
+	f.NRegs = 2
+	f.Blocks = []Block{{Instrs: []Instr{
+		{Op: OpConst, Dst: 0, Imm: 1},
+		{Op: OpMov, Dst: 1, A: R(0)},
+		{Op: OpConst, Dst: 0, Imm: 2},
+		{Op: OpRetVal, A: R(1)},
+	}}}
+	Optimize(p)
+	last := f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1]
+	if last.A.IsConst && last.A.Const != 1 {
+		t.Fatalf("stale copy propagated: %s", f.String())
+	}
+	// Whether folded to const 1 or left as r1-era value, it must not be 2.
+	if last.A.IsConst && last.A.Const == 2 {
+		t.Fatal("redefinition not killed")
+	}
+}
+
+func TestHookArgsKeepRegistersLive(t *testing.T) {
+	p := NewProgram()
+	fb := p.NewFunc("main", 0)
+	f := fb.Func()
+	f.NRegs = 1
+	f.Blocks = []Block{{Instrs: []Instr{
+		{Op: OpConst, Dst: 0, Imm: 7},
+		{Op: OpHook, Dst: NoReg, Hook: &HookRef{
+			HandlerID: 0, Args: []HookArg{{Kind: HookReg, Reg: 0}}, MetaDst: NoReg, Name: "h"}},
+		{Op: OpRet},
+	}}}
+	if removed := Optimize(p); removed != 0 {
+		t.Fatalf("eliminated a hook-read register (%d removed)", removed)
+	}
+}

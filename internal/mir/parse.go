@@ -1,0 +1,336 @@
+package mir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses the textual form emitted by Program.String, so
+// programs round-trip through the printer. The format is line-based:
+//
+//	func name(nparams=N, nregs=M) {
+//	b0:
+//	  r0 = const 7
+//	  r1 = add r0, 3
+//	  store.8 [r1] = r0
+//	  condbr r0 ? b1 : b2
+//	  ...
+//	}
+//
+// It exists for file-based test programs, fuzz/property round-trips,
+// and the aldacc -mir flag.
+func ParseText(src string) (*Program, error) {
+	p := NewProgram()
+	var cur *Func
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "func "):
+			rest := strings.TrimPrefix(line, "func ")
+			open := strings.Index(rest, "(")
+			closeP := strings.Index(rest, ")")
+			if open < 0 || closeP < open || !strings.HasSuffix(line, "{") {
+				return nil, fmt.Errorf("mir: line %d: malformed func header", lineNo)
+			}
+			name := rest[:open]
+			var nparams, nregs int
+			for _, field := range strings.Split(rest[open+1:closeP], ",") {
+				kv := strings.SplitN(strings.TrimSpace(field), "=", 2)
+				if len(kv) != 2 {
+					return nil, fmt.Errorf("mir: line %d: malformed func attribute %q", lineNo, field)
+				}
+				n, err := strconv.Atoi(kv[1])
+				if err != nil {
+					return nil, fmt.Errorf("mir: line %d: %v", lineNo, err)
+				}
+				switch kv[0] {
+				case "nparams":
+					nparams = n
+				case "nregs":
+					nregs = n
+				default:
+					return nil, fmt.Errorf("mir: line %d: unknown attribute %q", lineNo, kv[0])
+				}
+			}
+			if _, dup := p.Funcs[name]; dup {
+				return nil, fmt.Errorf("mir: line %d: duplicate function %q", lineNo, name)
+			}
+			cur = &Func{Name: name, NParams: nparams, NRegs: nregs}
+			p.Funcs[name] = cur
+
+		case line == "}":
+			if cur == nil {
+				return nil, fmt.Errorf("mir: line %d: '}' outside function", lineNo)
+			}
+			cur = nil
+
+		case strings.HasSuffix(line, ":") && strings.HasPrefix(line, "b"):
+			if cur == nil {
+				return nil, fmt.Errorf("mir: line %d: block label outside function", lineNo)
+			}
+			idx, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(line, "b"), ":"))
+			if err != nil || idx != len(cur.Blocks) {
+				return nil, fmt.Errorf("mir: line %d: blocks must be labeled consecutively (got %q, want b%d:)",
+					lineNo, line, len(cur.Blocks))
+			}
+			cur.Blocks = append(cur.Blocks, Block{})
+
+		default:
+			if cur == nil || len(cur.Blocks) == 0 {
+				return nil, fmt.Errorf("mir: line %d: instruction outside a block", lineNo)
+			}
+			in, err := parseInstr(line)
+			if err != nil {
+				return nil, fmt.Errorf("mir: line %d: %v", lineNo, err)
+			}
+			bi := len(cur.Blocks) - 1
+			cur.Blocks[bi].Instrs = append(cur.Blocks[bi].Instrs, in)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("mir: unterminated function %q", cur.Name)
+	}
+	return p, nil
+}
+
+var binOpNames = map[string]Op{
+	"add": OpAdd, "sub": OpSub, "mul": OpMul, "div": OpDiv, "rem": OpRem,
+	"and": OpAnd, "or": OpOr, "xor": OpXor, "shl": OpShl, "shr": OpShr,
+	"eq": OpEq, "ne": OpNe, "lt": OpLt, "le": OpLe, "gt": OpGt, "ge": OpGe,
+}
+
+func parseReg(s string) (Reg, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseOperand(s string) (Operand, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "r") {
+		r, err := parseReg(s)
+		if err != nil {
+			return Operand{}, err
+		}
+		return R(r), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return Operand{}, fmt.Errorf("bad operand %q", s)
+	}
+	return C(v), nil
+}
+
+func parseBlockRef(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "b") {
+		return 0, fmt.Errorf("expected block ref, got %q", s)
+	}
+	return strconv.Atoi(s[1:])
+}
+
+// parseCall parses `name(arg, arg, ...)`.
+func parseCall(s string) (string, []Operand, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("malformed call %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	var args []Operand
+	if inner != "" {
+		for _, a := range strings.Split(inner, ",") {
+			op, err := parseOperand(a)
+			if err != nil {
+				return "", nil, err
+			}
+			args = append(args, op)
+		}
+	}
+	return name, args, nil
+}
+
+func parseInstr(line string) (Instr, error) {
+	// Destination form: "rN = <rhs>".
+	if eq := strings.Index(line, " = "); eq > 0 && strings.HasPrefix(line, "r") &&
+		!strings.HasPrefix(line, "ret") && !strings.Contains(line[:eq], "[") {
+		dst, err := parseReg(strings.TrimSpace(line[:eq]))
+		if err != nil {
+			return Instr{}, err
+		}
+		rhs := strings.TrimSpace(line[eq+3:])
+		fields := strings.Fields(rhs)
+		if len(fields) == 0 {
+			return Instr{}, fmt.Errorf("empty rhs")
+		}
+		switch fields[0] {
+		case "const":
+			v, err := strconv.ParseInt(fields[1], 0, 64)
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: OpConst, Dst: dst, Imm: v}, nil
+		case "mov":
+			a, err := parseOperand(fields[1])
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: OpMov, Dst: dst, A: a}, nil
+		case "alloca":
+			v, err := strconv.ParseInt(fields[1], 0, 64)
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: OpAlloca, Dst: dst, Imm: v}, nil
+		case "call", "spawn":
+			name, args, err := parseCall(strings.TrimSpace(rhs[len(fields[0]):]))
+			if err != nil {
+				return Instr{}, err
+			}
+			op := OpCall
+			if fields[0] == "spawn" {
+				op = OpSpawn
+			}
+			return Instr{Op: op, Dst: dst, Callee: name, Args: args}, nil
+		}
+		if strings.HasPrefix(fields[0], "load.") {
+			size, err := strconv.Atoi(strings.TrimPrefix(fields[0], "load."))
+			if err != nil {
+				return Instr{}, err
+			}
+			addr := strings.TrimSpace(rhs[len(fields[0]):])
+			if !strings.HasPrefix(addr, "[") || !strings.HasSuffix(addr, "]") {
+				return Instr{}, fmt.Errorf("malformed load address %q", addr)
+			}
+			a, err := parseOperand(addr[1 : len(addr)-1])
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: OpLoad, Dst: dst, A: a, Size: uint8(size)}, nil
+		}
+		if op, ok := binOpNames[fields[0]]; ok {
+			parts := strings.SplitN(strings.TrimSpace(rhs[len(fields[0]):]), ",", 2)
+			if len(parts) != 2 {
+				return Instr{}, fmt.Errorf("binary op needs two operands: %q", rhs)
+			}
+			a, err := parseOperand(parts[0])
+			if err != nil {
+				return Instr{}, err
+			}
+			b, err := parseOperand(parts[1])
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: op, Dst: dst, A: a, B: b}, nil
+		}
+		return Instr{}, fmt.Errorf("unknown rhs %q", rhs)
+	}
+
+	fields := strings.Fields(line)
+	switch {
+	case strings.HasPrefix(line, "store."):
+		// store.N [addr] = val
+		dot := strings.TrimPrefix(fields[0], "store.")
+		size, err := strconv.Atoi(dot)
+		if err != nil {
+			return Instr{}, err
+		}
+		rest := strings.TrimSpace(line[len(fields[0]):])
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return Instr{}, fmt.Errorf("malformed store %q", line)
+		}
+		addrS := strings.TrimSpace(rest[:eq])
+		if !strings.HasPrefix(addrS, "[") || !strings.HasSuffix(addrS, "]") {
+			return Instr{}, fmt.Errorf("malformed store address %q", addrS)
+		}
+		a, err := parseOperand(addrS[1 : len(addrS)-1])
+		if err != nil {
+			return Instr{}, err
+		}
+		b, err := parseOperand(rest[eq+1:])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpStore, A: a, B: b, Size: uint8(size)}, nil
+
+	case fields[0] == "br":
+		t, err := parseBlockRef(fields[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpBr, Target: t}, nil
+
+	case fields[0] == "condbr":
+		// condbr A ? bT : bE
+		rest := strings.TrimSpace(line[len("condbr"):])
+		q := strings.Index(rest, "?")
+		c := strings.Index(rest, ":")
+		if q < 0 || c < q {
+			return Instr{}, fmt.Errorf("malformed condbr %q", line)
+		}
+		a, err := parseOperand(rest[:q])
+		if err != nil {
+			return Instr{}, err
+		}
+		t, err := parseBlockRef(rest[q+1 : c])
+		if err != nil {
+			return Instr{}, err
+		}
+		e, err := parseBlockRef(rest[c+1:])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpCondBr, A: a, Target: t, Else: e}, nil
+
+	case fields[0] == "call", fields[0] == "spawn":
+		name, args, err := parseCall(strings.TrimSpace(line[len(fields[0]):]))
+		if err != nil {
+			return Instr{}, err
+		}
+		op := OpCall
+		if fields[0] == "spawn" {
+			op = OpSpawn
+		}
+		return Instr{Op: op, Dst: NoReg, Callee: name, Args: args}, nil
+
+	case fields[0] == "ret":
+		if len(fields) == 1 {
+			return Instr{Op: OpRet}, nil
+		}
+		a, err := parseOperand(fields[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpRetVal, A: a}, nil
+
+	case fields[0] == "lock", fields[0] == "unlock", fields[0] == "join":
+		a, err := parseOperand(fields[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		switch fields[0] {
+		case "lock":
+			return Instr{Op: OpLock, A: a}, nil
+		case "unlock":
+			return Instr{Op: OpUnlock, A: a}, nil
+		default:
+			return Instr{Op: OpJoin, A: a}, nil
+		}
+
+	case fields[0] == "nop":
+		return Instr{Op: OpNop}, nil
+	}
+	return Instr{}, fmt.Errorf("unknown instruction %q", line)
+}

@@ -1,0 +1,92 @@
+package mir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders the program as readable text, functions sorted by name,
+// for debugging and golden tests.
+func (p *Program) String() string {
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString(p.Funcs[n].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders a single function.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(nparams=%d, nregs=%d) {\n", f.Name, f.NParams, f.NRegs)
+	for bi := range f.Blocks {
+		fmt.Fprintf(&b, "b%d:\n", bi)
+		for ii := range f.Blocks[bi].Instrs {
+			in := &f.Blocks[bi].Instrs[ii]
+			b.WriteString("  ")
+			b.WriteString(in.String())
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders one instruction.
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("r%d = const %d", in.Dst, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("r%d = mov %s", in.Dst, in.A)
+	case OpLoad:
+		return fmt.Sprintf("r%d = load.%d [%s]", in.Dst, in.Size, in.A)
+	case OpStore:
+		return fmt.Sprintf("store.%d [%s] = %s", in.Size, in.A, in.B)
+	case OpAlloca:
+		return fmt.Sprintf("r%d = alloca %d", in.Dst, in.Imm)
+	case OpBr:
+		return fmt.Sprintf("br b%d", in.Target)
+	case OpCondBr:
+		return fmt.Sprintf("condbr %s ? b%d : b%d", in.A, in.Target, in.Else)
+	case OpCall, OpSpawn:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		verb := "call"
+		if in.Op == OpSpawn {
+			verb = "spawn"
+		}
+		if in.Dst == NoReg {
+			return fmt.Sprintf("%s %s(%s)", verb, in.Callee, strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("r%d = %s %s(%s)", in.Dst, verb, in.Callee, strings.Join(args, ", "))
+	case OpRet:
+		return "ret"
+	case OpRetVal:
+		return fmt.Sprintf("ret %s", in.A)
+	case OpLock:
+		return fmt.Sprintf("lock %s", in.A)
+	case OpUnlock:
+		return fmt.Sprintf("unlock %s", in.A)
+	case OpJoin:
+		return fmt.Sprintf("join %s", in.A)
+	case OpHook:
+		if in.Hook != nil {
+			return fmt.Sprintf("hook %s(#%d args)", in.Hook.Name, len(in.Hook.Args))
+		}
+		return "hook <unresolved>"
+	}
+	if in.Op.IsBinOp() || in.Op.IsCmp() {
+		return fmt.Sprintf("r%d = %s %s, %s", in.Dst, in.Op, in.A, in.B)
+	}
+	return in.Op.String()
+}

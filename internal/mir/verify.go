@@ -1,0 +1,114 @@
+package mir
+
+import "fmt"
+
+// Verify checks structural invariants of a program: every block ends in
+// exactly one terminator (and contains no interior terminators), branch
+// targets are in range, register references are within the frame, user
+// call targets that resolve to program functions have matching arities,
+// and the entry function exists and takes no parameters.
+func (p *Program) Verify() error {
+	entry, ok := p.Funcs[p.Entry]
+	if !ok {
+		return fmt.Errorf("mir: entry function %q not defined", p.Entry)
+	}
+	if entry.NParams != 0 {
+		return fmt.Errorf("mir: entry function %q must take no parameters", p.Entry)
+	}
+	for name, f := range p.Funcs {
+		if err := p.verifyFunc(f); err != nil {
+			return fmt.Errorf("mir: func %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (p *Program) verifyFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("has no blocks")
+	}
+	checkOperand := func(bi, ii int, o Operand) error {
+		if !o.IsConst && (o.Reg < 0 || int(o.Reg) >= f.NRegs) {
+			return fmt.Errorf("block %d instr %d: register %d out of range [0,%d)", bi, ii, o.Reg, f.NRegs)
+		}
+		return nil
+	}
+	for bi := range f.Blocks {
+		b := &f.Blocks[bi]
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %d is empty (needs a terminator)", bi)
+		}
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			last := ii == len(b.Instrs)-1
+			if in.Op.IsTerminator() && !last {
+				return fmt.Errorf("block %d instr %d: terminator %s before end of block", bi, ii, in.Op)
+			}
+			if last && !in.Op.IsTerminator() {
+				return fmt.Errorf("block %d: last instruction %s is not a terminator", bi, in.Op)
+			}
+			if hasDst(in.Op) && in.Dst != NoReg {
+				if in.Dst < 0 || int(in.Dst) >= f.NRegs {
+					return fmt.Errorf("block %d instr %d: dst register %d out of range", bi, ii, in.Dst)
+				}
+			}
+			switch in.Op {
+			case OpBr:
+				if in.Target < 0 || in.Target >= len(f.Blocks) {
+					return fmt.Errorf("block %d instr %d: branch target %d out of range", bi, ii, in.Target)
+				}
+			case OpCondBr:
+				if in.Target < 0 || in.Target >= len(f.Blocks) || in.Else < 0 || in.Else >= len(f.Blocks) {
+					return fmt.Errorf("block %d instr %d: condbr targets (%d, %d) out of range", bi, ii, in.Target, in.Else)
+				}
+				if err := checkOperand(bi, ii, in.A); err != nil {
+					return err
+				}
+			case OpCall, OpSpawn:
+				if callee, ok := p.Funcs[in.Callee]; ok {
+					if len(in.Args) != callee.NParams {
+						return fmt.Errorf("block %d instr %d: call %s passes %d args, wants %d",
+							bi, ii, in.Callee, len(in.Args), callee.NParams)
+					}
+				}
+				for _, a := range in.Args {
+					if err := checkOperand(bi, ii, a); err != nil {
+						return err
+					}
+				}
+			case OpLoad, OpStore:
+				if in.Size != 1 && in.Size != 2 && in.Size != 4 && in.Size != 8 {
+					return fmt.Errorf("block %d instr %d: invalid access size %d", bi, ii, in.Size)
+				}
+				if err := checkOperand(bi, ii, in.A); err != nil {
+					return err
+				}
+				if in.Op == OpStore {
+					if err := checkOperand(bi, ii, in.B); err != nil {
+						return err
+					}
+				}
+			case OpAlloca:
+				if in.Imm <= 0 {
+					return fmt.Errorf("block %d instr %d: alloca size %d must be positive", bi, ii, in.Imm)
+				}
+			default:
+				if err := checkOperand(bi, ii, in.A); err != nil {
+					return err
+				}
+				if err := checkOperand(bi, ii, in.B); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func hasDst(op Op) bool {
+	switch op {
+	case OpConst, OpMov, OpLoad, OpAlloca, OpCall, OpSpawn:
+		return true
+	}
+	return op.IsBinOp() || op.IsCmp()
+}

@@ -1,0 +1,495 @@
+package vm
+
+import (
+	"time"
+
+	"repro/internal/mir"
+)
+
+type tstate uint8
+
+const (
+	tRunnable tstate = iota
+	tBlockedLock
+	tBlockedJoin
+	tDone
+)
+
+type frame struct {
+	fn      *linkedFunc
+	regBase int
+	block   int
+	pc      int
+	retReg  mir.Reg // destination register in the caller's frame
+	savedSP uint64
+}
+
+type thread struct {
+	id         int
+	state      tstate
+	waitLock   uint64
+	joinTarget int
+
+	frames     []frame
+	regSlab    []uint64
+	shadowSlab []uint64
+
+	sp       uint64
+	stackLow uint64
+
+	retVal    uint64
+	retShadow uint64
+
+	hookArgs []uint64
+	libArgs  []uint64
+}
+
+func (m *Machine) newThread(fnIdx int, args, shadows []uint64) *thread {
+	id := len(m.threads)
+	if id >= m.cfg.MaxThreads {
+		m.fail("thread limit %d exceeded", m.cfg.MaxThreads)
+		return nil
+	}
+	top := m.cfg.AddrSpace - uint64(id)*m.cfg.StackSize
+	t := &thread{
+		id:       id,
+		sp:       top,
+		stackLow: top - m.cfg.StackSize,
+		hookArgs: make([]uint64, 16),
+		libArgs:  make([]uint64, 16),
+	}
+	m.threads = append(m.threads, t)
+	m.nlive++
+	m.pushFrame(t, fnIdx, args, shadows, mir.NoReg)
+	return t
+}
+
+func (m *Machine) pushFrame(t *thread, fnIdx int, args, shadows []uint64, retReg mir.Reg) {
+	fn := m.funcs[fnIdx]
+	base := 0
+	if n := len(t.frames); n > 0 {
+		base = t.frames[n-1].regBase + t.frames[n-1].fn.nregs
+	}
+	need := base + fn.nregs
+	for len(t.regSlab) < need {
+		t.regSlab = append(t.regSlab, make([]uint64, 256)...)
+	}
+	regs := t.regSlab[base : base+fn.nregs]
+	for i := range regs {
+		regs[i] = 0
+	}
+	copy(regs, args)
+	if m.cfg.TrackShadow {
+		for len(t.shadowSlab) < need {
+			t.shadowSlab = append(t.shadowSlab, make([]uint64, 256)...)
+		}
+		sh := t.shadowSlab[base : base+fn.nregs]
+		for i := range sh {
+			sh[i] = 0
+		}
+		copy(sh, shadows)
+	}
+	t.frames = append(t.frames, frame{fn: fn, regBase: base, retReg: retReg, savedSP: t.sp})
+	if len(t.frames) > 1<<14 {
+		m.fail("call stack overflow in %s", fn.name)
+	}
+}
+
+// Run executes the program to completion of its main thread and returns
+// the result. Run may be called once per Machine.
+func (m *Machine) Run() (*Result, error) {
+	main := m.newThread(m.idx[m.prog.Entry], nil, nil)
+	if m.err != nil {
+		return nil, m.err
+	}
+	start := time.Now()
+	rr := 0 // round-robin cursor
+	for m.err == nil && main.state != tDone {
+		if m.steps > m.cfg.MaxSteps {
+			m.fail("step limit %d exceeded", m.cfg.MaxSteps)
+			break
+		}
+		// Pick the next runnable thread at or after the cursor.
+		n := len(m.threads)
+		picked := -1
+		for i := 0; i < n; i++ {
+			c := (rr + i) % n
+			if m.threads[c].state == tRunnable {
+				picked = c
+				break
+			}
+		}
+		if picked < 0 {
+			m.cur = main
+			m.fail("deadlock: no runnable threads")
+			break
+		}
+		rr = picked + 1
+		q := m.cfg.Quantum/2 + int(m.Rand()%uint64(m.cfg.Quantum)) + 1
+		m.runThread(m.threads[picked], q)
+	}
+	wall := time.Since(start)
+	if m.err != nil {
+		return nil, m.err
+	}
+	m.cur = main
+	for _, fn := range m.AtExit {
+		fn(m)
+	}
+	return &Result{
+		Steps:     m.steps,
+		HookCalls: m.hookCalls,
+		Wall:      wall,
+		Exit:      main.retVal,
+		Reports:   m.reports,
+		Threads:   len(m.threads),
+	}, nil
+}
+
+func (m *Machine) runThread(t *thread, quantum int) {
+	m.cur = t
+	tid := uint64(t.id)
+
+frameLoop:
+	for quantum > 0 && t.state == tRunnable && m.err == nil {
+		fr := &t.frames[len(t.frames)-1]
+		regs := t.regSlab[fr.regBase : fr.regBase+fr.fn.nregs]
+		var shadow []uint64
+		track := m.cfg.TrackShadow
+		if track {
+			shadow = t.shadowSlab[fr.regBase : fr.regBase+fr.fn.nregs]
+		}
+		code := fr.fn.blocks
+
+		val := func(o mir.Operand) uint64 {
+			if o.IsConst {
+				return uint64(o.Const)
+			}
+			return regs[o.Reg]
+		}
+		sh := func(o mir.Operand) uint64 {
+			if o.IsConst {
+				return 0
+			}
+			return shadow[o.Reg]
+		}
+
+		for quantum > 0 {
+			ins := &code[fr.block][fr.pc]
+			m.steps++
+			quantum--
+
+			switch ins.Op {
+			case mir.OpConst:
+				regs[ins.Dst] = uint64(ins.Imm)
+				if track {
+					shadow[ins.Dst] = 0
+				}
+			case mir.OpMov:
+				regs[ins.Dst] = val(ins.A)
+				if track {
+					shadow[ins.Dst] = sh(ins.A)
+				}
+			case mir.OpAdd:
+				regs[ins.Dst] = val(ins.A) + val(ins.B)
+				if track {
+					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+				}
+			case mir.OpSub:
+				regs[ins.Dst] = val(ins.A) - val(ins.B)
+				if track {
+					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+				}
+			case mir.OpMul:
+				regs[ins.Dst] = val(ins.A) * val(ins.B)
+				if track {
+					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+				}
+			case mir.OpDiv:
+				b := int64(val(ins.B))
+				if b == 0 {
+					regs[ins.Dst] = 0
+				} else {
+					regs[ins.Dst] = uint64(int64(val(ins.A)) / b)
+				}
+				if track {
+					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+				}
+			case mir.OpRem:
+				b := int64(val(ins.B))
+				if b == 0 {
+					regs[ins.Dst] = 0
+				} else {
+					regs[ins.Dst] = uint64(int64(val(ins.A)) % b)
+				}
+				if track {
+					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+				}
+			case mir.OpAnd:
+				regs[ins.Dst] = val(ins.A) & val(ins.B)
+				if track {
+					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+				}
+			case mir.OpOr:
+				regs[ins.Dst] = val(ins.A) | val(ins.B)
+				if track {
+					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+				}
+			case mir.OpXor:
+				regs[ins.Dst] = val(ins.A) ^ val(ins.B)
+				if track {
+					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+				}
+			case mir.OpShl:
+				regs[ins.Dst] = val(ins.A) << (val(ins.B) & 63)
+				if track {
+					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+				}
+			case mir.OpShr:
+				regs[ins.Dst] = val(ins.A) >> (val(ins.B) & 63)
+				if track {
+					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+				}
+			case mir.OpEq, mir.OpNe, mir.OpLt, mir.OpLe, mir.OpGt, mir.OpGe:
+				a, b := int64(val(ins.A)), int64(val(ins.B))
+				var r bool
+				switch ins.Op {
+				case mir.OpEq:
+					r = a == b
+				case mir.OpNe:
+					r = a != b
+				case mir.OpLt:
+					r = a < b
+				case mir.OpLe:
+					r = a <= b
+				case mir.OpGt:
+					r = a > b
+				default:
+					r = a >= b
+				}
+				if r {
+					regs[ins.Dst] = 1
+				} else {
+					regs[ins.Dst] = 0
+				}
+				if track {
+					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+				}
+
+			case mir.OpLoad:
+				a := val(ins.A)
+				if a > m.mem.byteMask {
+					m.fail("load from out-of-range address %#x", a)
+					return
+				}
+				regs[ins.Dst] = m.mem.load(a, ins.Size)
+				if track {
+					shadow[ins.Dst] = 0
+				}
+			case mir.OpStore:
+				a := val(ins.A)
+				if a > m.mem.byteMask {
+					m.fail("store to out-of-range address %#x", a)
+					return
+				}
+				m.mem.store(a, val(ins.B), ins.Size)
+
+			case mir.OpAlloca:
+				sz := (uint64(ins.Imm) + 7) &^ 7
+				if t.sp-sz < t.stackLow {
+					m.fail("stack overflow in %s", fr.fn.name)
+					return
+				}
+				t.sp -= sz
+				regs[ins.Dst] = t.sp
+				if track {
+					shadow[ins.Dst] = 0
+				}
+
+			case mir.OpBr:
+				fr.block = ins.Target
+				fr.pc = 0
+				continue
+			case mir.OpCondBr:
+				if val(ins.A) != 0 {
+					fr.block = ins.Target
+				} else {
+					fr.block = ins.Else
+				}
+				fr.pc = 0
+				continue
+
+			case mir.OpCall:
+				if ins.UserFn >= 0 {
+					args := t.libArgs[:0]
+					for _, a := range ins.Args {
+						args = append(args, val(a))
+					}
+					var shs []uint64
+					if track {
+						shs = make([]uint64, len(ins.Args))
+						for i, a := range ins.Args {
+							shs[i] = sh(a)
+						}
+					}
+					fr.pc++ // resume after the call
+					m.pushFrame(t, ins.UserFn, args, shs, ins.Dst)
+					continue frameLoop
+				}
+				args := t.libArgs[:0]
+				for _, a := range ins.Args {
+					args = append(args, val(a))
+				}
+				r := ins.Lib(m, t, args)
+				if ins.Dst != mir.NoReg {
+					regs[ins.Dst] = r
+					if track {
+						shadow[ins.Dst] = 0
+					}
+				}
+				if m.err != nil {
+					return
+				}
+
+			case mir.OpRet, mir.OpRetVal:
+				if ins.Op == mir.OpRetVal {
+					t.retVal = val(ins.A)
+					if track {
+						t.retShadow = sh(ins.A)
+					} else {
+						t.retShadow = 0
+					}
+				} else {
+					t.retVal, t.retShadow = 0, 0
+				}
+				t.sp = fr.savedSP
+				retReg := fr.retReg
+				t.frames = t.frames[:len(t.frames)-1]
+				if len(t.frames) == 0 {
+					t.state = tDone
+					m.nlive--
+					m.wakeJoiners(t.id)
+					return
+				}
+				if retReg != mir.NoReg {
+					parent := &t.frames[len(t.frames)-1]
+					t.regSlab[parent.regBase+int(retReg)] = t.retVal
+					if track {
+						t.shadowSlab[parent.regBase+int(retReg)] = t.retShadow
+					}
+				}
+				continue frameLoop
+
+			case mir.OpLock:
+				v := val(ins.A)
+				l := m.locks[v]
+				if l == nil {
+					l = &lockState{}
+					m.locks[v] = l
+				}
+				if !l.held {
+					l.held = true
+					l.owner = t.id
+				} else if l.owner == t.id {
+					m.fail("recursive lock %#x by thread %d", v, t.id)
+					return
+				} else {
+					t.state = tBlockedLock
+					t.waitLock = v
+					return // retry this instruction when woken
+				}
+			case mir.OpUnlock:
+				v := val(ins.A)
+				l := m.locks[v]
+				if l == nil || !l.held || l.owner != t.id {
+					m.fail("unlock of lock %#x not held by thread %d", v, t.id)
+					return
+				}
+				l.held = false
+				m.wakeLockWaiters(v)
+
+			case mir.OpSpawn:
+				args := t.libArgs[:0]
+				for _, a := range ins.Args {
+					args = append(args, val(a))
+				}
+				var shs []uint64
+				if track {
+					shs = make([]uint64, len(ins.Args))
+					for i, a := range ins.Args {
+						shs[i] = sh(a)
+					}
+				}
+				nt := m.newThread(ins.UserFn, args, shs)
+				if m.err != nil {
+					return
+				}
+				regs[ins.Dst] = uint64(nt.id)
+				if track {
+					shadow[ins.Dst] = 0
+				}
+				m.cur = t // newThread does not switch execution
+			case mir.OpJoin:
+				target := int(val(ins.A))
+				if target < 0 || target >= len(m.threads) {
+					m.fail("join on invalid thread handle %d", target)
+					return
+				}
+				if m.threads[target].state != tDone {
+					t.state = tBlockedJoin
+					t.joinTarget = target
+					return // retry when woken
+				}
+
+			case mir.OpHook:
+				h := ins.Hook
+				args := t.hookArgs[:0]
+				for _, a := range h.Args {
+					switch a.Kind {
+					case mir.HookConst:
+						args = append(args, uint64(a.Const))
+					case mir.HookReg:
+						args = append(args, regs[a.Reg])
+					case mir.HookRegMeta:
+						if track {
+							args = append(args, shadow[a.Reg])
+						} else {
+							args = append(args, 0)
+						}
+					case mir.HookThread:
+						args = append(args, tid)
+					}
+				}
+				m.hookCalls++
+				r := m.Handlers[h.HandlerID](m, tid, args)
+				if h.MetaDst != mir.NoReg && track {
+					shadow[h.MetaDst] = r
+				}
+
+			case mir.OpNop:
+				// nothing
+			default:
+				m.fail("invalid opcode %s", ins.Op)
+				return
+			}
+			fr.pc++
+		}
+		return
+	}
+}
+
+func (m *Machine) wakeLockWaiters(lock uint64) {
+	for _, t := range m.threads {
+		if t.state == tBlockedLock && t.waitLock == lock {
+			t.state = tRunnable
+		}
+	}
+}
+
+func (m *Machine) wakeJoiners(doneID int) {
+	for _, t := range m.threads {
+		if t.state == tBlockedJoin && t.joinTarget == doneID {
+			t.state = tRunnable
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package vm executes MIR programs in a deterministic simulated
+// environment: a flat 64-bit byte-addressable address space, a heap
+// allocator that reuses freed addresses, simulated threads interleaved
+// by a seeded round-robin scheduler, locks, and modeled C / OpenSSL /
+// Zlib libraries.
+//
+// The VM is the stand-in for native execution of LLVM-instrumented
+// binaries: analyses attach through OpHook instructions spliced in by
+// package instrument, and every performance experiment measures wall
+// time of vm.Machine.Run with and without those hooks.
+package vm
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/mir"
+)
+
+// Config controls a Machine.
+type Config struct {
+	// AddrSpace is the simulated byte address-space size (rounded up to a
+	// power of two). Default 1<<28 (256 MiB).
+	AddrSpace uint64
+	// Quantum is the scheduler slice in instructions. Default 64.
+	Quantum int
+	// Seed drives scheduler jitter and the modeled rand(). Default 1.
+	Seed int64
+	// MaxSteps aborts runaway programs. Default 4e9.
+	MaxSteps uint64
+	// TrackShadow enables per-frame shadow registers (local metadata,
+	// §5.5). The instrumenter sets this when an analysis uses $X.m or
+	// handler return values.
+	TrackShadow bool
+	// StackSize is the per-thread stack region in bytes. Default 1<<19.
+	StackSize uint64
+	// MaxThreads bounds total threads over the run. Default 128.
+	MaxThreads int
+	// Stdout receives modeled print output; nil discards it.
+	Stdout io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.AddrSpace == 0 {
+		c.AddrSpace = 1 << 28
+	}
+	// Round up to power of two.
+	s := uint64(1)
+	for s < c.AddrSpace {
+		s <<= 1
+	}
+	c.AddrSpace = s
+	if c.Quantum <= 0 {
+		c.Quantum = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 4e9
+	}
+	if c.StackSize == 0 {
+		c.StackSize = 1 << 19
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 128
+	}
+	return c
+}
+
+// HandlerFn is a compiled analysis event handler. args follow the
+// insertion declaration's call-arg list; the return value feeds the
+// hooked instruction's shadow register when the handler has a result.
+type HandlerFn func(m *Machine, tid uint64, args []uint64) uint64
+
+// Result summarizes a completed run.
+type Result struct {
+	Steps     uint64        // instructions retired
+	HookCalls uint64        // analysis events dispatched
+	Wall      time.Duration // wall-clock of the interpret loop
+	Exit      uint64        // value returned by main (0 if none)
+	Reports   []*Report     // analysis reports, first-seen order
+	Threads   int           // total threads ever spawned
+}
+
+// RuntimeError is a fault detected by the VM (bad memory access,
+// deadlock, step cap) with a backtrace.
+type RuntimeError struct {
+	Msg       string
+	Backtrace []string
+}
+
+func (e *RuntimeError) Error() string { return "vm: " + e.Msg }
+
+type lockState struct {
+	held  bool
+	owner int
+}
+
+// Machine executes one program. A Machine is single-use: construct, set
+// Handlers/AtExit if instrumented, call Run once.
+type Machine struct {
+	cfg   Config
+	prog  *mir.Program
+	funcs []*linkedFunc
+	idx   map[string]int
+
+	mem   memory
+	heap  heap
+	locks map[uint64]*lockState
+
+	threads []*thread
+	nlive   int
+	cur     *thread
+
+	rng       uint64
+	steps     uint64
+	hookCalls uint64
+
+	// Handlers is the analysis handler table indexed by HookRef.HandlerID.
+	Handlers []HandlerFn
+	// AtExit callbacks run after main returns (analysis finalization).
+	AtExit []func(m *Machine)
+
+	reports   []*Report
+	reportIdx map[reportKey]*Report
+
+	libs map[string]LibFn
+	ssl  sslWorld
+	zlib zlibWorld
+
+	inputCursor uint64 // deterministic "stdin" for gets()
+
+	err *RuntimeError
+}
+
+type linkedInstr struct {
+	mir.Instr
+	UserFn int   // resolved user function index, or -1
+	Lib    LibFn // resolved library model, or nil
+}
+
+type linkedFunc struct {
+	name    string
+	nparams int
+	nregs   int
+	blocks  [][]linkedInstr
+}
+
+// New links a program into a machine. The program must already Verify.
+func New(prog *mir.Program, cfg Config) (*Machine, error) {
+	m := &Machine{
+		cfg:       cfg.withDefaults(),
+		prog:      prog,
+		idx:       make(map[string]int, len(prog.Funcs)),
+		locks:     make(map[uint64]*lockState),
+		reportIdx: make(map[reportKey]*Report),
+	}
+	m.rng = uint64(m.cfg.Seed)*0x9E3779B97F4A7C15 | 1
+	m.libs = stdlibTable()
+	m.ssl.init()
+	m.zlib.init()
+	m.mem.init(m.cfg.AddrSpace)
+	m.heap.init(heapBase, m.cfg.AddrSpace-uint64(m.cfg.MaxThreads)*m.cfg.StackSize)
+
+	// Stable function indexing: entry first, then sorted later arrivals
+	// is unnecessary — map iteration order doesn't matter because calls
+	// resolve by name.
+	names := make([]string, 0, len(prog.Funcs))
+	for n := range prog.Funcs {
+		names = append(names, n)
+	}
+	for _, n := range names {
+		m.idx[n] = -1 // reserve
+	}
+	i := 0
+	for _, n := range names {
+		m.idx[n] = i
+		i++
+	}
+	m.funcs = make([]*linkedFunc, len(names))
+	for _, n := range names {
+		f := prog.Funcs[n]
+		lf := &linkedFunc{name: n, nparams: f.NParams, nregs: f.NRegs, blocks: make([][]linkedInstr, len(f.Blocks))}
+		for bi := range f.Blocks {
+			src := f.Blocks[bi].Instrs
+			dst := make([]linkedInstr, len(src))
+			for ii := range src {
+				dst[ii] = linkedInstr{Instr: src[ii], UserFn: -1}
+				if src[ii].Op == mir.OpCall || src[ii].Op == mir.OpSpawn {
+					if _, ok := prog.Funcs[src[ii].Callee]; ok {
+						dst[ii].UserFn = m.idx[src[ii].Callee]
+					} else if lib, ok := m.libs[src[ii].Callee]; ok {
+						dst[ii].Lib = lib
+					} else {
+						return nil, fmt.Errorf("vm: unresolved callee %q in %s", src[ii].Callee, n)
+					}
+					if src[ii].Op == mir.OpSpawn && dst[ii].UserFn < 0 {
+						return nil, fmt.Errorf("vm: spawn target %q in %s is not a user function", src[ii].Callee, n)
+					}
+				}
+			}
+			lf.blocks[bi] = dst
+		}
+		m.funcs[m.idx[n]] = lf
+	}
+	if _, ok := m.idx[prog.Entry]; !ok {
+		return nil, fmt.Errorf("vm: entry %q not found", prog.Entry)
+	}
+	return m, nil
+}
+
+// Steps returns instructions retired so far (valid during hooks).
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// Rand returns the next value of the machine's deterministic xorshift
+// generator (shared with the modeled rand() library call).
+func (m *Machine) Rand() uint64 {
+	x := m.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	m.rng = x
+	return x
+}
+
+func (m *Machine) fail(format string, args ...any) {
+	if m.err == nil {
+		m.err = &RuntimeError{Msg: fmt.Sprintf(format, args...), Backtrace: m.Backtrace()}
+	}
+}
+
+// Backtrace renders the current thread's call stack, innermost first.
+func (m *Machine) Backtrace() []string {
+	if m.cur == nil {
+		return nil
+	}
+	t := m.cur
+	out := make([]string, 0, len(t.frames))
+	for i := len(t.frames) - 1; i >= 0; i-- {
+		fr := &t.frames[i]
+		out = append(out, fmt.Sprintf("%s@b%d:%d", fr.fn.name, fr.block, fr.pc))
+	}
+	return out
+}
+
+// CurrentTID returns the id of the thread being executed (valid during
+// hooks and library calls).
+func (m *Machine) CurrentTID() uint64 {
+	if m.cur == nil {
+		return 0
+	}
+	return uint64(m.cur.id)
+}

@@ -1,0 +1,83 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is an analysis finding (an alda_assert failure or a
+// baseline-analysis detection). Repeated findings at the same source
+// location are deduplicated with a count, the way sanitizers suppress
+// duplicate reports.
+type Report struct {
+	Analysis string // handler or analysis name
+	Message  string
+	Got      uint64
+	Expected uint64
+	Where    string   // innermost program frame
+	Trace    []string // full backtrace, innermost first
+	Count    int
+	Step     uint64 // machine step of first occurrence
+}
+
+// reportKey identifies a finding site for deduplication without
+// allocating.
+type reportKey struct {
+	analysis, message string
+	fn                string
+	block, pc         int
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("[%s] %s (got=%d want=%d) at %s x%d",
+		r.Analysis, r.Message, int64(r.Got), int64(r.Expected), r.Where, r.Count)
+}
+
+// Report files an analysis finding against the current execution point.
+// The duplicate fast path is allocation-free: analyses like Eraser can
+// fire the same report millions of times.
+func (m *Machine) Report(analysis, message string, got, expected uint64) {
+	var key reportKey
+	key.analysis, key.message = analysis, message
+	if m.cur != nil && len(m.cur.frames) > 0 {
+		fr := &m.cur.frames[len(m.cur.frames)-1]
+		key.fn, key.block, key.pc = fr.fn.name, fr.block, fr.pc
+	} else {
+		key.fn = "<exit>"
+	}
+	if r, ok := m.reportIdx[key]; ok {
+		r.Count++
+		return
+	}
+	trace := m.Backtrace()
+	where := "<exit>"
+	if len(trace) > 0 {
+		where = trace[0]
+	}
+	r := &Report{
+		Analysis: analysis,
+		Message:  message,
+		Got:      got,
+		Expected: expected,
+		Where:    where,
+		Trace:    trace,
+		Count:    1,
+		Step:     m.steps,
+	}
+	m.reportIdx[key] = r
+	m.reports = append(m.reports, r)
+}
+
+// Reports returns findings filed so far (also available on Result).
+func (m *Machine) Reports() []*Report { return m.reports }
+
+// FormatReports renders reports one per line; convenient for tests and
+// the CLI.
+func FormatReports(rs []*Report) string {
+	var b strings.Builder
+	for _, r := range rs {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package vm
+
+// Modeled OpenSSL subset. The model maintains per-handle connection
+// state and performs the memory effects (SSL_read fills the caller's
+// buffer) but deliberately tolerates misuse — detecting leaks, missing
+// shutdowns and use-after-free is SSLSan's job (§6.4.1), not the
+// library's.
+
+type sslConnState uint8
+
+const (
+	sslCreated sslConnState = iota
+	sslConnected
+	sslShutdown
+)
+
+type sslWorld struct {
+	ctxs  map[uint64]bool
+	conns map[uint64]sslConnState
+}
+
+func (w *sslWorld) init() {
+	w.ctxs = make(map[uint64]bool)
+	w.conns = make(map[uint64]sslConnState)
+}
+
+func registerSSL(libs map[string]LibFn) {
+	libs["SSL_CTX_new"] = func(m *Machine, t *thread, args []uint64) uint64 {
+		h := m.heap.alloc(32)
+		if h == 0 {
+			m.fail("out of simulated heap (SSL_CTX_new)")
+			return 0
+		}
+		m.ssl.ctxs[h] = true
+		return h
+	}
+	libs["SSL_CTX_free"] = func(m *Machine, t *thread, args []uint64) uint64 {
+		h := arg(args, 0)
+		delete(m.ssl.ctxs, h)
+		m.heap.release(h)
+		return 0
+	}
+	libs["SSL_new"] = func(m *Machine, t *thread, args []uint64) uint64 {
+		h := m.heap.alloc(64)
+		if h == 0 {
+			m.fail("out of simulated heap (SSL_new)")
+			return 0
+		}
+		m.ssl.conns[h] = sslCreated
+		return h
+	}
+	libs["SSL_set_fd"] = func(m *Machine, t *thread, args []uint64) uint64 { return 1 }
+	libs["SSL_connect"] = func(m *Machine, t *thread, args []uint64) uint64 {
+		h := arg(args, 0)
+		if _, ok := m.ssl.conns[h]; !ok {
+			return ^uint64(0) // -1: not a live connection
+		}
+		m.ssl.conns[h] = sslConnected
+		return 1
+	}
+	libs["SSL_accept"] = libs["SSL_connect"]
+	libs["SSL_read"] = func(m *Machine, t *thread, args []uint64) uint64 {
+		h, buf, n := arg(args, 0), arg(args, 1), arg(args, 2)
+		if st, ok := m.ssl.conns[h]; !ok || st != sslConnected {
+			return ^uint64(0)
+		}
+		if n > 256 {
+			n = 256
+		}
+		for i := uint64(0); i < n; i++ {
+			m.mem.store(buf+i, (h+i)&0xff, 1)
+		}
+		return n
+	}
+	libs["SSL_write"] = func(m *Machine, t *thread, args []uint64) uint64 {
+		h, buf, n := arg(args, 0), arg(args, 1), arg(args, 2)
+		if st, ok := m.ssl.conns[h]; !ok || st != sslConnected {
+			return ^uint64(0)
+		}
+		var sum uint64
+		for i := uint64(0); i < n && i < 256; i++ {
+			sum += m.mem.load(buf+i, 1)
+		}
+		_ = sum
+		return n
+	}
+	libs["SSL_shutdown"] = func(m *Machine, t *thread, args []uint64) uint64 {
+		h := arg(args, 0)
+		if _, ok := m.ssl.conns[h]; !ok {
+			return ^uint64(0)
+		}
+		m.ssl.conns[h] = sslShutdown
+		return 1
+	}
+	libs["SSL_free"] = func(m *Machine, t *thread, args []uint64) uint64 {
+		h := arg(args, 0)
+		delete(m.ssl.conns, h)
+		m.heap.release(h)
+		return 0
+	}
+	libs["SSL_get_error"] = func(m *Machine, t *thread, args []uint64) uint64 { return 0 }
+}

@@ -1,0 +1,92 @@
+package vm
+
+// Modeled Zlib subset operating on a z_stream-like struct in simulated
+// memory:
+//
+//	offset 0:  next_in   (pointer)
+//	offset 8:  avail_in  (bytes)
+//	offset 16: next_out  (pointer)
+//	offset 24: avail_out (bytes)
+//	offset 32: total_out (bytes, written by the model)
+//
+// As with SSL, the model tolerates misuse (inflate on an uninitialized
+// stream simply consumes nothing) because detecting misuse is ZlibSan's
+// job.
+
+type zstreamState uint8
+
+const (
+	zNone zstreamState = iota
+	zDeflate
+	zInflate
+)
+
+type zlibWorld struct {
+	streams map[uint64]zstreamState
+}
+
+func (w *zlibWorld) init() { w.streams = make(map[uint64]zstreamState) }
+
+const (
+	zOffNextIn   = 0
+	zOffAvailIn  = 8
+	zOffNextOut  = 16
+	zOffAvailOut = 24
+	zOffTotalOut = 32
+
+	// ZStreamSize is the modeled sizeof(z_stream).
+	ZStreamSize = 40
+)
+
+func registerZlib(libs map[string]LibFn) {
+	libs["deflateInit"] = func(m *Machine, t *thread, args []uint64) uint64 {
+		m.zlib.streams[arg(args, 0)] = zDeflate
+		return 0
+	}
+	libs["inflateInit"] = func(m *Machine, t *thread, args []uint64) uint64 {
+		m.zlib.streams[arg(args, 0)] = zInflate
+		return 0
+	}
+	libs["deflate"] = func(m *Machine, t *thread, args []uint64) uint64 {
+		return zlibPump(m, arg(args, 0), 2) // "compress": out = in/2
+	}
+	libs["inflate"] = func(m *Machine, t *thread, args []uint64) uint64 {
+		return zlibPump(m, arg(args, 0), 1) // "decompress": out = in
+	}
+	libs["deflateEnd"] = func(m *Machine, t *thread, args []uint64) uint64 {
+		delete(m.zlib.streams, arg(args, 0))
+		return 0
+	}
+	libs["inflateEnd"] = libs["deflateEnd"]
+}
+
+// zlibPump moves bytes from next_in to next_out, shrinking by ratio.
+// Returns 0 (Z_OK) or 1 (Z_STREAM_END when input is exhausted).
+func zlibPump(m *Machine, strm uint64, ratio uint64) uint64 {
+	if m.zlib.streams[strm] == zNone {
+		return ^uint64(1) // Z_STREAM_ERROR
+	}
+	in := m.mem.loadWord(strm + zOffNextIn)
+	availIn := m.mem.loadWord(strm + zOffAvailIn)
+	out := m.mem.loadWord(strm + zOffNextOut)
+	availOut := m.mem.loadWord(strm + zOffAvailOut)
+	totalOut := m.mem.loadWord(strm + zOffTotalOut)
+
+	produce := availIn / ratio
+	if produce > availOut {
+		produce = availOut
+	}
+	var csum uint64
+	for i := uint64(0); i < availIn && i < 1<<16; i++ {
+		csum += m.mem.load(in+i, 1)
+	}
+	for i := uint64(0); i < produce; i++ {
+		m.mem.store(out+i, (csum+i)&0xff, 1)
+	}
+	m.mem.storeWord(strm+zOffNextIn, in+availIn)
+	m.mem.storeWord(strm+zOffAvailIn, 0)
+	m.mem.storeWord(strm+zOffNextOut, out+produce)
+	m.mem.storeWord(strm+zOffAvailOut, availOut-produce)
+	m.mem.storeWord(strm+zOffTotalOut, totalOut+produce)
+	return 1 // Z_STREAM_END
+}

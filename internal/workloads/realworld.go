@@ -1,0 +1,465 @@
+package workloads
+
+import "repro/internal/mir"
+
+// Real-world program models: a memcached-like KV server and an
+// nginx-like request server (both speaking the modeled OpenSSL library,
+// carrying the §6.4.1 bug injections), a multi-threaded merge sort, and
+// an ffmpeg-like codec loop over the modeled Zlib.
+
+func init() {
+	register(&Spec{Name: "memcached", Suite: "realworld", Threads: nWorkers,
+		Bugs: []Bug{BugSSLLeak, BugSSLShutdown, BugUAF}, build: buildMemcached})
+	register(&Spec{Name: "nginx", Suite: "realworld", Threads: nWorkers,
+		Bugs: []Bug{BugSSLShutdown}, build: buildNginx})
+	register(&Spec{Name: "sort", Suite: "realworld", Threads: nWorkers, build: buildSort})
+	register(&Spec{Name: "ffmpeg", Suite: "realworld",
+		Bugs: []Bug{BugZlibUninit, BugTaint}, build: buildFFmpeg})
+}
+
+// memcached: hash-table KV store, per-bucket item allocation churn,
+// four workers each serving a TLS connection.
+func buildMemcached(size Size, bug Bug) *mir.Program {
+	const buckets = 256
+	ops := size.scale(512)
+	p := mir.NewProgram()
+
+	// worker(table, lock, ctx, ops, w)
+	w := p.NewFunc("mcWorker", 5)
+	table, lock, ctx, opsR, wid := w.Param(0), w.Param(1), w.Param(2), w.Param(3), w.Param(4)
+
+	ssl := w.Call("SSL_new", mir.R(ctx))
+	w.CallVoid("SSL_set_fd", mir.R(ssl), mir.R(wid))
+	w.CallVoid("SSL_connect", mir.R(ssl))
+	buf := w.Call("malloc", mir.C(64))
+
+	acc := w.Alloca(8)
+	z := w.Const(0)
+	w.Store(mir.R(acc), mir.R(z), 8)
+
+	w.Loop(mir.R(opsR), func(i mir.Reg) {
+		n := w.Call("SSL_read", mir.R(ssl), mir.R(buf), mir.C(16))
+		_ = n
+		req := w.Load(mir.R(buf), 8)
+		mix1 := w.Mul(mir.R(req), mir.C(2654435761))
+		mix2 := w.Add(mir.R(mix1), mir.R(i))
+		op := w.Bin(mir.OpAnd, mir.R(mix2), mir.C(3))
+		h1 := w.Bin(mir.OpShr, mir.R(mix2), mir.C(2))
+		h := w.Bin(mir.OpAnd, mir.R(h1), mir.C(buckets-1))
+		slotOff := w.Mul(mir.R(h), mir.C(8))
+		slot := w.Add(mir.R(table), mir.R(slotOff))
+
+		w.Lock(mir.R(lock))
+		isSet := w.Bin(mir.OpEq, mir.R(op), mir.C(0))
+		setB := w.NewBlock()
+		getB := w.NewBlock()
+		unlockB := w.NewBlock()
+		w.CondBr(mir.R(isSet), setB, getB)
+
+		// SET: replace the item.
+		w.SetBlock(setB)
+		old := w.Load(mir.R(slot), 8)
+		haveOld := w.Bin(mir.OpNe, mir.R(old), mir.C(0))
+		freeB := w.NewBlock()
+		allocB := w.NewBlock()
+		w.CondBr(mir.R(haveOld), freeB, allocB)
+		w.SetBlock(freeB)
+		w.CallVoid("free", mir.R(old))
+		w.Br(allocB)
+		w.SetBlock(allocB)
+		item := w.Call("malloc", mir.C(16))
+		w.Store(mir.R(item), mir.R(mix2), 8)
+		va := w.Add(mir.R(item), mir.C(8))
+		vv := w.Mul(mir.R(mix2), mir.C(31))
+		w.Store(mir.R(va), mir.R(vv), 8)
+		w.Store(mir.R(slot), mir.R(item), 8)
+		w.Br(unlockB)
+
+		// GET / DELETE.
+		w.SetBlock(getB)
+		it := w.Load(mir.R(slot), 8)
+		have := w.Bin(mir.OpNe, mir.R(it), mir.C(0))
+		useB := w.NewBlock()
+		w.CondBr(mir.R(have), useB, unlockB)
+		w.SetBlock(useB)
+		isDel := w.Bin(mir.OpEq, mir.R(op), mir.C(3))
+		delB := w.NewBlock()
+		readB := w.NewBlock()
+		w.CondBr(mir.R(isDel), delB, readB)
+		w.SetBlock(delB)
+		w.CallVoid("free", mir.R(it))
+		if bug == BugUAF {
+			// Stale read of the freed item's value (lost-update bug).
+			sva := w.Add(mir.R(it), mir.C(8))
+			sv := w.Load(mir.R(sva), 8)
+			a0 := w.Load(mir.R(acc), 8)
+			a1 := w.Add(mir.R(a0), mir.R(sv))
+			w.Store(mir.R(acc), mir.R(a1), 8)
+		}
+		zz := w.Const(0)
+		w.Store(mir.R(slot), mir.R(zz), 8)
+		w.Br(unlockB)
+		w.SetBlock(readB)
+		rva := w.Add(mir.R(it), mir.C(8))
+		rv := w.Load(mir.R(rva), 8)
+		a0 := w.Load(mir.R(acc), 8)
+		a1 := w.Add(mir.R(a0), mir.R(rv))
+		w.Store(mir.R(acc), mir.R(a1), 8)
+		w.Br(unlockB)
+
+		w.SetBlock(unlockB)
+		w.Unlock(mir.R(lock))
+	})
+
+	av := w.Load(mir.R(acc), 8)
+	w.Store(mir.R(buf), mir.R(av), 8)
+	w.CallVoid("SSL_write", mir.R(ssl), mir.R(buf), mir.C(8))
+	switch bug {
+	case BugSSLLeak:
+		// Connection close path forgets the handle entirely
+		// (memcached/memcached#538).
+	case BugSSLShutdown:
+		// Free without shutdown (memcached TLS shutdown misuse).
+		w.CallVoid("SSL_free", mir.R(ssl))
+	default:
+		w.CallVoid("SSL_shutdown", mir.R(ssl))
+		w.CallVoid("SSL_free", mir.R(ssl))
+	}
+	w.CallVoid("free", mir.R(buf))
+	w.Ret()
+
+	b := p.NewFunc("main", 0)
+	ctxM := b.Call("SSL_CTX_new")
+	tableM := b.Call("calloc", mir.C(buckets), mir.C(8))
+	lockM := b.Call("malloc", mir.C(8))
+	spawnJoinWorkers(b, "mcWorker", nWorkers, mir.R(tableM), mir.R(lockM), mir.R(ctxM), mir.C(ops))
+	// Drain the tableM: free remaining items.
+	b.Loop(mir.C(buckets), func(i mir.Reg) {
+		off := b.Mul(mir.R(i), mir.C(8))
+		slot := b.Add(mir.R(tableM), mir.R(off))
+		it := b.Load(mir.R(slot), 8)
+		have := b.Bin(mir.OpNe, mir.R(it), mir.C(0))
+		freeB := b.NewBlock()
+		next := b.NewBlock()
+		b.CondBr(mir.R(have), freeB, next)
+		b.SetBlock(freeB)
+		b.CallVoid("free", mir.R(it))
+		b.Br(next)
+		b.SetBlock(next)
+	})
+	b.CallVoid("free", mir.R(tableM))
+	b.CallVoid("free", mir.R(lockM))
+	b.CallVoid("SSL_CTX_free", mir.R(ctxM))
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// nginx: TLS request/response loop with a routing table; the bug
+// variant's error path frees the connection without SSL_shutdown
+// (nginx's "fixed shutdown handling" commit).
+func buildNginx(size Size, bug Bug) *mir.Program {
+	const routes = 64
+	conns := size.scale(64)
+	p := mir.NewProgram()
+
+	// worker(routeTbl, hits, lock, ctx, conns, w)
+	w := p.NewFunc("ngWorker", 6)
+	routeTbl, hits, lock, ctx, cc, wid := w.Param(0), w.Param(1), w.Param(2), w.Param(3), w.Param(4), w.Param(5)
+	perW := w.Bin(mir.OpDiv, mir.R(cc), mir.C(nWorkers))
+	buf := w.Call("malloc", mir.C(128))
+	w.Loop(mir.R(perW), func(i mir.Reg) {
+		ssl := w.Call("SSL_new", mir.R(ctx))
+		w.CallVoid("SSL_set_fd", mir.R(wid), mir.R(i))
+		w.CallVoid("SSL_accept", mir.R(ssl))
+		n := w.Call("SSL_read", mir.R(ssl), mir.R(buf), mir.C(64))
+		// Parse: hash the request bytes.
+		hv := w.Alloca(8)
+		seed := w.Const(5381)
+		w.Store(mir.R(hv), mir.R(seed), 8)
+		w.Loop(mir.R(n), func(j mir.Reg) {
+			ba := w.Add(mir.R(buf), mir.R(j))
+			c := w.Load(mir.R(ba), 1)
+			h0 := w.Load(mir.R(hv), 8)
+			h1 := w.Mul(mir.R(h0), mir.C(33))
+			h2 := w.Add(mir.R(h1), mir.R(c))
+			w.Store(mir.R(hv), mir.R(h2), 8)
+		})
+		h := w.Load(mir.R(hv), 8)
+		route := w.Bin(mir.OpAnd, mir.R(h), mir.C(routes-1))
+		ro := w.Mul(mir.R(route), mir.C(8))
+		ra := w.Add(mir.R(routeTbl), mir.R(ro))
+		status := w.Load(mir.R(ra), 8)
+
+		// Error path: routes with status 0 are "bad requests"; each
+		// worker's first connection also exercises it (a handshake
+		// warm-up failure), keeping the path deterministic at any size.
+		isErr0 := w.Bin(mir.OpEq, mir.R(status), mir.C(0))
+		isFirst := w.Bin(mir.OpEq, mir.R(i), mir.C(0))
+		isErr := w.Bin(mir.OpOr, mir.R(isErr0), mir.R(isFirst))
+		errB := w.NewBlock()
+		okB := w.NewBlock()
+		doneB := w.NewBlock()
+		w.CondBr(mir.R(isErr), errB, okB)
+		w.SetBlock(errB)
+		if bug == BugSSLShutdown {
+			// The buggy error path tears the connection down without
+			// SSL_shutdown.
+			w.CallVoid("SSL_free", mir.R(ssl))
+		} else {
+			w.CallVoid("SSL_shutdown", mir.R(ssl))
+			w.CallVoid("SSL_free", mir.R(ssl))
+		}
+		w.Br(doneB)
+		w.SetBlock(okB)
+		w.Store(mir.R(buf), mir.R(status), 8)
+		w.CallVoid("SSL_write", mir.R(ssl), mir.R(buf), mir.C(32))
+		w.Lock(mir.R(lock))
+		hcur := w.Load(mir.R(hits), 8)
+		hnew := w.Add(mir.R(hcur), mir.C(1))
+		w.Store(mir.R(hits), mir.R(hnew), 8)
+		w.Unlock(mir.R(lock))
+		w.CallVoid("SSL_shutdown", mir.R(ssl))
+		w.CallVoid("SSL_free", mir.R(ssl))
+		w.Br(doneB)
+		w.SetBlock(doneB)
+	})
+	w.CallVoid("free", mir.R(buf))
+	w.Ret()
+
+	b := p.NewFunc("main", 0)
+	ctxM := b.Call("SSL_CTX_new")
+	routeTblM := b.Call("malloc", mir.C(routes*8))
+	// Route statuses 0..7 (0 = error route).
+	b.Loop(mir.C(routes), func(i mir.Reg) {
+		off := b.Mul(mir.R(i), mir.C(8))
+		a := b.Add(mir.R(routeTblM), mir.R(off))
+		st := b.Bin(mir.OpAnd, mir.R(i), mir.C(7))
+		b.Store(mir.R(a), mir.R(st), 8)
+	})
+	hitsM := b.Call("calloc", mir.C(1), mir.C(8))
+	lockM := b.Call("malloc", mir.C(8))
+	spawnJoinWorkers(b, "ngWorker", nWorkers, mir.R(routeTblM), mir.R(hitsM), mir.R(lockM), mir.R(ctxM), mir.C(conns))
+	t := b.Load(mir.R(hitsM), 8)
+	b.CallVoid("print_i64", mir.R(t))
+	b.CallVoid("free", mir.R(routeTblM))
+	b.CallVoid("free", mir.R(hitsM))
+	b.CallVoid("free", mir.R(lockM))
+	b.CallVoid("SSL_CTX_free", mir.R(ctxM))
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// sort: four workers shell-sort their quarters, then main merges.
+func buildSort(size Size, bug Bug) *mir.Program {
+	n := size.scale(512)
+	p := mir.NewProgram()
+
+	// worker(arr, n, w): shell sort of the owned quarter.
+	w := p.NewFunc("sortWorker", 3)
+	arr, nn, wid := w.Param(0), w.Param(1), w.Param(2)
+	chunk := w.Bin(mir.OpDiv, mir.R(nn), mir.C(nWorkers))
+	base := w.Mul(mir.R(wid), mir.R(chunk))
+	// Gaps 7, 3, 1.
+	for _, gap := range []int64{7, 3, 1} {
+		w.Loop(mir.R(chunk), func(i mir.Reg) {
+			ok := w.Bin(mir.OpGe, mir.R(i), mir.C(gap))
+			doB := w.NewBlock()
+			skipB := w.NewBlock()
+			w.CondBr(mir.R(ok), doB, skipB)
+			w.SetBlock(doB)
+			// One insertion step: compare a[base+i-gap] and a[base+i],
+			// swap if out of order; repeated loop passes converge.
+			i1 := w.Add(mir.R(base), mir.R(i))
+			i0 := w.Sub(mir.R(i1), mir.C(gap))
+			o1 := w.Mul(mir.R(i1), mir.C(8))
+			o0 := w.Mul(mir.R(i0), mir.C(8))
+			a1 := w.Add(mir.R(arr), mir.R(o1))
+			a0 := w.Add(mir.R(arr), mir.R(o0))
+			v1 := w.Load(mir.R(a1), 8)
+			v0 := w.Load(mir.R(a0), 8)
+			gt := w.Bin(mir.OpGt, mir.R(v0), mir.R(v1))
+			swapB := w.NewBlock()
+			w.CondBr(mir.R(gt), swapB, skipB)
+			w.SetBlock(swapB)
+			w.Store(mir.R(a0), mir.R(v1), 8)
+			w.Store(mir.R(a1), mir.R(v0), 8)
+			w.Br(skipB)
+			w.SetBlock(skipB)
+		})
+	}
+	w.Ret()
+
+	b := p.NewFunc("main", 0)
+	arrM := b.Call("malloc", mir.C(n*8))
+	initArraySeq(b, arrM, n, 2654435761, 97)
+	// A few sorting rounds (bubble-of-shell passes).
+	rounds := int64(6)
+	b.Loop(mir.C(rounds), func(r mir.Reg) {
+		spawnJoinWorkers(b, "sortWorker", nWorkers, mir.R(arrM), mir.C(n))
+	})
+	// Merge quarters into dst by repeated min-scan of the 4 heads.
+	dst := b.Call("malloc", mir.C(n*8))
+	heads := b.Alloca(nWorkers * 8)
+	for i := int64(0); i < nWorkers; i++ {
+		hv := b.Const(i * (n / nWorkers))
+		ha := b.Add(mir.R(heads), mir.C(i*8))
+		b.Store(mir.R(ha), mir.R(hv), 8)
+	}
+	b.Loop(mir.C(n), func(outIdx mir.Reg) {
+		bestV := b.Alloca(8)
+		bestW := b.Alloca(8)
+		maxv := b.Const(1 << 62)
+		b.Store(mir.R(bestV), mir.R(maxv), 8)
+		m1 := b.Const(-1)
+		b.Store(mir.R(bestW), mir.R(m1), 8)
+		b.Loop(mir.C(nWorkers), func(q mir.Reg) {
+			hoff := b.Mul(mir.R(q), mir.C(8))
+			ha := b.Add(mir.R(heads), mir.R(hoff))
+			hv := b.Load(mir.R(ha), 8)
+			limit1 := b.Add(mir.R(q), mir.C(1))
+			limit := b.Mul(mir.R(limit1), mir.C(n/nWorkers))
+			inRange := b.Bin(mir.OpLt, mir.R(hv), mir.R(limit))
+			chk := b.NewBlock()
+			next := b.NewBlock()
+			b.CondBr(mir.R(inRange), chk, next)
+			b.SetBlock(chk)
+			ao := b.Mul(mir.R(hv), mir.C(8))
+			aa := b.Add(mir.R(arrM), mir.R(ao))
+			av := b.Load(mir.R(aa), 8)
+			bv := b.Load(mir.R(bestV), 8)
+			lt := b.Bin(mir.OpLt, mir.R(av), mir.R(bv))
+			takeB := b.NewBlock()
+			b.CondBr(mir.R(lt), takeB, next)
+			b.SetBlock(takeB)
+			b.Store(mir.R(bestV), mir.R(av), 8)
+			b.Store(mir.R(bestW), mir.R(q), 8)
+			b.Br(next)
+			b.SetBlock(next)
+		})
+		// Advance the winning head and emit.
+		bw := b.Load(mir.R(bestW), 8)
+		valid := b.Bin(mir.OpGe, mir.R(bw), mir.C(0))
+		emitB := b.NewBlock()
+		after := b.NewBlock()
+		b.CondBr(mir.R(valid), emitB, after)
+		b.SetBlock(emitB)
+		bo := b.Mul(mir.R(bw), mir.C(8))
+		ha := b.Add(mir.R(heads), mir.R(bo))
+		hv := b.Load(mir.R(ha), 8)
+		hv2 := b.Add(mir.R(hv), mir.C(1))
+		b.Store(mir.R(ha), mir.R(hv2), 8)
+		bv := b.Load(mir.R(bestV), 8)
+		do := b.Mul(mir.R(outIdx), mir.C(8))
+		da := b.Add(mir.R(dst), mir.R(do))
+		b.Store(mir.R(da), mir.R(bv), 8)
+		b.Br(after)
+		b.SetBlock(after)
+	})
+	emitChecksumAndFree(b, dst, n, arrM, dst)
+	return p
+}
+
+// ffmpeg: frame transform + zlib deflate loop; the bug variant inflates
+// through a z_stream that was never initialized (the removed unused
+// z_stream), and the taint variant indexes a quantization table with an
+// input byte.
+func buildFFmpeg(size Size, bug Bug) *mir.Program {
+	const frameBytes = 1024
+	frames := size.scale(8)
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+
+	src := b.Call("malloc", mir.C(frameBytes))
+	coef := b.Call("malloc", mir.C(frameBytes))
+	outBuf := b.Call("malloc", mir.C(frameBytes))
+	strm := b.Call("malloc", mir.C(48))
+	b.CallVoid("memset", mir.R(strm), mir.C(0), mir.C(48))
+	b.CallVoid("deflateInit", mir.R(strm))
+	qtab := b.Call("malloc", mir.C(256*8))
+	initArraySeq(b, qtab, 256, 13, 1)
+	initBytes(b, src, frameBytes, 41, 3)
+
+	totalOut := b.Alloca(8)
+	z := b.Const(0)
+	b.Store(mir.R(totalOut), mir.R(z), 8)
+
+	b.Loop(mir.C(frames), func(f mir.Reg) {
+		// "DCT": difference-transform each 8-byte row then quantize.
+		b.Loop(mir.C(frameBytes-1), func(i mir.Reg) {
+			a0 := b.Add(mir.R(src), mir.R(i))
+			i1 := b.Add(mir.R(i), mir.C(1))
+			a1 := b.Add(mir.R(src), mir.R(i1))
+			v0 := b.Load(mir.R(a0), 1)
+			v1 := b.Load(mir.R(a1), 1)
+			d := b.Sub(mir.R(v1), mir.R(v0))
+			qi := b.Bin(mir.OpAnd, mir.R(d), mir.C(255))
+			qo := b.Mul(mir.R(qi), mir.C(8))
+			qa := b.Add(mir.R(qtab), mir.R(qo))
+			qv := b.Load(mir.R(qa), 8)
+			quant := b.Bin(mir.OpAnd, mir.R(qv), mir.C(255))
+			ca := b.Add(mir.R(coef), mir.R(i))
+			b.Store(mir.R(ca), mir.R(quant), 1)
+		})
+		last := b.Add(mir.R(coef), mir.C(frameBytes-1))
+		zz := b.Const(0)
+		b.Store(mir.R(last), mir.R(zz), 1)
+
+		// Compress the coefficients.
+		b.Store(mir.R(strm), mir.R(coef), 8) // next_in
+		ai := b.Add(mir.R(strm), mir.C(8))
+		ci := b.Const(frameBytes)
+		b.Store(mir.R(ai), mir.R(ci), 8) // avail_in
+		no := b.Add(mir.R(strm), mir.C(16))
+		b.Store(mir.R(no), mir.R(outBuf), 8) // next_out
+		ao := b.Add(mir.R(strm), mir.C(24))
+		co := b.Const(frameBytes)
+		b.Store(mir.R(ao), mir.R(co), 8) // avail_out
+		b.CallVoid("deflate", mir.R(strm), mir.C(4))
+		to := b.Add(mir.R(strm), mir.C(32))
+		tv := b.Load(mir.R(to), 8)
+		cur := b.Load(mir.R(totalOut), 8)
+		cur2 := b.Add(mir.R(cur), mir.R(tv))
+		b.Store(mir.R(totalOut), mir.R(cur2), 8)
+
+		// Mutate the frame for the next round.
+		b.Loop(mir.C(frameBytes/8), func(i mir.Reg) {
+			off := b.Mul(mir.R(i), mir.C(8))
+			a := b.Add(mir.R(src), mir.R(off))
+			v := b.Load(mir.R(a), 8)
+			v2 := b.Mul(mir.R(v), mir.C(6364136223846793005))
+			v3 := b.Add(mir.R(v2), mir.C(1442695040888963407))
+			b.Store(mir.R(a), mir.R(v3), 8)
+		})
+	})
+
+	if bug == BugZlibUninit {
+		// The "unused z_stream": declared, never initialized, yet pumped
+		// once on a cold path.
+		strayStrm := b.Call("malloc", mir.C(48))
+		b.CallVoid("memset", mir.R(strayStrm), mir.C(0), mir.C(48))
+		b.CallVoid("inflate", mir.R(strayStrm), mir.C(0))
+		b.CallVoid("free", mir.R(strayStrm))
+	}
+	if bug == BugTaint {
+		// Input-controlled index into the quantization table.
+		inBuf := b.Call("malloc", mir.C(32))
+		g := b.Call("gets", mir.R(inBuf))
+		c0 := b.Load(mir.R(g), 1)
+		qo := b.Mul(mir.R(c0), mir.C(8))
+		qa := b.Add(mir.R(qtab), mir.R(qo))
+		qv := b.Load(mir.R(qa), 8)
+		b.CallVoid("print_i64", mir.R(qv))
+		b.CallVoid("free", mir.R(inBuf))
+	}
+
+	b.CallVoid("deflateEnd", mir.R(strm))
+	t := b.Load(mir.R(totalOut), 8)
+	b.CallVoid("print_i64", mir.R(t))
+	b.CallVoid("free", mir.R(src))
+	b.CallVoid("free", mir.R(coef))
+	b.CallVoid("free", mir.R(outBuf))
+	b.CallVoid("free", mir.R(strm))
+	b.CallVoid("free", mir.R(qtab))
+	b.RetVal(mir.C(0))
+	return p
+}

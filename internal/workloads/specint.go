@@ -1,0 +1,568 @@
+package workloads
+
+import "repro/internal/mir"
+
+// SPECInt 2006-like single-threaded kernels. Each mimics the dominant
+// access pattern of its namesake: bzip2's byte-wise transform tables,
+// gobmk's recursive game-tree search, h264ref's block SAD scans,
+// hmmer's dynamic-programming bands, libquantum's long streaming array
+// passes, mcf's pointer-chasing network simplex, perlbench's hash-table
+// churn, sjeng's move-table search, and gcc's bitmap dataflow sets
+// (with the sbitmap uninitialized read of Table 3 as its injectable
+// bug).
+
+func init() {
+	register(&Spec{Name: "bzip2", Suite: "specint", build: buildBzip2})
+	register(&Spec{Name: "gobmk", Suite: "specint", build: buildGobmk})
+	register(&Spec{Name: "h264ref", Suite: "specint", build: buildH264ref})
+	register(&Spec{Name: "hmmer", Suite: "specint", build: buildHmmer})
+	register(&Spec{Name: "libquantum", Suite: "specint", build: buildLibquantum})
+	register(&Spec{Name: "mcf", Suite: "specint", build: buildMcf})
+	register(&Spec{Name: "perlbench", Suite: "specint", build: buildPerlbench})
+	register(&Spec{Name: "sjeng", Suite: "specint", build: buildSjeng})
+	register(&Spec{Name: "gcc", Suite: "specint", Bugs: []Bug{BugUninit}, build: buildGcc})
+}
+
+// bzip2: run-length + move-to-front transform over a byte buffer.
+func buildBzip2(size Size, bug Bug) *mir.Program {
+	n := size.scale(4096)
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+
+	src := b.Call("malloc", mir.C(n))
+	dst := b.Call("malloc", mir.C(n))
+	mtf := b.Call("malloc", mir.C(256*8))
+	initBytes(b, src, n, 137, 17)
+	initArraySeq(b, mtf, 256, 1, 0)
+
+	// Move-to-front-ish pass: for each input byte, look up its table
+	// slot, rotate the low entries, store the rank.
+	b.Loop(mir.C(n), func(i mir.Reg) {
+		sa := b.Add(mir.R(src), mir.R(i))
+		c := b.Load(mir.R(sa), 1)
+		slot := b.Bin(mir.OpAnd, mir.R(c), mir.C(255))
+		off := b.Mul(mir.R(slot), mir.C(8))
+		ta := b.Add(mir.R(mtf), mir.R(off))
+		rank := b.Load(mir.R(ta), 8)
+		// new rank = (rank + i) mod 256 — keeps table churning
+		nr1 := b.Add(mir.R(rank), mir.R(i))
+		nr := b.Bin(mir.OpAnd, mir.R(nr1), mir.C(255))
+		b.Store(mir.R(ta), mir.R(nr), 8)
+		da := b.Add(mir.R(dst), mir.R(i))
+		b.Store(mir.R(da), mir.R(nr), 1)
+	})
+
+	// RLE pass over dst.
+	runs := b.Alloca(8)
+	z := b.Const(0)
+	b.Store(mir.R(runs), mir.R(z), 8)
+	b.Loop(mir.C(n-1), func(i mir.Reg) {
+		a1 := b.Add(mir.R(dst), mir.R(i))
+		v1 := b.Load(mir.R(a1), 1)
+		i2 := b.Add(mir.R(i), mir.C(1))
+		a2 := b.Add(mir.R(dst), mir.R(i2))
+		v2 := b.Load(mir.R(a2), 1)
+		eq := b.Bin(mir.OpEq, mir.R(v1), mir.R(v2))
+		inc := b.NewBlock()
+		done := b.NewBlock()
+		b.CondBr(mir.R(eq), inc, done)
+		b.SetBlock(inc)
+		r := b.Load(mir.R(runs), 8)
+		r2 := b.Add(mir.R(r), mir.C(1))
+		b.Store(mir.R(runs), mir.R(r2), 8)
+		b.Br(done)
+		b.SetBlock(done)
+	})
+
+	r := b.Load(mir.R(runs), 8)
+	b.CallVoid("print_i64", mir.R(r))
+	b.CallVoid("free", mir.R(src))
+	b.CallVoid("free", mir.R(dst))
+	b.CallVoid("free", mir.R(mtf))
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// gobmk: recursive minimax over a small board with an evaluation table.
+func buildGobmk(size Size, bug Bug) *mir.Program {
+	rounds := size.scale(12)
+	p := mir.NewProgram()
+
+	// search(board, depth, seed) -> score
+	s := p.NewFunc("search", 3)
+	board, depth, seed := s.Param(0), s.Param(1), s.Param(2)
+	leaf := s.NewBlock()
+	rec := s.NewBlock()
+	isLeaf := s.Bin(mir.OpLe, mir.R(depth), mir.C(0))
+	s.CondBr(mir.R(isLeaf), leaf, rec)
+
+	s.SetBlock(leaf)
+	// Evaluate: sum 8 board cells picked by the seed.
+	acc := s.Alloca(8)
+	z := s.Const(0)
+	s.Store(mir.R(acc), mir.R(z), 8)
+	s.Loop(mir.C(8), func(i mir.Reg) {
+		h1 := s.Mul(mir.R(seed), mir.C(31))
+		h2 := s.Add(mir.R(h1), mir.R(i))
+		idx := s.Bin(mir.OpAnd, mir.R(h2), mir.C(63))
+		off := s.Mul(mir.R(idx), mir.C(8))
+		addr := s.Add(mir.R(board), mir.R(off))
+		v := s.Load(mir.R(addr), 8)
+		a := s.Load(mir.R(acc), 8)
+		a2 := s.Add(mir.R(a), mir.R(v))
+		s.Store(mir.R(acc), mir.R(a2), 8)
+	})
+	res := s.Load(mir.R(acc), 8)
+	s.RetVal(mir.R(res))
+
+	s.SetBlock(rec)
+	d2 := s.Sub(mir.R(depth), mir.C(1))
+	best := s.Alloca(8)
+	neg := s.Const(-1 << 40)
+	s.Store(mir.R(best), mir.R(neg), 8)
+	s.Loop(mir.C(4), func(mv mir.Reg) {
+		ns1 := s.Mul(mir.R(seed), mir.C(1103515245))
+		ns2 := s.Add(mir.R(ns1), mir.R(mv))
+		// Make the move: bump a board cell.
+		idx := s.Bin(mir.OpAnd, mir.R(ns2), mir.C(63))
+		off := s.Mul(mir.R(idx), mir.C(8))
+		addr := s.Add(mir.R(board), mir.R(off))
+		old := s.Load(mir.R(addr), 8)
+		upd := s.Add(mir.R(old), mir.C(1))
+		s.Store(mir.R(addr), mir.R(upd), 8)
+		sc := s.Call("search", mir.R(board), mir.R(d2), mir.R(ns2))
+		// Undo.
+		s.Store(mir.R(addr), mir.R(old), 8)
+		cur := s.Load(mir.R(best), 8)
+		gt := s.Bin(mir.OpGt, mir.R(sc), mir.R(cur))
+		take := s.NewBlock()
+		skip := s.NewBlock()
+		s.CondBr(mir.R(gt), take, skip)
+		s.SetBlock(take)
+		s.Store(mir.R(best), mir.R(sc), 8)
+		s.Br(skip)
+		s.SetBlock(skip)
+	})
+	out := s.Load(mir.R(best), 8)
+	s.RetVal(mir.R(out))
+
+	b := p.NewFunc("main", 0)
+	boardM := b.Call("malloc", mir.C(64*8))
+	initArraySeq(b, boardM, 64, 7, 3)
+	total := b.Alloca(8)
+	z0 := b.Const(0)
+	b.Store(mir.R(total), mir.R(z0), 8)
+	b.Loop(mir.C(rounds), func(r mir.Reg) {
+		sc := b.Call("search", mir.R(boardM), mir.C(5), mir.R(r))
+		t := b.Load(mir.R(total), 8)
+		t2 := b.Add(mir.R(t), mir.R(sc))
+		b.Store(mir.R(total), mir.R(t2), 8)
+	})
+	t := b.Load(mir.R(total), 8)
+	b.CallVoid("print_i64", mir.R(t))
+	b.CallVoid("free", mir.R(boardM))
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// h264ref: block-based SAD over two byte frames.
+func buildH264ref(size Size, bug Bug) *mir.Program {
+	const w, h = 128, 64
+	frames := size.scale(2)
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+
+	cur := b.Call("malloc", mir.C(w*h))
+	ref := b.Call("malloc", mir.C(w*h))
+	initBytes(b, cur, w*h, 31, 7)
+	initBytes(b, ref, w*h, 29, 11)
+
+	best := b.Alloca(8)
+	z := b.Const(0)
+	b.Store(mir.R(best), mir.R(z), 8)
+
+	b.Loop(mir.C(frames), func(f mir.Reg) {
+		// For each 8x8 block position (coarse grid), compute SAD.
+		b.Loop(mir.C((w/8)*(h/8)), func(blk mir.Reg) {
+			bx1 := b.Bin(mir.OpRem, mir.R(blk), mir.C(w/8))
+			bx := b.Mul(mir.R(bx1), mir.C(8))
+			by1 := b.Bin(mir.OpDiv, mir.R(blk), mir.C(w/8))
+			by := b.Mul(mir.R(by1), mir.C(8))
+			b.Loop(mir.C(64), func(px mir.Reg) {
+				dx := b.Bin(mir.OpAnd, mir.R(px), mir.C(7))
+				dy := b.Bin(mir.OpShr, mir.R(px), mir.C(3))
+				x := b.Add(mir.R(bx), mir.R(dx))
+				y := b.Add(mir.R(by), mir.R(dy))
+				row := b.Mul(mir.R(y), mir.C(w))
+				idx := b.Add(mir.R(row), mir.R(x))
+				ca := b.Add(mir.R(cur), mir.R(idx))
+				ra := b.Add(mir.R(ref), mir.R(idx))
+				cv := b.Load(mir.R(ca), 1)
+				rv := b.Load(mir.R(ra), 1)
+				d := b.Sub(mir.R(cv), mir.R(rv))
+				ad := b.Call("abs64", mir.R(d))
+				s := b.Load(mir.R(best), 8)
+				s2 := b.Add(mir.R(s), mir.R(ad))
+				b.Store(mir.R(best), mir.R(s2), 8)
+			})
+		})
+	})
+
+	t := b.Load(mir.R(best), 8)
+	b.CallVoid("print_i64", mir.R(t))
+	b.CallVoid("free", mir.R(cur))
+	b.CallVoid("free", mir.R(ref))
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// hmmer: banded dynamic programming over three score rows.
+func buildHmmer(size Size, bug Bug) *mir.Program {
+	const cols = 256
+	rows := size.scale(48)
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+
+	m := b.Call("malloc", mir.C(cols*8))
+	ins := b.Call("malloc", mir.C(cols*8))
+	del := b.Call("malloc", mir.C(cols*8))
+	initArraySeq(b, m, cols, 3, 1)
+	initArraySeq(b, ins, cols, 5, 2)
+	initArraySeq(b, del, cols, 7, 4)
+
+	b.Loop(mir.C(rows), func(r mir.Reg) {
+		b.Loop(mir.C(cols-1), func(cIdx mir.Reg) {
+			c := b.Add(mir.R(cIdx), mir.C(1))
+			prev := b.Sub(mir.R(c), mir.C(1))
+			po := b.Mul(mir.R(prev), mir.C(8))
+			co := b.Mul(mir.R(c), mir.C(8))
+
+			ma := b.Add(mir.R(m), mir.R(po))
+			ia := b.Add(mir.R(ins), mir.R(po))
+			da := b.Add(mir.R(del), mir.R(co))
+
+			mv := b.Load(mir.R(ma), 8)
+			iv := b.Load(mir.R(ia), 8)
+			dv := b.Load(mir.R(da), 8)
+
+			// max3 + emission score
+			mi := b.Bin(mir.OpGt, mir.R(mv), mir.R(iv))
+			t1 := b.NewBlock()
+			t2 := b.NewBlock()
+			t3 := b.NewBlock()
+			tmp := b.Alloca(8)
+			b.CondBr(mir.R(mi), t1, t2)
+			b.SetBlock(t1)
+			b.Store(mir.R(tmp), mir.R(mv), 8)
+			b.Br(t3)
+			b.SetBlock(t2)
+			b.Store(mir.R(tmp), mir.R(iv), 8)
+			b.Br(t3)
+			b.SetBlock(t3)
+			hi := b.Load(mir.R(tmp), 8)
+			hi2cmp := b.Bin(mir.OpGt, mir.R(dv), mir.R(hi))
+			t4 := b.NewBlock()
+			t5 := b.NewBlock()
+			b.CondBr(mir.R(hi2cmp), t4, t5)
+			b.SetBlock(t4)
+			b.Store(mir.R(tmp), mir.R(dv), 8)
+			b.Br(t5)
+			b.SetBlock(t5)
+			sc := b.Load(mir.R(tmp), 8)
+			em1 := b.Mul(mir.R(r), mir.C(13))
+			em2 := b.Add(mir.R(em1), mir.R(c))
+			em := b.Bin(mir.OpAnd, mir.R(em2), mir.C(31))
+			ns := b.Add(mir.R(sc), mir.R(em))
+
+			mwa := b.Add(mir.R(m), mir.R(co))
+			b.Store(mir.R(mwa), mir.R(ns), 8)
+			iv2 := b.Add(mir.R(ns), mir.C(-2))
+			iwa := b.Add(mir.R(ins), mir.R(co))
+			b.Store(mir.R(iwa), mir.R(iv2), 8)
+			dv2 := b.Add(mir.R(ns), mir.C(-3))
+			dwa := b.Add(mir.R(del), mir.R(co))
+			b.Store(mir.R(dwa), mir.R(dv2), 8)
+		})
+	})
+
+	sum := sumArray(b, m, cols)
+	t := b.Load(mir.R(sum), 8)
+	b.CallVoid("print_i64", mir.R(t))
+	b.CallVoid("free", mir.R(m))
+	b.CallVoid("free", mir.R(ins))
+	b.CallVoid("free", mir.R(del))
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// libquantum: long streaming passes toggling "qubit" amplitudes — the
+// benchmark whose cache behavior separates MSan layouts in Figure 3.
+func buildLibquantum(size Size, bug Bug) *mir.Program {
+	n := size.scale(8192)
+	passes := int64(12)
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+
+	reg := b.Call("malloc", mir.C(n*8))
+	initArraySeq(b, reg, n, 2654435761, 1)
+
+	b.Loop(mir.C(passes), func(pass mir.Reg) {
+		mask := b.Bin(mir.OpShl, mir.C(1), mir.R(pass))
+		b.Loop(mir.C(n), func(i mir.Reg) {
+			off := b.Mul(mir.R(i), mir.C(8))
+			addr := b.Add(mir.R(reg), mir.R(off))
+			v := b.Load(mir.R(addr), 8)
+			v2 := b.Bin(mir.OpXor, mir.R(v), mir.R(mask))
+			v3 := b.Add(mir.R(v2), mir.C(1))
+			b.Store(mir.R(addr), mir.R(v3), 8)
+		})
+	})
+
+	sum := sumArray(b, reg, n)
+	t := b.Load(mir.R(sum), 8)
+	b.CallVoid("print_i64", mir.R(t))
+	b.CallVoid("free", mir.R(reg))
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// mcf: pointer-chasing over a linked network of nodes.
+func buildMcf(size Size, bug Bug) *mir.Program {
+	nodes := size.scale(2048)
+	hops := size.scale(8192)
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+
+	// Node: [next(8) cost(8)] = 16 bytes.
+	arena := b.Call("malloc", mir.C(nodes*16))
+	// Link node i -> (i*7+3) mod nodes, pseudo-random permutation walk.
+	b.Loop(mir.C(nodes), func(i mir.Reg) {
+		n1 := b.Mul(mir.R(i), mir.C(7))
+		n2 := b.Add(mir.R(n1), mir.C(3))
+		nxt := b.Bin(mir.OpRem, mir.R(n2), mir.C(nodes))
+		no := b.Mul(mir.R(nxt), mir.C(16))
+		naddr := b.Add(mir.R(arena), mir.R(no))
+		io := b.Mul(mir.R(i), mir.C(16))
+		iaddr := b.Add(mir.R(arena), mir.R(io))
+		b.Store(mir.R(iaddr), mir.R(naddr), 8)
+		cost := b.Bin(mir.OpAnd, mir.R(i), mir.C(1023))
+		ca := b.Add(mir.R(iaddr), mir.C(8))
+		b.Store(mir.R(ca), mir.R(cost), 8)
+	})
+
+	// Chase the chain accumulating costs and relaxing them.
+	cur := b.Alloca(8)
+	b.Store(mir.R(cur), mir.R(arena), 8)
+	total := b.Alloca(8)
+	z := b.Const(0)
+	b.Store(mir.R(total), mir.R(z), 8)
+	b.Loop(mir.C(hops), func(i mir.Reg) {
+		c := b.Load(mir.R(cur), 8)
+		ca := b.Add(mir.R(c), mir.C(8))
+		cost := b.Load(mir.R(ca), 8)
+		t := b.Load(mir.R(total), 8)
+		t2 := b.Add(mir.R(t), mir.R(cost))
+		b.Store(mir.R(total), mir.R(t2), 8)
+		// Relax: cost = (cost*3+1)/2
+		c1 := b.Mul(mir.R(cost), mir.C(3))
+		c2 := b.Add(mir.R(c1), mir.C(1))
+		c3 := b.Bin(mir.OpDiv, mir.R(c2), mir.C(2))
+		c4 := b.Bin(mir.OpAnd, mir.R(c3), mir.C(4095))
+		b.Store(mir.R(ca), mir.R(c4), 8)
+		nxt := b.Load(mir.R(c), 8)
+		b.Store(mir.R(cur), mir.R(nxt), 8)
+	})
+
+	t := b.Load(mir.R(total), 8)
+	b.CallVoid("print_i64", mir.R(t))
+	b.CallVoid("free", mir.R(arena))
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// perlbench: hash-table insert/lookup churn with collision chains.
+func buildPerlbench(size Size, bug Bug) *mir.Program {
+	const buckets = 512
+	ops := size.scale(4096)
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+
+	// Bucket: one word (value of last insert); chain modeled by probing.
+	table := b.Call("calloc", mir.C(buckets), mir.C(8))
+	hits := b.Alloca(8)
+	z := b.Const(0)
+	b.Store(mir.R(hits), mir.R(z), 8)
+
+	seedVar := b.Alloca(8)
+	one := b.Const(0x9E3779B9)
+	b.Store(mir.R(seedVar), mir.R(one), 8)
+
+	b.Loop(mir.C(ops), func(i mir.Reg) {
+		sv := b.Load(mir.R(seedVar), 8)
+		s2 := xorshiftInline(b, sv)
+		b.Store(mir.R(seedVar), mir.R(s2), 8)
+		keyh := b.Bin(mir.OpAnd, mir.R(s2), mir.C(buckets-1))
+		// Linear probe up to 4 slots.
+		b.Loop(mir.C(4), func(probe mir.Reg) {
+			idx1 := b.Add(mir.R(keyh), mir.R(probe))
+			idx := b.Bin(mir.OpAnd, mir.R(idx1), mir.C(buckets-1))
+			off := b.Mul(mir.R(idx), mir.C(8))
+			addr := b.Add(mir.R(table), mir.R(off))
+			v := b.Load(mir.R(addr), 8)
+			isZero := b.Bin(mir.OpEq, mir.R(v), mir.C(0))
+			ins := b.NewBlock()
+			found := b.NewBlock()
+			done := b.NewBlock()
+			b.CondBr(mir.R(isZero), ins, found)
+			b.SetBlock(ins)
+			b.Store(mir.R(addr), mir.R(s2), 8)
+			b.Br(done)
+			b.SetBlock(found)
+			hv := b.Load(mir.R(hits), 8)
+			hv2 := b.Add(mir.R(hv), mir.C(1))
+			b.Store(mir.R(hits), mir.R(hv2), 8)
+			b.Br(done)
+			b.SetBlock(done)
+		})
+		// Periodically clear a random bucket (delete).
+		del := b.Bin(mir.OpAnd, mir.R(i), mir.C(7))
+		isDel := b.Bin(mir.OpEq, mir.R(del), mir.C(0))
+		dob := b.NewBlock()
+		skip := b.NewBlock()
+		b.CondBr(mir.R(isDel), dob, skip)
+		b.SetBlock(dob)
+		di := b.Bin(mir.OpAnd, mir.R(s2), mir.C(buckets-1))
+		doff := b.Mul(mir.R(di), mir.C(8))
+		daddr := b.Add(mir.R(table), mir.R(doff))
+		zz := b.Const(0)
+		b.Store(mir.R(daddr), mir.R(zz), 8)
+		b.Br(skip)
+		b.SetBlock(skip)
+	})
+
+	t := b.Load(mir.R(hits), 8)
+	b.CallVoid("print_i64", mir.R(t))
+	b.CallVoid("free", mir.R(table))
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// sjeng: alpha-beta-ish search using history tables.
+func buildSjeng(size Size, bug Bug) *mir.Program {
+	rounds := size.scale(16)
+	p := mir.NewProgram()
+
+	// probe(tbl, key, depth) -> score
+	s := p.NewFunc("probe", 3)
+	tbl, key, depth := s.Param(0), s.Param(1), s.Param(2)
+	leaf := s.NewBlock()
+	rec := s.NewBlock()
+	done := s.Bin(mir.OpLe, mir.R(depth), mir.C(0))
+	s.CondBr(mir.R(done), leaf, rec)
+	s.SetBlock(leaf)
+	idx := s.Bin(mir.OpAnd, mir.R(key), mir.C(255))
+	off := s.Mul(mir.R(idx), mir.C(8))
+	addr := s.Add(mir.R(tbl), mir.R(off))
+	v := s.Load(mir.R(addr), 8)
+	s.RetVal(mir.R(v))
+	s.SetBlock(rec)
+	d2 := s.Sub(mir.R(depth), mir.C(1))
+	k1 := s.Mul(mir.R(key), mir.C(6364136223846793005))
+	k2 := s.Add(mir.R(k1), mir.C(1442695040888963407))
+	a := s.Call("probe", mir.R(tbl), mir.R(k2), mir.R(d2))
+	k3 := s.Bin(mir.OpXor, mir.R(k2), mir.C(0x55555555))
+	c := s.Call("probe", mir.R(tbl), mir.R(k3), mir.R(d2))
+	// history update
+	hidx := s.Bin(mir.OpAnd, mir.R(k2), mir.C(255))
+	hoff := s.Mul(mir.R(hidx), mir.C(8))
+	haddr := s.Add(mir.R(tbl), mir.R(hoff))
+	hv := s.Load(mir.R(haddr), 8)
+	hv2 := s.Add(mir.R(hv), mir.C(1))
+	s.Store(mir.R(haddr), mir.R(hv2), 8)
+	sum := s.Add(mir.R(a), mir.R(c))
+	sub := s.Sub(mir.R(sum), mir.R(hv))
+	s.RetVal(mir.R(sub))
+
+	b := p.NewFunc("main", 0)
+	tblm := b.Call("malloc", mir.C(256*8))
+	initArraySeq(b, tblm, 256, 11, 5)
+	total := b.Alloca(8)
+	z := b.Const(0)
+	b.Store(mir.R(total), mir.R(z), 8)
+	b.Loop(mir.C(rounds), func(r mir.Reg) {
+		sc := b.Call("probe", mir.R(tblm), mir.R(r), mir.C(7))
+		t := b.Load(mir.R(total), 8)
+		t2 := b.Add(mir.R(t), mir.R(sc))
+		b.Store(mir.R(total), mir.R(t2), 8)
+	})
+	t := b.Load(mir.R(total), 8)
+	b.CallVoid("print_i64", mir.R(t))
+	b.CallVoid("free", mir.R(tblm))
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// gcc: bitmap (sbitmap) dataflow over basic blocks; the injectable bug
+// reads a bitmap word that was never initialized and branches on it —
+// Table 3's sbitmap.c:349.
+func buildGcc(size Size, bug Bug) *mir.Program {
+	const words = 64
+	blocks := size.scale(128)
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+
+	gen := b.Call("malloc", mir.C(words*8))
+	kill := b.Call("malloc", mir.C(words*8))
+	in := b.Call("malloc", mir.C(words*8))
+	out := b.Call("malloc", mir.C(words*8))
+	initArraySeq(b, gen, words, 0x9E37, 1)
+	initArraySeq(b, kill, words, 0x85EB, 2)
+	initArraySeq(b, in, words, 3, 0)
+	if bug != BugUninit {
+		initArraySeq(b, out, words, 0, 0)
+	} else {
+		// Leave out[] uninitialized — the dataflow loop reads it below.
+		_ = out
+	}
+
+	changed := b.Alloca(8)
+	z := b.Const(0)
+	b.Store(mir.R(changed), mir.R(z), 8)
+
+	b.Loop(mir.C(blocks), func(blk mir.Reg) {
+		b.Loop(mir.C(words), func(w mir.Reg) {
+			off := b.Mul(mir.R(w), mir.C(8))
+			ga := b.Add(mir.R(gen), mir.R(off))
+			ka := b.Add(mir.R(kill), mir.R(off))
+			ia := b.Add(mir.R(in), mir.R(off))
+			oa := b.Add(mir.R(out), mir.R(off))
+			gv := b.Load(mir.R(ga), 8)
+			kv := b.Load(mir.R(ka), 8)
+			iv := b.Load(mir.R(ia), 8)
+			ov := b.Load(mir.R(oa), 8) // uninitialized on first pass when bug injected
+			nk := b.Bin(mir.OpAnd, mir.R(iv), mir.R(kv))
+			nv1 := b.Bin(mir.OpXor, mir.R(iv), mir.R(nk))
+			nv := b.Bin(mir.OpOr, mir.R(nv1), mir.R(gv))
+			diff := b.Bin(mir.OpNe, mir.R(nv), mir.R(ov))
+			upd := b.NewBlock()
+			skip := b.NewBlock()
+			b.CondBr(mir.R(diff), upd, skip)
+			b.SetBlock(upd)
+			b.Store(mir.R(oa), mir.R(nv), 8)
+			cv := b.Load(mir.R(changed), 8)
+			cv2 := b.Add(mir.R(cv), mir.C(1))
+			b.Store(mir.R(changed), mir.R(cv2), 8)
+			b.Br(skip)
+			b.SetBlock(skip)
+		})
+	})
+
+	t := b.Load(mir.R(changed), 8)
+	b.CallVoid("print_i64", mir.R(t))
+	b.CallVoid("free", mir.R(gen))
+	b.CallVoid("free", mir.R(kill))
+	b.CallVoid("free", mir.R(in))
+	b.CallVoid("free", mir.R(out))
+	b.RetVal(mir.C(0))
+	return p
+}

@@ -1,0 +1,758 @@
+package workloads
+
+import "repro/internal/mir"
+
+// Splash2-like multi-threaded kernels. Four worker threads split each
+// phase; shared state is partitioned or lock-protected the way the
+// originals are, and two programs (barnes, fmm) read their parameters
+// with gets() — the source of LLVM MSan's false positives in Table 3.
+// ocean and volrend carry the table's true uninitialized reads as
+// injectable bugs.
+
+const nWorkers = 4
+
+func init() {
+	register(&Spec{Name: "fft", Suite: "splash2", Threads: nWorkers, build: buildFFT})
+	register(&Spec{Name: "lu_c", Suite: "splash2", Threads: nWorkers, build: buildLU(true)})
+	register(&Spec{Name: "lu_nc", Suite: "splash2", Threads: nWorkers, build: buildLU(false)})
+	register(&Spec{Name: "radix", Suite: "splash2", Threads: nWorkers, build: buildRadix})
+	register(&Spec{Name: "cholesky", Suite: "splash2", Threads: nWorkers, build: buildCholesky})
+	register(&Spec{Name: "barnes", Suite: "splash2", Threads: nWorkers, build: buildBarnes})
+	register(&Spec{Name: "fmm", Suite: "splash2", Threads: nWorkers, build: buildFMM})
+	register(&Spec{Name: "ocean", Suite: "splash2", Threads: nWorkers, Bugs: []Bug{BugUninit}, build: buildOcean})
+	register(&Spec{Name: "raytrace", Suite: "splash2", Threads: nWorkers, build: buildRaytrace})
+	register(&Spec{Name: "water_ns", Suite: "splash2", Threads: nWorkers, build: buildWaterNS})
+	register(&Spec{Name: "volrend", Suite: "splash2", Threads: nWorkers, Bugs: []Bug{BugUninit}, build: buildVolrend})
+	register(&Spec{Name: "radiosity", Suite: "splash2", Threads: nWorkers, Bugs: []Bug{BugRace}, build: buildRadiosity})
+}
+
+// emitChecksumAndFree finishes main: sum an array, print, free buffers.
+func emitChecksumAndFree(b *mir.FuncBuilder, arr mir.Reg, n int64, frees ...mir.Reg) {
+	sum := sumArray(b, arr, n)
+	t := b.Load(mir.R(sum), 8)
+	b.CallVoid("print_i64", mir.R(t))
+	for _, f := range frees {
+		b.CallVoid("free", mir.R(f))
+	}
+	b.RetVal(mir.C(0))
+}
+
+// fft: per-phase butterfly passes, workers own disjoint halves each
+// phase; a lock-protected global amplitude accumulator models the
+// barrier-time reduction.
+func buildFFT(size Size, bug Bug) *mir.Program {
+	n := size.scale(1024) // elements (power-of-two-ish chunks)
+	p := mir.NewProgram()
+
+	// worker(data, acc, lock, n, phase, w)
+	w := p.NewFunc("fftWorker", 6)
+	data, acc, lock, nn, phase, wid := w.Param(0), w.Param(1), w.Param(2), w.Param(3), w.Param(4), w.Param(5)
+	chunk := w.Bin(mir.OpDiv, mir.R(nn), mir.C(nWorkers))
+	base := w.Mul(mir.R(wid), mir.R(chunk))
+	local := w.Alloca(8)
+	z := w.Const(0)
+	w.Store(mir.R(local), mir.R(z), 8)
+	half := w.Bin(mir.OpDiv, mir.R(chunk), mir.C(2))
+	w.Loop(mir.R(half), func(i mir.Reg) {
+		// Butterfly: pair (base+i, base+(i+stride)%chunk); the stride
+		// doubles with the phase, the modulus keeps the partner inside
+		// this worker's chunk.
+		stride1 := w.Bin(mir.OpShl, mir.C(1), mir.R(phase))
+		stride := w.Bin(mir.OpRem, mir.R(stride1), mir.R(half))
+		i1 := w.Add(mir.R(base), mir.R(i))
+		j1 := w.Add(mir.R(i), mir.R(stride))
+		j2 := w.Bin(mir.OpRem, mir.R(j1), mir.R(chunk))
+		i2 := w.Add(mir.R(base), mir.R(j2))
+		o1 := w.Mul(mir.R(i1), mir.C(8))
+		o2 := w.Mul(mir.R(i2), mir.C(8))
+		a1 := w.Add(mir.R(data), mir.R(o1))
+		a2 := w.Add(mir.R(data), mir.R(o2))
+		v1 := w.Load(mir.R(a1), 8)
+		v2 := w.Load(mir.R(a2), 8)
+		s := w.Add(mir.R(v1), mir.R(v2))
+		d := w.Sub(mir.R(v1), mir.R(v2))
+		w.Store(mir.R(a1), mir.R(s), 8)
+		w.Store(mir.R(a2), mir.R(d), 8)
+		lv := w.Load(mir.R(local), 8)
+		lv2 := w.Add(mir.R(lv), mir.R(s))
+		w.Store(mir.R(local), mir.R(lv2), 8)
+	})
+	// Reduce into the shared accumulator under the lock.
+	w.Lock(mir.R(lock))
+	av := w.Load(mir.R(acc), 8)
+	lv := w.Load(mir.R(local), 8)
+	av2 := w.Add(mir.R(av), mir.R(lv))
+	w.Store(mir.R(acc), mir.R(av2), 8)
+	w.Unlock(mir.R(lock))
+	w.Ret()
+
+	b := p.NewFunc("main", 0)
+	dataM := b.Call("malloc", mir.C(n*8))
+	initArraySeq(b, dataM, n, 16807, 1)
+	accm := b.Call("malloc", mir.C(8))
+	z0 := b.Const(0)
+	b.Store(mir.R(accm), mir.R(z0), 8)
+	lockm := b.Call("malloc", mir.C(8))
+	for phase := int64(0); phase < 4; phase++ {
+		spawnJoinWorkers(b, "fftWorker", nWorkers,
+			mir.R(dataM), mir.R(accm), mir.R(lockm), mir.C(n), mir.C(phase))
+	}
+	emitChecksumAndFree(b, dataM, n, dataM, accm, lockm)
+	return p
+}
+
+// lu: blocked factorization sweep. Contiguous (lu_c) walks rows in
+// row-major order; non-contiguous (lu_nc) walks column-major, the cache
+// -hostile variant.
+func buildLU(contiguous bool) func(Size, Bug) *mir.Program {
+	return func(size Size, bug Bug) *mir.Program {
+		dim := int64(64)
+		sweeps := size.scale(2)
+		p := mir.NewProgram()
+
+		// worker(mat, dim, reps, w): each rep eliminates the rows it owns
+		// below a rotating pivot. Scaling lives inside the worker so the
+		// thread count stays fixed at any workload size.
+		w := p.NewFunc("luWorker", 4)
+		mat, dimr, reps, wid := w.Param(0), w.Param(1), w.Param(2), w.Param(3)
+		w.Loop(mir.R(reps), func(rep mir.Reg) {
+			k := w.Bin(mir.OpRem, mir.R(rep), mir.R(dimr))
+			w.Loop(mir.R(dimr), func(r mir.Reg) {
+				own := w.Bin(mir.OpRem, mir.R(r), mir.C(nWorkers))
+				mine := w.Bin(mir.OpEq, mir.R(own), mir.R(wid))
+				below := w.Bin(mir.OpGt, mir.R(r), mir.R(k))
+				both := w.Bin(mir.OpAnd, mir.R(mine), mir.R(below))
+				doB := w.NewBlock()
+				skipB := w.NewBlock()
+				w.CondBr(mir.R(both), doB, skipB)
+				w.SetBlock(doB)
+				w.Loop(mir.R(dimr), func(c mir.Reg) {
+					var idx, pidx mir.Reg
+					if contiguous {
+						r1 := w.Mul(mir.R(r), mir.R(dimr))
+						idx = w.Add(mir.R(r1), mir.R(c))
+						p1 := w.Mul(mir.R(k), mir.R(dimr))
+						pidx = w.Add(mir.R(p1), mir.R(c))
+					} else {
+						c1 := w.Mul(mir.R(c), mir.R(dimr))
+						idx = w.Add(mir.R(c1), mir.R(r))
+						pidx = w.Add(mir.R(c1), mir.R(k))
+					}
+					off := w.Mul(mir.R(idx), mir.C(8))
+					poff := w.Mul(mir.R(pidx), mir.C(8))
+					addr := w.Add(mir.R(mat), mir.R(off))
+					paddr := w.Add(mir.R(mat), mir.R(poff))
+					v := w.Load(mir.R(addr), 8)
+					pv := w.Load(mir.R(paddr), 8)
+					f1 := w.Bin(mir.OpShr, mir.R(pv), mir.C(3))
+					nv := w.Sub(mir.R(v), mir.R(f1))
+					w.Store(mir.R(addr), mir.R(nv), 8)
+				})
+				w.Br(skipB)
+				w.SetBlock(skipB)
+			})
+		})
+		w.Ret()
+
+		b := p.NewFunc("main", 0)
+		matM := b.Call("malloc", mir.C(dim*dim*8))
+		initArraySeq(b, matM, dim*dim, 48271, 7)
+		spawnJoinWorkers(b, "luWorker", nWorkers, mir.R(matM), mir.C(dim), mir.C(sweeps))
+		emitChecksumAndFree(b, matM, dim*dim, matM)
+		return p
+	}
+}
+
+// radix: per-pass histogram under a lock, then scatter by digit.
+func buildRadix(size Size, bug Bug) *mir.Program {
+	n := size.scale(1024)
+	p := mir.NewProgram()
+
+	// worker(src, dst, hist, lock, n, shift, w)
+	w := p.NewFunc("radixWorker", 7)
+	src, dst, hist, lock, nn, shift, wid := w.Param(0), w.Param(1), w.Param(2), w.Param(3), w.Param(4), w.Param(5), w.Param(6)
+	chunk := w.Bin(mir.OpDiv, mir.R(nn), mir.C(nWorkers))
+	base := w.Mul(mir.R(wid), mir.R(chunk))
+	// Local histogram on the stack.
+	localH := w.Alloca(16 * 8)
+	w.Loop(mir.C(16), func(i mir.Reg) {
+		off := w.Mul(mir.R(i), mir.C(8))
+		a := w.Add(mir.R(localH), mir.R(off))
+		z := w.Const(0)
+		w.Store(mir.R(a), mir.R(z), 8)
+	})
+	w.Loop(mir.R(chunk), func(i mir.Reg) {
+		idx := w.Add(mir.R(base), mir.R(i))
+		off := w.Mul(mir.R(idx), mir.C(8))
+		a := w.Add(mir.R(src), mir.R(off))
+		v := w.Load(mir.R(a), 8)
+		d1 := w.Bin(mir.OpShr, mir.R(v), mir.R(shift))
+		d := w.Bin(mir.OpAnd, mir.R(d1), mir.C(15))
+		ho := w.Mul(mir.R(d), mir.C(8))
+		ha := w.Add(mir.R(localH), mir.R(ho))
+		hv := w.Load(mir.R(ha), 8)
+		hv2 := w.Add(mir.R(hv), mir.C(1))
+		w.Store(mir.R(ha), mir.R(hv2), 8)
+		// Scatter into dst at a per-worker region ordered by digit.
+		do1 := w.Mul(mir.R(d), mir.R(chunk))
+		do2 := w.Bin(mir.OpDiv, mir.R(do1), mir.C(16))
+		do3 := w.Add(mir.R(do2), mir.R(base))
+		do4 := w.Add(mir.R(do3), mir.R(hv))
+		do5 := w.Bin(mir.OpRem, mir.R(do4), mir.R(nn))
+		doff := w.Mul(mir.R(do5), mir.C(8))
+		da := w.Add(mir.R(dst), mir.R(doff))
+		w.Store(mir.R(da), mir.R(v), 8)
+	})
+	// Merge local histogram into the shared one under the lock.
+	w.Lock(mir.R(lock))
+	w.Loop(mir.C(16), func(i mir.Reg) {
+		off := w.Mul(mir.R(i), mir.C(8))
+		la := w.Add(mir.R(localH), mir.R(off))
+		ga := w.Add(mir.R(hist), mir.R(off))
+		lv := w.Load(mir.R(la), 8)
+		gv := w.Load(mir.R(ga), 8)
+		s := w.Add(mir.R(gv), mir.R(lv))
+		w.Store(mir.R(ga), mir.R(s), 8)
+	})
+	w.Unlock(mir.R(lock))
+	w.Ret()
+
+	b := p.NewFunc("main", 0)
+	srcM := b.Call("malloc", mir.C(n*8))
+	dstM := b.Call("calloc", mir.C(n), mir.C(8))
+	histM := b.Call("calloc", mir.C(16), mir.C(8))
+	lockM := b.Call("malloc", mir.C(8))
+	initArraySeq(b, srcM, n, 2654435761, 3)
+	for pass := int64(0); pass < 4; pass++ {
+		spawnJoinWorkers(b, "radixWorker", nWorkers,
+			mir.R(srcM), mir.R(dstM), mir.R(histM), mir.R(lockM), mir.C(n), mir.C(pass*4))
+	}
+	emitChecksumAndFree(b, histM, 16, srcM, dstM, histM, lockM)
+	return p
+}
+
+// cholesky: lower-triangular sweep with integer square-root updates.
+func buildCholesky(size Size, bug Bug) *mir.Program {
+	dim := int64(48)
+	sweeps := size.scale(2)
+	p := mir.NewProgram()
+
+	// worker(mat, dim, reps, w)
+	w := p.NewFunc("cholWorker", 4)
+	mat, dimr, reps, wid := w.Param(0), w.Param(1), w.Param(2), w.Param(3)
+	w.Loop(mir.R(reps), func(rep mir.Reg) {
+		w.Loop(mir.R(dimr), func(r mir.Reg) {
+			own := w.Bin(mir.OpRem, mir.R(r), mir.C(nWorkers))
+			mine := w.Bin(mir.OpEq, mir.R(own), mir.R(wid))
+			doB := w.NewBlock()
+			skipB := w.NewBlock()
+			w.CondBr(mir.R(mine), doB, skipB)
+			w.SetBlock(doB)
+			// Only the lower triangle: c in [0, r].
+			cnt := w.Add(mir.R(r), mir.C(1))
+			w.Loop(mir.R(cnt), func(c mir.Reg) {
+				r1 := w.Mul(mir.R(r), mir.R(dimr))
+				idx := w.Add(mir.R(r1), mir.R(c))
+				off := w.Mul(mir.R(idx), mir.C(8))
+				addr := w.Add(mir.R(mat), mir.R(off))
+				v := w.Load(mir.R(addr), 8)
+				// Integer "sqrt-ish" halving of the diagonal influence.
+				dg1 := w.Mul(mir.R(c), mir.R(dimr))
+				dgi := w.Add(mir.R(dg1), mir.R(c))
+				dgo := w.Mul(mir.R(dgi), mir.C(8))
+				dga := w.Add(mir.R(mat), mir.R(dgo))
+				dgv := w.Load(mir.R(dga), 8)
+				h := w.Bin(mir.OpShr, mir.R(dgv), mir.C(4))
+				nv := w.Sub(mir.R(v), mir.R(h))
+				w.Store(mir.R(addr), mir.R(nv), 8)
+			})
+			w.Br(skipB)
+			w.SetBlock(skipB)
+		})
+	})
+	w.Ret()
+
+	b := p.NewFunc("main", 0)
+	matM := b.Call("malloc", mir.C(dim*dim*8))
+	initArraySeq(b, matM, dim*dim, 69621, 13)
+	spawnJoinWorkers(b, "cholWorker", nWorkers, mir.R(matM), mir.C(dim), mir.C(sweeps))
+	emitChecksumAndFree(b, matM, dim*dim, matM)
+	return p
+}
+
+// nbody builds barnes/fmm: pairwise force accumulation over bodies.
+// Both read their parameters with gets() (getparam.c / fmm.c in
+// Table 3); fmm adds a coarse "multipole" cell pass.
+func nbody(withCells bool) func(Size, Bug) *mir.Program {
+	return func(size Size, bug Bug) *mir.Program {
+		bodies := size.scale(96)
+		p := mir.NewProgram()
+
+		// worker(pos, force, n, w)
+		w := p.NewFunc("nbodyWorker", 4)
+		pos, force, nn, wid := w.Param(0), w.Param(1), w.Param(2), w.Param(3)
+		w.Loop(mir.R(nn), func(i mir.Reg) {
+			own := w.Bin(mir.OpRem, mir.R(i), mir.C(nWorkers))
+			mine := w.Bin(mir.OpEq, mir.R(own), mir.R(wid))
+			doB := w.NewBlock()
+			skipB := w.NewBlock()
+			w.CondBr(mir.R(mine), doB, skipB)
+			w.SetBlock(doB)
+			io := w.Mul(mir.R(i), mir.C(8))
+			ia := w.Add(mir.R(pos), mir.R(io))
+			xi := w.Load(mir.R(ia), 8)
+			accv := w.Alloca(8)
+			z := w.Const(0)
+			w.Store(mir.R(accv), mir.R(z), 8)
+			w.Loop(mir.R(nn), func(j mir.Reg) {
+				jo := w.Mul(mir.R(j), mir.C(8))
+				ja := w.Add(mir.R(pos), mir.R(jo))
+				xj := w.Load(mir.R(ja), 8)
+				d := w.Sub(mir.R(xi), mir.R(xj))
+				ad := w.Call("abs64", mir.R(d))
+				ad1 := w.Add(mir.R(ad), mir.C(1))
+				f := w.Bin(mir.OpDiv, mir.C(1<<16), mir.R(ad1))
+				av := w.Load(mir.R(accv), 8)
+				av2 := w.Add(mir.R(av), mir.R(f))
+				w.Store(mir.R(accv), mir.R(av2), 8)
+			})
+			fv := w.Load(mir.R(accv), 8)
+			fa := w.Add(mir.R(force), mir.R(io))
+			w.Store(mir.R(fa), mir.R(fv), 8)
+			w.Br(skipB)
+			w.SetBlock(skipB)
+		})
+		w.Ret()
+
+		b := p.NewFunc("main", 0)
+		// Read simulation parameters with gets() — the Table 3 FP source:
+		// instruction-level MSan never sees the library write the buffer.
+		param := b.Call("malloc", mir.C(32))
+		got := b.Call("gets", mir.R(param))
+		c0 := b.Load(mir.R(got), 1)
+		// Branch on the parameter byte: scale factor 1 or 2.
+		odd := b.Bin(mir.OpAnd, mir.R(c0), mir.C(1))
+		scaleV := b.Alloca(8)
+		one := b.Const(1)
+		b.Store(mir.R(scaleV), mir.R(one), 8)
+		two := b.NewBlock()
+		cont := b.NewBlock()
+		b.CondBr(mir.R(odd), two, cont)
+		b.SetBlock(two)
+		twoC := b.Const(2)
+		b.Store(mir.R(scaleV), mir.R(twoC), 8)
+		b.Br(cont)
+		b.SetBlock(cont)
+
+		posM := b.Call("malloc", mir.C(bodies*8))
+		forceM := b.Call("calloc", mir.C(bodies), mir.C(8))
+		initArraySeq(b, posM, bodies, 10007, 23)
+
+		spawnJoinWorkers(b, "nbodyWorker", nWorkers, mir.R(posM), mir.R(forceM), mir.C(bodies))
+
+		if withCells {
+			// fmm: coarse cell aggregation pass (multipole flavor).
+			cells := b.Call("calloc", mir.C(16), mir.C(8))
+			b.Loop(mir.C(bodies), func(i mir.Reg) {
+				io := b.Mul(mir.R(i), mir.C(8))
+				fa := b.Add(mir.R(forceM), mir.R(io))
+				fv := b.Load(mir.R(fa), 8)
+				cell := b.Bin(mir.OpAnd, mir.R(i), mir.C(15))
+				co := b.Mul(mir.R(cell), mir.C(8))
+				ca := b.Add(mir.R(cells), mir.R(co))
+				cv := b.Load(mir.R(ca), 8)
+				cv2 := b.Add(mir.R(cv), mir.R(fv))
+				b.Store(mir.R(ca), mir.R(cv2), 8)
+			})
+			b.CallVoid("free", mir.R(cells))
+		}
+
+		sc := b.Load(mir.R(scaleV), 8)
+		b.CallVoid("print_i64", mir.R(sc))
+		emitChecksumAndFree(b, forceM, bodies, param, posM, forceM)
+		return p
+	}
+}
+
+func buildBarnes(size Size, bug Bug) *mir.Program { return nbody(false)(size, bug) }
+func buildFMM(size Size, bug Bug) *mir.Program    { return nbody(true)(size, bug) }
+
+// ocean: red-black grid stencil. The injectable bug skips initializing
+// the last interior row (multi.c:261's uninitialized grid read).
+func buildOcean(size Size, bug Bug) *mir.Program {
+	const dim = 64
+	iters := size.scale(4)
+	p := mir.NewProgram()
+
+	// worker(grid, dim, iters, w): each iteration alternates the
+	// red/black color, all inside one thread per worker.
+	w := p.NewFunc("oceanWorker", 4)
+	grid, dimr, itersP, wid := w.Param(0), w.Param(1), w.Param(2), w.Param(3)
+	interior := w.Sub(mir.R(dimr), mir.C(2))
+	w.Loop(mir.R(itersP), func(it mir.Reg) {
+		color := w.Bin(mir.OpAnd, mir.R(it), mir.C(1))
+		w.Loop(mir.R(interior), func(rIdx mir.Reg) {
+			r := w.Add(mir.R(rIdx), mir.C(1))
+			own := w.Bin(mir.OpRem, mir.R(r), mir.C(nWorkers))
+			mine := w.Bin(mir.OpEq, mir.R(own), mir.R(wid))
+			doB := w.NewBlock()
+			skipB := w.NewBlock()
+			w.CondBr(mir.R(mine), doB, skipB)
+			w.SetBlock(doB)
+			w.Loop(mir.R(interior), func(cIdx mir.Reg) {
+				c := w.Add(mir.R(cIdx), mir.C(1))
+				rc := w.Add(mir.R(r), mir.R(c))
+				par := w.Bin(mir.OpAnd, mir.R(rc), mir.C(1))
+				match := w.Bin(mir.OpEq, mir.R(par), mir.R(color))
+				upd := w.NewBlock()
+				skip2 := w.NewBlock()
+				w.CondBr(mir.R(match), upd, skip2)
+				w.SetBlock(upd)
+				r0 := w.Mul(mir.R(r), mir.R(dimr))
+				idx := w.Add(mir.R(r0), mir.R(c))
+				off := w.Mul(mir.R(idx), mir.C(8))
+				up := w.Sub(mir.R(idx), mir.R(dimr))
+				dn := w.Add(mir.R(idx), mir.R(dimr))
+				lf := w.Sub(mir.R(idx), mir.C(1))
+				rt := w.Add(mir.R(idx), mir.C(1))
+				upo := w.Mul(mir.R(up), mir.C(8))
+				dno := w.Mul(mir.R(dn), mir.C(8))
+				lfo := w.Mul(mir.R(lf), mir.C(8))
+				rto := w.Mul(mir.R(rt), mir.C(8))
+				ua := w.Add(mir.R(grid), mir.R(upo))
+				da := w.Add(mir.R(grid), mir.R(dno))
+				la := w.Add(mir.R(grid), mir.R(lfo))
+				ra := w.Add(mir.R(grid), mir.R(rto))
+				ca := w.Add(mir.R(grid), mir.R(off))
+				uv := w.Load(mir.R(ua), 8)
+				dv := w.Load(mir.R(da), 8)
+				lv := w.Load(mir.R(la), 8)
+				rv := w.Load(mir.R(ra), 8)
+				s1 := w.Add(mir.R(uv), mir.R(dv))
+				s2 := w.Add(mir.R(lv), mir.R(rv))
+				s3 := w.Add(mir.R(s1), mir.R(s2))
+				avg := w.Bin(mir.OpShr, mir.R(s3), mir.C(2))
+				w.Store(mir.R(ca), mir.R(avg), 8)
+				w.Br(skip2)
+				w.SetBlock(skip2)
+			})
+			w.Br(skipB)
+			w.SetBlock(skipB)
+		})
+	})
+	w.Ret()
+
+	b := p.NewFunc("main", 0)
+	gridM := b.Call("malloc", mir.C(dim*dim*8))
+	initRows := int64(dim)
+	if bug == BugUninit {
+		initRows = dim - 2 // leave the last two rows uninitialized
+	}
+	initArraySeq(b, gridM, initRows*dim, 31, 7)
+	spawnJoinWorkers(b, "oceanWorker", nWorkers, mir.R(gridM), mir.C(dim), mir.C(iters))
+	// Checksum reads the whole gridM (reaches uninitialized cells when
+	// the bug is planted) and branches on it.
+	sum := sumArray(b, gridM, dim*dim)
+	t := b.Load(mir.R(sum), 8)
+	isNeg := b.Bin(mir.OpLt, mir.R(t), mir.C(0))
+	nb := b.NewBlock()
+	done := b.NewBlock()
+	b.CondBr(mir.R(isNeg), nb, done)
+	b.SetBlock(nb)
+	b.CallVoid("print_i64", mir.C(-1))
+	b.Br(done)
+	b.SetBlock(done)
+	b.CallVoid("print_i64", mir.R(t))
+	b.CallVoid("free", mir.R(gridM))
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// raytrace: read-only shared scene, per-thread ray bounces, lock-merged
+// result image.
+func buildRaytrace(size Size, bug Bug) *mir.Program {
+	rays := size.scale(512)
+	const sceneN = 256
+	p := mir.NewProgram()
+
+	// worker(scene, img, lock, rays, w)
+	w := p.NewFunc("rayWorker", 5)
+	scene, img, lock, rr, wid := w.Param(0), w.Param(1), w.Param(2), w.Param(3), w.Param(4)
+	perW := w.Bin(mir.OpDiv, mir.R(rr), mir.C(nWorkers))
+	w.Loop(mir.R(perW), func(i mir.Reg) {
+		// A ray: start from seed, bounce 6 times through scene cells.
+		seed0 := w.Mul(mir.R(wid), mir.C(7919))
+		seed1 := w.Add(mir.R(seed0), mir.R(i))
+		cursor := w.Alloca(8)
+		w.Store(mir.R(cursor), mir.R(seed1), 8)
+		energy := w.Alloca(8)
+		full := w.Const(1 << 20)
+		w.Store(mir.R(energy), mir.R(full), 8)
+		w.Loop(mir.C(6), func(bounce mir.Reg) {
+			cv := w.Load(mir.R(cursor), 8)
+			h1 := w.Mul(mir.R(cv), mir.C(1103515245))
+			h2 := w.Add(mir.R(h1), mir.C(12345))
+			w.Store(mir.R(cursor), mir.R(h2), 8)
+			cell := w.Bin(mir.OpAnd, mir.R(h2), mir.C(sceneN-1))
+			co := w.Mul(mir.R(cell), mir.C(8))
+			ca := w.Add(mir.R(scene), mir.R(co))
+			refl := w.Load(mir.R(ca), 8)
+			ev := w.Load(mir.R(energy), 8)
+			e1 := w.Mul(mir.R(ev), mir.R(refl))
+			e2 := w.Bin(mir.OpShr, mir.R(e1), mir.C(8))
+			e3 := w.Bin(mir.OpAnd, mir.R(e2), mir.C((1<<20)-1))
+			w.Store(mir.R(energy), mir.R(e3), 8)
+		})
+		// Deposit into the shared image under the lock.
+		ev := w.Load(mir.R(energy), 8)
+		px := w.Bin(mir.OpAnd, mir.R(i), mir.C(63))
+		po := w.Mul(mir.R(px), mir.C(8))
+		pa := w.Add(mir.R(img), mir.R(po))
+		w.Lock(mir.R(lock))
+		old := w.Load(mir.R(pa), 8)
+		nv := w.Add(mir.R(old), mir.R(ev))
+		w.Store(mir.R(pa), mir.R(nv), 8)
+		w.Unlock(mir.R(lock))
+	})
+	w.Ret()
+
+	b := p.NewFunc("main", 0)
+	sceneM := b.Call("malloc", mir.C(sceneN*8))
+	initArraySeq(b, sceneM, sceneN, 167, 90) // reflectivity 90..255-ish
+	imgM := b.Call("calloc", mir.C(64), mir.C(8))
+	lockM := b.Call("malloc", mir.C(8))
+	spawnJoinWorkers(b, "rayWorker", nWorkers, mir.R(sceneM), mir.R(imgM), mir.R(lockM), mir.C(rays))
+	emitChecksumAndFree(b, imgM, 64, sceneM, imgM, lockM)
+	return p
+}
+
+// water_ns: molecule pairs within a cutoff, per-molecule locks — the
+// lock-operation-heavy workload.
+func buildWaterNS(size Size, bug Bug) *mir.Program {
+	mols := int64(64)
+	steps := size.scale(3)
+	p := mir.NewProgram()
+
+	// worker(pos, vel, locks, mols, steps, w): each worker updates its
+	// molecules against all others, locking the target molecule's lock
+	// word while writing; steps scale the work inside the thread.
+	w := p.NewFunc("waterWorker", 6)
+	pos, vel, locks, mm, stepsP, wid := w.Param(0), w.Param(1), w.Param(2), w.Param(3), w.Param(4), w.Param(5)
+	w.Loop(mir.R(stepsP), func(st mir.Reg) {
+		w.Loop(mir.R(mm), func(i mir.Reg) {
+			own := w.Bin(mir.OpRem, mir.R(i), mir.C(nWorkers))
+			mine := w.Bin(mir.OpEq, mir.R(own), mir.R(wid))
+			doB := w.NewBlock()
+			skipB := w.NewBlock()
+			w.CondBr(mir.R(mine), doB, skipB)
+			w.SetBlock(doB)
+			io := w.Mul(mir.R(i), mir.C(8))
+			pa := w.Add(mir.R(pos), mir.R(io))
+			xi := w.Load(mir.R(pa), 8)
+			w.Loop(mir.R(mm), func(j mir.Reg) {
+				jo := w.Mul(mir.R(j), mir.C(8))
+				pja := w.Add(mir.R(pos), mir.R(jo))
+				xj := w.Load(mir.R(pja), 8)
+				d := w.Sub(mir.R(xi), mir.R(xj))
+				ad := w.Call("abs64", mir.R(d))
+				near := w.Bin(mir.OpLt, mir.R(ad), mir.C(1<<12))
+				hit := w.NewBlock()
+				skip2 := w.NewBlock()
+				w.CondBr(mir.R(near), hit, skip2)
+				w.SetBlock(hit)
+				// Update molecule i's velocity under its lock.
+				la := w.Add(mir.R(locks), mir.R(io))
+				w.Lock(mir.R(la))
+				va := w.Add(mir.R(vel), mir.R(io))
+				vv := w.Load(mir.R(va), 8)
+				imp := w.Bin(mir.OpShr, mir.R(ad), mir.C(6))
+				nv := w.Add(mir.R(vv), mir.R(imp))
+				w.Store(mir.R(va), mir.R(nv), 8)
+				w.Unlock(mir.R(la))
+				w.Br(skip2)
+				w.SetBlock(skip2)
+			})
+			w.Br(skipB)
+			w.SetBlock(skipB)
+		})
+	})
+	w.Ret()
+
+	b := p.NewFunc("main", 0)
+	posM := b.Call("malloc", mir.C(mols*8))
+	velM := b.Call("calloc", mir.C(mols), mir.C(8))
+	locksM := b.Call("malloc", mir.C(mols*8))
+	initArraySeq(b, posM, mols, 524287, 11)
+	spawnJoinWorkers(b, "waterWorker", nWorkers, mir.R(posM), mir.R(velM), mir.R(locksM), mir.C(mols), mir.C(steps))
+	emitChecksumAndFree(b, velM, mols, posM, velM, locksM)
+	return p
+}
+
+// volrend: ray-cast sampling through a byte volume; the injectable bug
+// leaves the opacity table's tail uninitialized (main.c:503).
+func buildVolrend(size Size, bug Bug) *mir.Program {
+	const volSide = 32 // 32^3 byte volume
+	rays := size.scale(256)
+	p := mir.NewProgram()
+
+	// worker(vol, opac, out, rays, w)
+	w := p.NewFunc("volWorker", 5)
+	vol, opac, out, rr, wid := w.Param(0), w.Param(1), w.Param(2), w.Param(3), w.Param(4)
+	perW := w.Bin(mir.OpDiv, mir.R(rr), mir.C(nWorkers))
+	w.Loop(mir.R(perW), func(i mir.Reg) {
+		seed0 := w.Mul(mir.R(wid), mir.C(40503))
+		seed := w.Add(mir.R(seed0), mir.R(i))
+		acc := w.Alloca(8)
+		z := w.Const(0)
+		w.Store(mir.R(acc), mir.R(z), 8)
+		w.Loop(mir.C(16), func(step mir.Reg) {
+			s1 := w.Mul(mir.R(seed), mir.C(48271))
+			s2 := w.Add(mir.R(s1), mir.R(step))
+			vidx := w.Bin(mir.OpAnd, mir.R(s2), mir.C(volSide*volSide*volSide-1))
+			va := w.Add(mir.R(vol), mir.R(vidx))
+			den := w.Load(mir.R(va), 1)
+			oa := w.Add(mir.R(opac), mir.R(den))
+			op := w.Load(mir.R(oa), 1)
+			av := w.Load(mir.R(acc), 8)
+			contrib := w.Mul(mir.R(op), mir.C(3))
+			av2 := w.Add(mir.R(av), mir.R(contrib))
+			w.Store(mir.R(acc), mir.R(av2), 8)
+		})
+		av := w.Load(mir.R(acc), 8)
+		px := w.Bin(mir.OpAnd, mir.R(i), mir.C(63))
+		po0 := w.Mul(mir.R(px), mir.C(nWorkers))
+		po1 := w.Add(mir.R(po0), mir.R(wid))
+		po := w.Mul(mir.R(po1), mir.C(8))
+		pa := w.Add(mir.R(out), mir.R(po))
+		old := w.Load(mir.R(pa), 8)
+		nv := w.Add(mir.R(old), mir.R(av))
+		w.Store(mir.R(pa), mir.R(nv), 8)
+	})
+	w.Ret()
+
+	b := p.NewFunc("main", 0)
+	volM := b.Call("malloc", mir.C(volSide*volSide*volSide))
+	initBytes(b, volM, volSide*volSide*volSide, 73, 5)
+	opacM := b.Call("malloc", mir.C(256))
+	opacInit := int64(256)
+	if bug == BugUninit {
+		opacInit = 128 // opacity table half-initialized: dense voxels hit the tail
+	}
+	initBytes(b, opacM, opacInit, 3, 1)
+	outM := b.Call("calloc", mir.C(64*nWorkers), mir.C(8))
+	spawnJoinWorkers(b, "volWorker", nWorkers, mir.R(volM), mir.R(opacM), mir.R(outM), mir.C(rays))
+	// Branch on the rendered checksum (drives the MSan report for the
+	// uninitialized opacity tail).
+	sum := sumArray(b, outM, 64*nWorkers)
+	t := b.Load(mir.R(sum), 8)
+	big := b.Bin(mir.OpGt, mir.R(t), mir.C(1<<30))
+	yes := b.NewBlock()
+	done := b.NewBlock()
+	b.CondBr(mir.R(big), yes, done)
+	b.SetBlock(yes)
+	b.CallVoid("print_i64", mir.C(1))
+	b.Br(done)
+	b.SetBlock(done)
+	b.CallVoid("print_i64", mir.R(t))
+	b.CallVoid("free", mir.R(volM))
+	b.CallVoid("free", mir.R(opacM))
+	b.CallVoid("free", mir.R(outM))
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// radiosity: a task queue under one lock, workers pull patch indices and
+// redistribute energy. The race variant updates the shared total
+// without the lock.
+func buildRadiosity(size Size, bug Bug) *mir.Program {
+	patches := size.scale(192)
+	p := mir.NewProgram()
+
+	// worker(energy, queue, total, lock, n, w)
+	w := p.NewFunc("radWorker", 6)
+	energy, queue, total, lock, nn, wid := w.Param(0), w.Param(1), w.Param(2), w.Param(3), w.Param(4), w.Param(5)
+	_ = wid
+	done := w.Alloca(8)
+	z := w.Const(0)
+	w.Store(mir.R(done), mir.R(z), 8)
+	loop := w.NewBlock()
+	body := w.NewBlock()
+	exit := w.NewBlock()
+	w.Br(loop)
+	w.SetBlock(loop)
+	dv := w.Load(mir.R(done), 8)
+	cont := w.Bin(mir.OpEq, mir.R(dv), mir.C(0))
+	w.CondBr(mir.R(cont), body, exit)
+	w.SetBlock(body)
+	// Pop a task index under the lock.
+	w.Lock(mir.R(lock))
+	qv := w.Load(mir.R(queue), 8)
+	hasWork := w.Bin(mir.OpLt, mir.R(qv), mir.R(nn))
+	take := w.NewBlock()
+	empty := w.NewBlock()
+	after := w.NewBlock()
+	taskVar := w.Alloca(8)
+	w.CondBr(mir.R(hasWork), take, empty)
+	w.SetBlock(take)
+	q2 := w.Add(mir.R(qv), mir.C(1))
+	w.Store(mir.R(queue), mir.R(q2), 8)
+	w.Store(mir.R(taskVar), mir.R(qv), 8)
+	w.Br(after)
+	w.SetBlock(empty)
+	m1 := w.Const(-1)
+	w.Store(mir.R(taskVar), mir.R(m1), 8)
+	one := w.Const(1)
+	w.Store(mir.R(done), mir.R(one), 8)
+	w.Br(after)
+	w.SetBlock(after)
+	w.Unlock(mir.R(lock))
+	tv := w.Load(mir.R(taskVar), 8)
+	valid := w.Bin(mir.OpGe, mir.R(tv), mir.C(0))
+	work := w.NewBlock()
+	w.CondBr(mir.R(valid), work, loop)
+	w.SetBlock(work)
+	// Redistribute: energy[task] spreads to 4 neighbors.
+	to := w.Mul(mir.R(tv), mir.C(8))
+	ta := w.Add(mir.R(energy), mir.R(to))
+	ev := w.Load(mir.R(ta), 8)
+	share := w.Bin(mir.OpShr, mir.R(ev), mir.C(2))
+	w.Loop(mir.C(4), func(k mir.Reg) {
+		n1 := w.Mul(mir.R(tv), mir.C(5))
+		n2 := w.Add(mir.R(n1), mir.R(k))
+		ni := w.Bin(mir.OpRem, mir.R(n2), mir.R(nn))
+		no := w.Mul(mir.R(ni), mir.C(8))
+		na := w.Add(mir.R(energy), mir.R(no))
+		w.Lock(mir.R(na))
+		nv := w.Load(mir.R(na), 8)
+		nv2 := w.Add(mir.R(nv), mir.R(share))
+		w.Store(mir.R(na), mir.R(nv2), 8)
+		w.Unlock(mir.R(na))
+	})
+	// Update the global running total.
+	if bug == BugRace {
+		gv := w.Load(mir.R(total), 8)
+		gv2 := w.Add(mir.R(gv), mir.R(share))
+		w.Store(mir.R(total), mir.R(gv2), 8)
+	} else {
+		w.Lock(mir.R(lock))
+		gv := w.Load(mir.R(total), 8)
+		gv2 := w.Add(mir.R(gv), mir.R(share))
+		w.Store(mir.R(total), mir.R(gv2), 8)
+		w.Unlock(mir.R(lock))
+	}
+	w.Br(loop)
+	w.SetBlock(exit)
+	w.Ret()
+
+	b := p.NewFunc("main", 0)
+	energyM := b.Call("malloc", mir.C(patches*8))
+	initArraySeq(b, energyM, patches, 997, 64)
+	queueM := b.Call("calloc", mir.C(1), mir.C(8))
+	totalM := b.Call("calloc", mir.C(1), mir.C(8))
+	lockM := b.Call("malloc", mir.C(8))
+	spawnJoinWorkers(b, "radWorker", nWorkers, mir.R(energyM), mir.R(queueM), mir.R(totalM), mir.R(lockM), mir.C(patches))
+	t := b.Load(mir.R(totalM), 8)
+	b.CallVoid("print_i64", mir.R(t))
+	emitChecksumAndFree(b, energyM, patches, energyM, queueM, totalM, lockM)
+	return p
+}
