@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only,
 # no external dependencies).
 
-.PHONY: all build test vet bench experiments examples fmt cover
+.PHONY: all build test race vet bench experiments examples fmt cover fuzz
 
 all: build vet test
 
@@ -13,6 +13,17 @@ vet:
 
 test:
 	go test ./...
+
+# Second tier-1 target: the full suite under the race detector. The
+# harness fans workload×analysis cells across goroutines, so this is
+# the gate for any change to vm, compiler, or harness internals.
+race:
+	go test -race ./...
+
+# Short fuzz passes over the parser and the set containers.
+fuzz:
+	go test ./internal/lang/parser -run=FuzzParse -fuzz=FuzzParse -fuzztime=30s
+	go test ./internal/meta -run=FuzzSetContainers -fuzz=FuzzSetContainers -fuzztime=30s
 
 # One measured shot of every figure/table benchmark.
 bench:

@@ -8,6 +8,15 @@
 //
 //	aldabench -exp all -size small -reps 3
 //	aldabench -exp fig4 -size medium
+//	aldabench -exp fig3 -parallel 8            # fan cells out over 8 workers
+//	aldabench -exp fig4 -parallel 8 -virtual   # deterministic virtual timing
+//
+// Measurement cells (one workload × one configuration) are independent;
+// -parallel N fans them out over N worker goroutines (0 = GOMAXPROCS).
+// Tables are assembled in a fixed cell order, so output layout does not
+// depend on parallelism; with -virtual the numbers are deterministic
+// too and the tables are byte-identical at any -parallel value.
+// Per-cell progress/timing lines go to stderr; suppress with -quiet.
 package main
 
 import (
@@ -25,6 +34,9 @@ func main() {
 	sizeFlag := flag.String("size", "small", "workload size: tiny|small|medium|large")
 	reps := flag.Int("reps", 3, "measured repetitions per configuration (one warm-up run is added)")
 	seed := flag.Int64("seed", 1, "deterministic scheduler seed")
+	parallel := flag.Int("parallel", 0, "measurement-cell worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	virtual := flag.Bool("virtual", false, "deterministic virtual timing (steps+hooks) instead of wall-clock")
+	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines on stderr")
 	flag.Parse()
 
 	var size workloads.Size
@@ -42,7 +54,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := harness.Config{Size: size, Reps: *reps, Out: os.Stdout}
+	cfg := harness.Config{
+		Size:        size,
+		Reps:        *reps,
+		Out:         os.Stdout,
+		Parallelism: *parallel,
+		Virtual:     *virtual,
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
 	cfg.Opt.Seed = *seed
 
 	run := func(name string, fn func(harness.Config) error) {

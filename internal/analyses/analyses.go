@@ -65,32 +65,41 @@ func Combined(names ...string) (string, error) {
 }
 
 // Compile fetches, compiles and wires up an analysis (including any
-// required externals) in one step.
+// required externals) in one step. Results are memoized per (name,
+// options fingerprint): the harness compiles each shipped analysis
+// exactly once per process instead of once per figure per workload. The
+// returned Analysis is therefore shared — treat it as immutable.
 func Compile(name string, opts compiler.Options) (*compiler.Analysis, error) {
-	src, err := Source(name)
-	if err != nil {
-		return nil, err
-	}
-	a, err := compiler.Compile(src, opts)
-	if err != nil {
-		return nil, fmt.Errorf("analyses: compile %s: %w", name, err)
-	}
-	RegisterExternals(a)
-	return a, nil
+	return compiler.CachedCompile(name, opts, func() (*compiler.Analysis, error) {
+		src, err := Source(name)
+		if err != nil {
+			return nil, err
+		}
+		a, err := compiler.Compile(src, opts)
+		if err != nil {
+			return nil, fmt.Errorf("analyses: compile %s: %w", name, err)
+		}
+		RegisterExternals(a)
+		return a, nil
+	})
 }
 
-// CompileCombined compiles the concatenation of several analyses.
+// CompileCombined compiles the concatenation of several analyses,
+// memoized like Compile under the joined name.
 func CompileCombined(opts compiler.Options, names ...string) (*compiler.Analysis, error) {
-	src, err := Combined(names...)
-	if err != nil {
-		return nil, err
-	}
-	a, err := compiler.Compile(src, opts)
-	if err != nil {
-		return nil, fmt.Errorf("analyses: compile combined %v: %w", names, err)
-	}
-	RegisterExternals(a)
-	return a, nil
+	key := "combined(" + strings.Join(names, "+") + ")"
+	return compiler.CachedCompile(key, opts, func() (*compiler.Analysis, error) {
+		src, err := Combined(names...)
+		if err != nil {
+			return nil, err
+		}
+		a, err := compiler.Compile(src, opts)
+		if err != nil {
+			return nil, fmt.Errorf("analyses: compile combined %v: %w", names, err)
+		}
+		RegisterExternals(a)
+		return a, nil
+	})
 }
 
 // RegisterExternals installs every known external-function

@@ -1,0 +1,63 @@
+package analyses
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+)
+
+// TestCompileMemoized asserts the compile-once behavior the harness
+// depends on: the same (name, options) pair yields the same shared
+// *Analysis, while different options or a combined source compile
+// separately.
+func TestCompileMemoized(t *testing.T) {
+	a1, err := Compile("msan", compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Compile("msan", compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("same name and options should return the cached Analysis")
+	}
+	b, err := Compile("msan", compiler.DSOnlyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == a1 {
+		t.Error("different options must not share a compiled Analysis")
+	}
+
+	c1, err := CompileCombined(compiler.DefaultOptions(), "eraser", "uaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := CompileCombined(compiler.DefaultOptions(), "eraser", "uaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("same combined names and options should return the cached Analysis")
+	}
+	single, err := Compile("eraser", compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == single {
+		t.Error("combined analysis must not collide with a single analysis")
+	}
+	// The cached Analysis arrives fully wired: externals registered
+	// before publication, so concurrent users never observe a partial
+	// table.
+	ft, err := Compile("fasttrack", compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range FastTrackExternals() {
+		if _, ok := ft.Externals[name]; !ok {
+			t.Errorf("cached analysis missing external %q", name)
+		}
+	}
+}

@@ -17,14 +17,12 @@ import (
 const ftMaxThreads = 256
 
 type ftState struct {
-	m      *vm.Machine
 	vc     map[uint64][]uint64 // thread -> vector clock
 	lockVC map[uint64][]uint64 // lock value -> release clock
 }
 
-func newFTState(m *vm.Machine) *ftState {
+func newFTState() *ftState {
 	return &ftState{
-		m:      m,
 		vc:     make(map[uint64][]uint64),
 		lockVC: make(map[uint64][]uint64),
 	}
@@ -49,16 +47,14 @@ func joinInto(dst, src []uint64) {
 	}
 }
 
-// FastTrackExternals returns the external-function table. State is keyed
-// by the running machine; runs are sequential, so a cache of one is
-// enough and old state is released when a new machine appears.
+// FastTrackExternals returns the external-function table. State lives on
+// the running Machine (vm.Machine.ExtState), not in these closures: a
+// compiled analysis — and with the compile cache, its Externals table —
+// is shared by every Machine that runs it, including Machines running
+// concurrently on harness worker goroutines.
 func FastTrackExternals() map[string]compiler.ExternalFn {
-	var cur *ftState
 	get := func(m *vm.Machine) *ftState {
-		if cur == nil || cur.m != m {
-			cur = newFTState(m)
-		}
-		return cur
+		return m.ExtState("fasttrack", func() any { return newFTState() }).(*ftState)
 	}
 
 	return map[string]compiler.ExternalFn{

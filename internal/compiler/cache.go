@@ -1,0 +1,104 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Compile-once memoization. The evaluation harness compiles the same
+// eight shipped analyses for every figure and every workload cell; with
+// parallel cells that multiplies further. Compilation is deterministic
+// in (source, options), so one compile per (analysis name, options
+// fingerprint) per process suffices. The cache is singleflight: when N
+// worker goroutines request the same analysis at once, one compiles and
+// the rest wait for its result.
+//
+// A cached *Analysis is shared — callers must treat it as immutable
+// after the build function returns (NewRuntime and instrument.Apply
+// already only read it).
+
+// Fingerprint returns a stable encoding of every compilation switch,
+// usable as a cache key component. Two Options values with equal
+// fingerprints compile identically.
+func (o Options) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "co%t,cse%t,sel%t,fuse%t,pc%t,g%d,sft%g,bits%d,arr%d,as%d",
+		o.Coalesce, o.CSE, o.SmartSelect, o.FuseHandlers, o.ProfileCollect,
+		o.Granularity, o.ShadowFactorThreshold, o.BitSetMaxBytes,
+		o.ArrayMapMaxKeys, o.AddrSpace)
+	if o.Profile != nil {
+		names := make([]string, 0, len(o.Profile.Counts))
+		for n := range o.Profile.Counts {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString(",prof{")
+		for _, n := range names {
+			fmt.Fprintf(&b, "%s=%d;", n, o.Profile.Counts[n])
+		}
+		b.WriteString("}")
+	}
+	return b.String()
+}
+
+type cacheKey struct {
+	name string
+	fp   string
+}
+
+type cacheEntry struct {
+	once sync.Once
+	a    *Analysis
+	err  error
+}
+
+var (
+	compileCache sync.Map // cacheKey -> *cacheEntry
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+)
+
+// CachedCompile memoizes build under (name, opts.Fingerprint()).
+// Concurrent callers with the same key share one compilation. Compiles
+// that carry a profile bypass the cache: profile-guided recompiles are
+// per-training-run one-shots and callers expect a fresh Analysis they
+// may wire up further.
+func CachedCompile(name string, opts Options, build func() (*Analysis, error)) (*Analysis, error) {
+	if opts.Profile != nil {
+		return build()
+	}
+	key := cacheKey{name: name, fp: opts.Fingerprint()}
+	e, _ := compileCache.LoadOrStore(key, &cacheEntry{})
+	entry := e.(*cacheEntry)
+	built := false
+	entry.once.Do(func() {
+		entry.a, entry.err = build()
+		built = true
+	})
+	if built {
+		cacheMisses.Add(1)
+	} else {
+		cacheHits.Add(1)
+	}
+	return entry.a, entry.err
+}
+
+// CompileCacheStats reports cache hits and misses (compiles performed)
+// since process start or the last reset.
+func CompileCacheStats() (hits, misses uint64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+// ResetCompileCache drops all cached analyses and zeroes the counters;
+// for tests.
+func ResetCompileCache() {
+	compileCache.Range(func(k, _ any) bool {
+		compileCache.Delete(k)
+		return true
+	})
+	cacheHits.Store(0)
+	cacheMisses.Store(0)
+}

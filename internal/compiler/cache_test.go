@@ -1,0 +1,111 @@
+package compiler
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestOptionsFingerprint(t *testing.T) {
+	base := DefaultOptions()
+	if base.Fingerprint() != DefaultOptions().Fingerprint() {
+		t.Fatal("equal options must fingerprint equally")
+	}
+	seen := map[string]string{base.Fingerprint(): "default"}
+	variants := map[string]Options{
+		"ds-only": DSOnlyOptions(),
+		"naive":   NaiveOptions(),
+	}
+	mutate := func(name string, f func(*Options)) {
+		o := DefaultOptions()
+		f(&o)
+		variants[name] = o
+	}
+	mutate("no-coalesce", func(o *Options) { o.Coalesce = false })
+	mutate("no-cse", func(o *Options) { o.CSE = false })
+	mutate("no-fuse", func(o *Options) { o.FuseHandlers = false })
+	mutate("profile-collect", func(o *Options) { o.ProfileCollect = true })
+	mutate("gran-1", func(o *Options) { o.Granularity = 1 })
+	mutate("shadow-thresh", func(o *Options) { o.ShadowFactorThreshold = 7 })
+	mutate("bitset-max", func(o *Options) { o.BitSetMaxBytes = 64 })
+	mutate("arraymap-max", func(o *Options) { o.ArrayMapMaxKeys = 16 })
+	mutate("addrspace", func(o *Options) { o.AddrSpace = 1 << 20 })
+	mutate("with-profile", func(o *Options) {
+		o.Profile = &Profile{Counts: map[string]uint64{"m1": 5, "m2": 80}}
+	})
+	for name, o := range variants {
+		fp := o.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("options %q and %q share fingerprint %q", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+func TestCachedCompileSingleflight(t *testing.T) {
+	ResetCompileCache()
+	defer ResetCompileCache()
+	var builds atomic.Int32
+	build := func() (*Analysis, error) {
+		builds.Add(1)
+		return &Analysis{}, nil
+	}
+	const callers = 16
+	results := make([]*Analysis, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := CachedCompile("x", DefaultOptions(), build)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = a
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("build ran %d times, want 1", n)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Errorf("caller %d got a different Analysis pointer", i)
+		}
+	}
+	hits, misses := CompileCacheStats()
+	if misses != 1 || hits != callers-1 {
+		t.Errorf("stats hits=%d misses=%d, want %d/1", hits, misses, callers-1)
+	}
+
+	// A different name or different options must compile separately.
+	if _, err := CachedCompile("y", DefaultOptions(), build); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CachedCompile("x", DSOnlyOptions(), build); err != nil {
+		t.Fatal(err)
+	}
+	if n := builds.Load(); n != 3 {
+		t.Errorf("build ran %d times after distinct keys, want 3", n)
+	}
+}
+
+func TestCachedCompileProfileBypass(t *testing.T) {
+	ResetCompileCache()
+	defer ResetCompileCache()
+	var builds atomic.Int32
+	build := func() (*Analysis, error) {
+		builds.Add(1)
+		return &Analysis{}, nil
+	}
+	opts := DefaultOptions()
+	opts.Profile = &Profile{Counts: map[string]uint64{"m": 1}}
+	a1, _ := CachedCompile("x", opts, build)
+	a2, _ := CachedCompile("x", opts, build)
+	if builds.Load() != 2 {
+		t.Errorf("profile-carrying compiles must bypass the cache (builds=%d)", builds.Load())
+	}
+	if a1 == a2 {
+		t.Error("profile-carrying compiles must return fresh analyses")
+	}
+}

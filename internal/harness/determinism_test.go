@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/analyses"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// TestParallelTableDeterminism is the determinism regression test for
+// the parallel harness: the same experiment grid, executed serially and
+// with eight workers, must render byte-identical tables under virtual
+// timing. Cells are keyed and aggregated in a fixed order, so the only
+// way this fails is a cell producing different results depending on
+// what runs next to it — exactly the shared-state bugs the -race tier
+// hunts.
+func TestParallelTableDeterminism(t *testing.T) {
+	render := func(parallelism int) string {
+		var buf bytes.Buffer
+		cfg := Config{
+			Size:        workloads.SizeTiny,
+			Reps:        1,
+			Virtual:     true,
+			Parallelism: parallelism,
+			Out:         &buf,
+		}
+		if _, err := Fig4(cfg); err != nil {
+			t.Fatalf("Fig4 parallelism=%d: %v", parallelism, err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("Fig4 render differs between serial and parallel runs\n--- serial ---\n%s--- parallel=8 ---\n%s", serial, parallel)
+	}
+}
+
+// TestParallelReportDeterminism runs the same workload+analysis cell
+// serially and on eight concurrent goroutines and asserts every run
+// files the identical vm.Report set. The cell is Eraser on radiosity
+// with the race bug injected, so the report set is nonempty.
+func TestParallelReportDeterminism(t *testing.T) {
+	eraser, err := analyses.Compile("eraser", compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCell := func() (string, error) {
+		p, err := workloads.BuildBug("radiosity", workloads.SizeTiny, workloads.BugRace)
+		if err != nil {
+			return "", err
+		}
+		res, err := core.RunAnalysis(p, eraser, core.RunOptions{})
+		if err != nil {
+			return "", err
+		}
+		return vm.FormatReports(res.Reports), nil
+	}
+
+	want, err := runCell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == "" {
+		t.Fatal("expected a nonempty report set from eraser on radiosity+BugRace")
+	}
+
+	const workers = 8
+	got := make([]string, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = runCell()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if got[i] != want {
+			t.Errorf("worker %d report set differs from serial run\n--- serial ---\n%s--- worker ---\n%s", i, want, got[i])
+		}
+	}
+}
+
+// TestForEachCellFirstError asserts the pool reports the error of the
+// lowest-indexed failing cell, matching what a serial sweep would have
+// hit first.
+func TestForEachCellFirstError(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		cfg := Config{Parallelism: parallelism}
+		err := cfg.forEachCell(16, func(i int) error {
+			if i == 3 || i == 11 {
+				return errIndexed(i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("parallelism=%d: expected an error", parallelism)
+		}
+		// Serial execution stops at 3; parallel execution must also
+		// surface 3 (11 can only fail if it started before 3 failed,
+		// and 3 still wins the lowest-index pick).
+		if err.Error() != errIndexed(3).Error() {
+			t.Errorf("parallelism=%d: got %v, want %v", parallelism, err, errIndexed(3))
+		}
+	}
+}
+
+type errIndexed int
+
+func (e errIndexed) Error() string { return "cell failed" + string(rune('0'+int(e))) }

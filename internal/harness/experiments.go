@@ -41,47 +41,22 @@ func Fig3(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		Title:   fmt.Sprintf("Figure 3: LLVM-style hand-tuned MSan vs ALDA MSan (size=%s, reps=%d)", cfg.Size, cfg.Reps),
-		Columns: []string{"hand-MSan", "ALDAcc-MSan"},
-	}
-	for _, w := range Fig3Programs {
-		plainFn, err := cfg.runnerPlain(w)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := cfg.measure(plainFn)
-		if err != nil {
-			return nil, fmt.Errorf("fig3 %s baseline: %w", w, err)
-		}
-		handFn, err := cfg.runnerBaseline(func() baselines.Baseline { return baselines.NewMSan(1 << 28) }, w)
-		if err != nil {
-			return nil, err
-		}
-		handWall, _, err := cfg.measure(handFn)
-		if err != nil {
-			return nil, fmt.Errorf("fig3 %s hand: %w", w, err)
-		}
-		aldaFn, err := cfg.runnerALDA(msan, w)
-		if err != nil {
-			return nil, err
-		}
-		aldaWall, _, err := cfg.measure(aldaFn)
-		if err != nil {
-			return nil, fmt.Errorf("fig3 %s alda: %w", w, err)
-		}
-		t.Rows = append(t.Rows, Row{
-			Workload: w,
-			BaseWall: base,
-			Overheads: []float64{
-				float64(handWall) / float64(base),
-				float64(aldaWall) / float64(base),
-			},
-		})
-	}
-	t.computeAverages()
-	t.Render(cfg.Out)
-	return t, nil
+	return cfg.runGrid(gridSpec{
+		name:     "fig3",
+		title:    fmt.Sprintf("Figure 3: LLVM-style hand-tuned MSan vs ALDA MSan (size=%s, reps=%d)", cfg.Size, cfg.Reps),
+		measured: []string{"hand-MSan", "ALDAcc-MSan"},
+		programs: Fig3Programs,
+		runner: func(c Config, w string, col int) (runnerFn, error) {
+			switch col {
+			case -1:
+				return c.runnerPlain(w)
+			case 0:
+				return c.runnerBaseline(func() baselines.Baseline { return baselines.NewMSan(1 << 28) }, w)
+			default:
+				return c.runnerALDA(msan, w)
+			}
+		},
+	})
 }
 
 // Fig4 compares hand-tuned Eraser, ALDAcc-full Eraser and the
@@ -96,45 +71,24 @@ func Fig4(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		Title:   fmt.Sprintf("Figure 4: hand-tuned Eraser vs ALDAcc Eraser on Splash2 (size=%s, reps=%d)", cfg.Size, cfg.Reps),
-		Columns: []string{"hand-tuned", "ALDAcc-full", "ALDAcc-ds-only"},
-	}
-	for _, w := range Fig4Programs {
-		plainFn, err := cfg.runnerPlain(w)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := cfg.measure(plainFn)
-		if err != nil {
-			return nil, fmt.Errorf("fig4 %s baseline: %w", w, err)
-		}
-		var overheads []float64
-		handFn, err := cfg.runnerBaseline(func() baselines.Baseline { return baselines.NewEraser() }, w)
-		if err != nil {
-			return nil, err
-		}
-		handWall, _, err := cfg.measure(handFn)
-		if err != nil {
-			return nil, fmt.Errorf("fig4 %s hand: %w", w, err)
-		}
-		overheads = append(overheads, float64(handWall)/float64(base))
-		for _, a := range []*compiler.Analysis{full, dsOnly} {
-			fn, err := cfg.runnerALDA(a, w)
-			if err != nil {
-				return nil, err
+	return cfg.runGrid(gridSpec{
+		name:     "fig4",
+		title:    fmt.Sprintf("Figure 4: hand-tuned Eraser vs ALDAcc Eraser on Splash2 (size=%s, reps=%d)", cfg.Size, cfg.Reps),
+		measured: []string{"hand-tuned", "ALDAcc-full", "ALDAcc-ds-only"},
+		programs: Fig4Programs,
+		runner: func(c Config, w string, col int) (runnerFn, error) {
+			switch col {
+			case -1:
+				return c.runnerPlain(w)
+			case 0:
+				return c.runnerBaseline(func() baselines.Baseline { return baselines.NewEraser() }, w)
+			case 1:
+				return c.runnerALDA(full, w)
+			default:
+				return c.runnerALDA(dsOnly, w)
 			}
-			wall, _, err := cfg.measure(fn)
-			if err != nil {
-				return nil, fmt.Errorf("fig4 %s: %w", w, err)
-			}
-			overheads = append(overheads, float64(wall)/float64(base))
-		}
-		t.Rows = append(t.Rows, Row{Workload: w, BaseWall: base, Overheads: overheads})
-	}
-	t.computeAverages()
-	t.Render(cfg.Out)
-	return t, nil
+		},
+	})
 }
 
 // Fig5 runs Eraser, FastTrack, UAF and index taint-tracking
@@ -161,50 +115,32 @@ func Fig5(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		Title:   fmt.Sprintf("Figure 5: individual analyses (summed) vs combined analysis (size=%s, reps=%d)", cfg.Size, cfg.Reps),
-		Columns: []string{"eraser", "fasttrack", "uaf", "indexTT", "sum", "comb-nofuse", "combined"},
+	t, err := cfg.runGrid(gridSpec{
+		name:     "fig5",
+		title:    fmt.Sprintf("Figure 5: individual analyses (summed) vs combined analysis (size=%s, reps=%d)", cfg.Size, cfg.Reps),
+		measured: []string{"eraser", "fasttrack", "uaf", "indexTT", "comb-nofuse", "combined"},
+		columns:  []string{"eraser", "fasttrack", "uaf", "indexTT", "sum", "comb-nofuse", "combined"},
+		finish: func(m []float64) []float64 {
+			sum := m[0] + m[1] + m[2] + m[3]
+			return []float64{m[0], m[1], m[2], m[3], sum, m[4], m[5]}
+		},
+		programs: Fig5Programs,
+		runner: func(c Config, w string, col int) (runnerFn, error) {
+			switch {
+			case col < 0:
+				return c.runnerPlain(w)
+			case col < len(individual):
+				return c.runnerALDA(individual[col], w)
+			case col == len(individual):
+				return c.runnerALDA(combinedNoFuse, w)
+			default:
+				return c.runnerALDA(combined, w)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, w := range Fig5Programs {
-		plainFn, err := cfg.runnerPlain(w)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := cfg.measure(plainFn)
-		if err != nil {
-			return nil, fmt.Errorf("fig5 %s baseline: %w", w, err)
-		}
-		var overheads []float64
-		sum := 0.0
-		for _, a := range individual {
-			fn, err := cfg.runnerALDA(a, w)
-			if err != nil {
-				return nil, err
-			}
-			wall, _, err := cfg.measure(fn)
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s: %w", w, err)
-			}
-			o := float64(wall) / float64(base)
-			overheads = append(overheads, o)
-			sum += o
-		}
-		overheads = append(overheads, sum)
-		for _, a := range []*compiler.Analysis{combinedNoFuse, combined} {
-			fn, err := cfg.runnerALDA(a, w)
-			if err != nil {
-				return nil, err
-			}
-			wall, _, err := cfg.measure(fn)
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s combined: %w", w, err)
-			}
-			overheads = append(overheads, float64(wall)/float64(base))
-		}
-		t.Rows = append(t.Rows, Row{Workload: w, BaseWall: base, Overheads: overheads})
-	}
-	t.computeAverages()
-	t.Render(cfg.Out)
 	if len(t.Averages) == 7 && t.Averages[4] > 0 {
 		fmt.Fprintf(cfg.Out, "combined-analysis speedup vs running individually: %.1f%% (%.1f%% without handler fusion)\n\n",
 			(1-t.Averages[6]/t.Averages[4])*100, (1-t.Averages[5]/t.Averages[4])*100)
@@ -387,36 +323,22 @@ func PGO(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		Title:   fmt.Sprintf("PGO: static vs profile-guided coalescing, ALDA MSan (size=%s, reps=%d)", cfg.Size, cfg.Reps),
-		Columns: []string{"static", "pgo"},
-	}
-	for _, w := range []string{"bzip2", "libquantum", "mcf", "hmmer", "fft", "sort", "memcached"} {
-		plainFn, err := cfg.runnerPlain(w)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := cfg.measure(plainFn)
-		if err != nil {
-			return nil, err
-		}
-		var overheads []float64
-		for _, a := range []*compiler.Analysis{static, pgo} {
-			fn, err := cfg.runnerALDA(a, w)
-			if err != nil {
-				return nil, err
+	return cfg.runGrid(gridSpec{
+		name:     "pgo",
+		title:    fmt.Sprintf("PGO: static vs profile-guided coalescing, ALDA MSan (size=%s, reps=%d)", cfg.Size, cfg.Reps),
+		measured: []string{"static", "pgo"},
+		programs: []string{"bzip2", "libquantum", "mcf", "hmmer", "fft", "sort", "memcached"},
+		runner: func(c Config, w string, col int) (runnerFn, error) {
+			switch col {
+			case -1:
+				return c.runnerPlain(w)
+			case 0:
+				return c.runnerALDA(static, w)
+			default:
+				return c.runnerALDA(pgo, w)
 			}
-			wall, _, err := cfg.measure(fn)
-			if err != nil {
-				return nil, err
-			}
-			overheads = append(overheads, float64(wall)/float64(base))
-		}
-		t.Rows = append(t.Rows, Row{Workload: w, BaseWall: base, Overheads: overheads})
-	}
-	t.computeAverages()
-	t.Render(cfg.Out)
-	return t, nil
+		},
+	})
 }
 
 // Ablate measures Eraser under finer optimization combinations than
@@ -439,44 +361,28 @@ func Ablate(cfg Config) (*Table, error) {
 		{"ds-only", mk(false, false, true)},
 		{"naive", mk(false, false, false)},
 	}
-	t := &Table{
-		Title: fmt.Sprintf("Ablation: Eraser under ALDAcc optimization subsets (size=%s, reps=%d)", cfg.Size, cfg.Reps),
-	}
 	var compiled []*compiler.Analysis
+	var names []string
 	for _, c := range configs {
 		a, err := analyses.Compile("eraser", c.opts)
 		if err != nil {
 			return nil, err
 		}
 		compiled = append(compiled, a)
-		t.Columns = append(t.Columns, c.name)
+		names = append(names, c.name)
 	}
-	for _, w := range []string{"fft", "lu_c", "radix", "water_ns", "radiosity"} {
-		plainFn, err := cfg.runnerPlain(w)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := cfg.measure(plainFn)
-		if err != nil {
-			return nil, err
-		}
-		var overheads []float64
-		for _, a := range compiled {
-			fn, err := cfg.runnerALDA(a, w)
-			if err != nil {
-				return nil, err
+	return cfg.runGrid(gridSpec{
+		name:     "ablate",
+		title:    fmt.Sprintf("Ablation: Eraser under ALDAcc optimization subsets (size=%s, reps=%d)", cfg.Size, cfg.Reps),
+		measured: names,
+		programs: []string{"fft", "lu_c", "radix", "water_ns", "radiosity"},
+		runner: func(c Config, w string, col int) (runnerFn, error) {
+			if col < 0 {
+				return c.runnerPlain(w)
 			}
-			wall, _, err := cfg.measure(fn)
-			if err != nil {
-				return nil, err
-			}
-			overheads = append(overheads, float64(wall)/float64(base))
-		}
-		t.Rows = append(t.Rows, Row{Workload: w, BaseWall: base, Overheads: overheads})
-	}
-	t.computeAverages()
-	t.Render(cfg.Out)
-	return t, nil
+			return c.runnerALDA(compiled[col], w)
+		},
+	})
 }
 
 // ensure vm import is used in signatures above
@@ -615,10 +521,8 @@ func Mem(cfg Config) ([]MemRow, error) {
 func Granularity(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	grans := []int{1, 2, 4, 8}
-	t := &Table{
-		Title: fmt.Sprintf("Granularity sweep (§5.1): UAF checker at byte/quarter/half/word (size=%s, reps=%d)", cfg.Size, cfg.Reps),
-	}
 	var compiled []*compiler.Analysis
+	var names []string
 	for _, g := range grans {
 		opts := compiler.DefaultOptions()
 		opts.Granularity = g
@@ -627,32 +531,18 @@ func Granularity(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		compiled = append(compiled, a)
-		t.Columns = append(t.Columns, fmt.Sprintf("g=%dB", g))
+		names = append(names, fmt.Sprintf("g=%dB", g))
 	}
-	for _, w := range []string{"memcached", "sort", "bzip2", "mcf"} {
-		plainFn, err := cfg.runnerPlain(w)
-		if err != nil {
-			return nil, err
-		}
-		base, _, err := cfg.measure(plainFn)
-		if err != nil {
-			return nil, err
-		}
-		var overheads []float64
-		for _, a := range compiled {
-			fn, err := cfg.runnerALDA(a, w)
-			if err != nil {
-				return nil, err
+	return cfg.runGrid(gridSpec{
+		name:     "gran",
+		title:    fmt.Sprintf("Granularity sweep (§5.1): UAF checker at byte/quarter/half/word (size=%s, reps=%d)", cfg.Size, cfg.Reps),
+		measured: names,
+		programs: []string{"memcached", "sort", "bzip2", "mcf"},
+		runner: func(c Config, w string, col int) (runnerFn, error) {
+			if col < 0 {
+				return c.runnerPlain(w)
 			}
-			wall, _, err := cfg.measure(fn)
-			if err != nil {
-				return nil, err
-			}
-			overheads = append(overheads, float64(wall)/float64(base))
-		}
-		t.Rows = append(t.Rows, Row{Workload: w, BaseWall: base, Overheads: overheads})
-	}
-	t.computeAverages()
-	t.Render(cfg.Out)
-	return t, nil
+			return c.runnerALDA(compiled[col], w)
+		},
+	})
 }

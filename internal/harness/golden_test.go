@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>.golden; -update
+// rewrites the file instead, so figure-formatting changes land as
+// reviewable diffs.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/harness -run TestTableGolden -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: rendering differs from golden file (re-run with -update if intended)\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestTableGoldenFigureStyle(t *testing.T) {
+	tbl := &Table{
+		Title:   "Figure N: hand-tuned vs ALDAcc (size=small, reps=3)",
+		Columns: []string{"hand-tuned", "ALDAcc-full", "ALDAcc-ds-only"},
+		Rows: []Row{
+			{Workload: "fft", BaseWall: 1234567 * time.Nanosecond, Overheads: []float64{2.5, 2.21, 4.75}},
+			{Workload: "lu_c", BaseWall: 987654321 * time.Nanosecond, Overheads: []float64{3, 2.8, 6.125}},
+			{Workload: "radiosity", BaseWall: 42 * time.Microsecond, Overheads: []float64{11.99, 9.005, 25}},
+		},
+	}
+	tbl.computeAverages()
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	checkGolden(t, "table_figure_style", buf.String())
+}
+
+func TestTableGoldenEdgeCases(t *testing.T) {
+	// Zero and missing overheads: zeros are excluded from the per-column
+	// average, short rows leave trailing columns unaveraged.
+	tbl := &Table{
+		Title:   "edge cases: zero overheads and ragged rows",
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{Workload: "w1", BaseWall: time.Millisecond, Overheads: []float64{0, 2}},
+			{Workload: "w2", BaseWall: time.Second, Overheads: []float64{4}},
+		},
+	}
+	tbl.computeAverages()
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	checkGolden(t, "table_edge_cases", buf.String())
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/baselines"
@@ -31,6 +32,25 @@ type Config struct {
 	Opt core.RunOptions
 	// Out receives rendered tables (nil ⇒ io.Discard).
 	Out io.Writer
+	// Parallelism is the number of worker goroutines that independent
+	// measurement cells (one workload × one configuration, baseline
+	// included) fan out across: 1 serializes, 0 or negative means
+	// GOMAXPROCS. Each cell builds its own program and vm.Machine, and
+	// results are aggregated by cell key in a fixed order, so the
+	// rendered tables have the same shape and row/column order at any
+	// parallelism — and are byte-identical when Virtual is set.
+	Parallelism int
+	// Virtual replaces measured wall-clock with a deterministic virtual
+	// time derived from retired instructions and dispatched hooks. The
+	// VM is deterministic, so a cell then reports the identical duration
+	// on every run regardless of machine load or parallelism; the
+	// determinism regression tests rely on this. One rep suffices in
+	// virtual mode, so Reps is ignored.
+	Virtual bool
+	// Progress receives one line per completed measurement cell (nil ⇒
+	// no progress output). Cells complete in nondeterministic order
+	// under parallelism, so keep Progress separate from Out.
+	Progress io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -40,7 +60,25 @@ func (c Config) withDefaults() Config {
 	if c.Out == nil {
 		c.Out = io.Discard
 	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return c
+}
+
+// virtualWall converts a deterministic run summary into virtual time:
+// one unit per retired instruction plus a fixed charge per dispatched
+// analysis event (handler bodies run in Go, outside the step count).
+func virtualWall(res *vm.Result) time.Duration {
+	return time.Duration(res.Steps + 16*res.HookCalls)
+}
+
+// wallOf returns the duration measure() minimizes for one run.
+func (c Config) wallOf(res *vm.Result) time.Duration {
+	if c.Virtual {
+		return virtualWall(res)
+	}
+	return res.Wall
 }
 
 // geomean returns the geometric mean of xs (0 for empty).
@@ -65,6 +103,15 @@ func geomean(xs []float64) float64 {
 // (OS noise only ever adds time), and since both the baseline and the
 // instrumented run use it, normalized overheads stay comparable.
 func (c Config) measure(fn func() (*vm.Result, error)) (time.Duration, *vm.Result, error) {
+	if c.Virtual {
+		// Virtual time is a pure function of the deterministic run, so
+		// repetitions and warm-up would measure the same number again.
+		res, err := fn()
+		if err != nil {
+			return 0, nil, err
+		}
+		return virtualWall(res), res, nil
+	}
 	best := time.Duration(0)
 	var last *vm.Result
 	for i := 0; i <= c.Reps; i++ {

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/vm"
+)
+
+// Parallel grid execution. Every figure-shaped experiment is a grid of
+// independent measurement cells — one workload crossed with one
+// configuration (the uninstrumented baseline counts as a
+// configuration). Cells share nothing mutable: each builds its own
+// workload program, instruments it against the (shared, immutable)
+// compiled analysis and runs it on a private vm.Machine, so they fan
+// out across Config.Parallelism worker goroutines. Results land in a
+// slice indexed by cell key, and the table is assembled in that fixed
+// order afterwards — the rendered output is independent of worker
+// interleaving.
+
+// runnerFn produces one measured VM run.
+type runnerFn = func() (*vm.Result, error)
+
+// gridSpec declares a figure-shaped experiment.
+type gridSpec struct {
+	// name tags progress lines and error messages ("fig3").
+	name  string
+	title string
+	// measured are the measured configuration columns, in order.
+	measured []string
+	// columns are the rendered column names; nil means the measured
+	// columns render as-is. Use with finish to add derived columns.
+	columns []string
+	// finish maps one row's measured overheads to its rendered
+	// overheads (nil ⇒ identity); used for derived columns like
+	// Figure 5's "sum".
+	finish func(measured []float64) []float64
+	// programs are the workload rows, in render order.
+	programs []string
+	// runner builds the measurement closure for one cell. col is an
+	// index into measured; col == -1 is the uninstrumented baseline.
+	runner func(c Config, program string, col int) (runnerFn, error)
+}
+
+func (g *gridSpec) colName(col int) string {
+	if col < 0 {
+		return "base"
+	}
+	return g.measured[col]
+}
+
+// forEachCell runs f for every index in [0, n) across the configured
+// worker count. All cells run to completion unless one fails; after a
+// failure, cells that have not started yet are skipped and the error of
+// the lowest-indexed failing cell is returned (matching what a serial
+// sweep would have reported first).
+func (c Config) forEachCell(n int, f func(i int) error) error {
+	workers := c.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	cells := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range cells {
+				if failed.Load() {
+					continue
+				}
+				if err := f(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		cells <- i
+	}
+	close(cells)
+	wg.Wait()
+	return firstErr
+}
+
+// runGrid measures every cell of the grid, assembles the Table in row
+// and column order, and renders it to c.Out.
+func (c Config) runGrid(g gridSpec) (*Table, error) {
+	stride := len(g.measured) + 1 // baseline + measured columns
+	walls := make([]time.Duration, len(g.programs)*stride)
+	err := c.forEachCell(len(walls), func(i int) error {
+		program := g.programs[i/stride]
+		col := i%stride - 1
+		fn, err := g.runner(c, program, col)
+		if err != nil {
+			return fmt.Errorf("%s %s/%s: %w", g.name, program, g.colName(col), err)
+		}
+		start := time.Now()
+		wall, _, err := c.measure(fn)
+		if err != nil {
+			return fmt.Errorf("%s %s/%s: %w", g.name, program, g.colName(col), err)
+		}
+		walls[i] = wall
+		if c.Progress != nil {
+			fmt.Fprintf(c.Progress, "[%s] %s/%s wall=%v elapsed=%v\n",
+				g.name, program, g.colName(col),
+				wall.Round(10*time.Microsecond), time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	cols := g.columns
+	if cols == nil {
+		cols = g.measured
+	}
+	t := &Table{Title: g.title, Columns: cols}
+	for wi, program := range g.programs {
+		base := walls[wi*stride]
+		measured := make([]float64, len(g.measured))
+		for ci := range g.measured {
+			measured[ci] = float64(walls[wi*stride+1+ci]) / float64(base)
+		}
+		if g.finish != nil {
+			measured = g.finish(measured)
+		}
+		t.Rows = append(t.Rows, Row{Workload: program, BaseWall: base, Overheads: measured})
+	}
+	t.computeAverages()
+	t.Render(c.Out)
+	return t, nil
+}

@@ -1,0 +1,43 @@
+package parser_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lang/parser"
+	"repro/internal/lang/printer"
+)
+
+// FuzzParse asserts two frontend invariants over arbitrary input:
+// Parse never panics (it must reject malformed sources with errors),
+// and for accepted sources the parse→print→parse round trip is a fixed
+// point — the printer output re-parses to a program that prints
+// identically. Seeded from the eight shipped .alda analyses (read from
+// disk, like the printer tests, to keep this package frontend-only).
+func FuzzParse(f *testing.F) {
+	paths, _ := filepath.Glob("../../analyses/*.alda")
+	for _, p := range paths {
+		if b, err := os.ReadFile(p); err == nil {
+			f.Add(string(b))
+		}
+	}
+	f.Add("analysis empty { }")
+	f.Add("analysis m { meta addr2label: map<pointer, int64>; on LoadInst call check($a); func check(p: pointer) { alda_assert(1, 1); } }")
+	f.Add("analysis bad { on on on")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		out1 := printer.Print(prog)
+		prog2, err := parser.Parse(out1)
+		if err != nil {
+			t.Fatalf("printer output does not re-parse: %v\n--- printed ---\n%s\n--- original ---\n%s", err, out1, src)
+		}
+		out2 := printer.Print(prog2)
+		if out1 != out2 {
+			t.Fatalf("print is not a fixed point\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package meta
+
+import (
+	"sort"
+	"testing"
+)
+
+// Differential test: drive the same operation sequence through the
+// fixed-domain bit-vector set, the tree set, and a plain-map oracle and
+// assert identical observable behavior (membership, cardinality,
+// emptiness, iteration order of Elems). The compiler picks between
+// these representations per analysis (§5.3), so they must be
+// behaviorally interchangeable on a shared domain.
+
+const diffDomain = 193 // odd, spans four 64-bit words with a ragged tail
+
+type diffOracle map[uint64]bool
+
+func (o diffOracle) elems() []uint64 {
+	out := make([]uint64, 0, len(o))
+	for e := range o {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// applyOp decodes one (op, element) pair and applies it to all three
+// sets, failing on any observable divergence.
+func applyOp(t *testing.T, step int, op, raw uint64, bits []uint64, tree *TreeSet, oracle diffOracle) {
+	t.Helper()
+	e := raw % diffDomain
+	switch op % 4 {
+	case 0: // insert
+		BitAdd(bits, e)
+		tree.Add(e)
+		oracle[e] = true
+	case 1: // remove
+		BitRemove(bits, e)
+		tree.Remove(e)
+		delete(oracle, e)
+	case 2: // contains
+		want := oracle[e]
+		if got := BitFind(bits, e); got != want {
+			t.Fatalf("step %d: bitset Find(%d) = %v, oracle %v", step, e, got, want)
+		}
+		if got := tree.Find(e); got != want {
+			t.Fatalf("step %d: treeset Find(%d) = %v, oracle %v", step, e, got, want)
+		}
+	default: // iterate + aggregate queries
+		want := oracle.elems()
+		gotBits := BitElems(nil, bits)
+		if len(gotBits) != len(want) {
+			t.Fatalf("step %d: bitset has %d elems, oracle %d", step, len(gotBits), len(want))
+		}
+		gotTree := tree.Elems()
+		if len(gotTree) != len(want) {
+			t.Fatalf("step %d: treeset has %d elems, oracle %d", step, len(gotTree), len(want))
+		}
+		for i := range want {
+			if gotBits[i] != want[i] || gotTree[i] != want[i] {
+				t.Fatalf("step %d: elems diverge at %d: bitset=%d treeset=%d oracle=%d",
+					step, i, gotBits[i], gotTree[i], want[i])
+			}
+		}
+		if BitCount(bits) != len(want) || tree.Size() != len(want) {
+			t.Fatalf("step %d: counts diverge: bitset=%d treeset=%d oracle=%d",
+				step, BitCount(bits), tree.Size(), len(want))
+		}
+		if BitEmpty(bits) != (len(want) == 0) || tree.Empty() != (len(want) == 0) {
+			t.Fatalf("step %d: emptiness diverges", step)
+		}
+	}
+}
+
+func TestDifferentialSetContainers(t *testing.T) {
+	for _, seed := range []uint64{1, 0xdeadbeef, 42, 7777777} {
+		bits := make([]uint64, BitWords(diffDomain))
+		tree := NewTreeSet()
+		oracle := diffOracle{}
+		rng := seed*0x9E3779B97F4A7C15 | 1
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		for step := 0; step < 5000; step++ {
+			applyOp(t, step, next(), next(), bits, tree, oracle)
+		}
+		// Final drain: remove everything and confirm all three agree on
+		// the empty set.
+		for _, e := range oracle.elems() {
+			BitRemove(bits, e)
+			tree.Remove(e)
+		}
+		if !BitEmpty(bits) || tree.Size() != 0 {
+			t.Fatalf("seed %d: drain left bitset empty=%v treeset size=%d", seed, BitEmpty(bits), tree.Size())
+		}
+	}
+}
+
+// FuzzSetContainers feeds arbitrary byte strings as op sequences: each
+// pair of bytes is one (op, element) instruction.
+func FuzzSetContainers(f *testing.F) {
+	f.Add([]byte{0, 5, 2, 5, 1, 5, 2, 5, 3, 0})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 3, 0, 1, 2, 3, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		bits := make([]uint64, BitWords(diffDomain))
+		tree := NewTreeSet()
+		oracle := diffOracle{}
+		for i := 0; i+1 < len(ops); i += 2 {
+			applyOp(t, i/2, uint64(ops[i]), uint64(ops[i+1]), bits, tree, oracle)
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package vm
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // LibFn models an external library function (§5.6.2). Library bodies
 // execute atomically — the paper's analogue is code in non-instrumented
@@ -17,7 +20,22 @@ func arg(args []uint64, i int) uint64 {
 	return 0
 }
 
+// The stdlib table is built once per process and shared by every
+// Machine: LibFn bodies are stateless (all mutable state lives on the
+// Machine passed in), so concurrent Machines can read the same map.
+// Machines that override entries via RegisterLib get a private
+// copy-on-write clone.
+var (
+	stdlibOnce   sync.Once
+	stdlibShared map[string]LibFn
+)
+
 func stdlibTable() map[string]LibFn {
+	stdlibOnce.Do(func() { stdlibShared = buildStdlibTable() })
+	return stdlibShared
+}
+
+func buildStdlibTable() map[string]LibFn {
 	libs := map[string]LibFn{
 		"malloc": func(m *Machine, t *thread, args []uint64) uint64 {
 			a := m.heap.alloc(arg(args, 0))
@@ -109,8 +127,20 @@ func stdlibTable() map[string]LibFn {
 }
 
 // RegisterLib installs (or overrides) a library model before Run; used
-// by tests and custom workloads.
-func (m *Machine) RegisterLib(name string, fn LibFn) { m.libs[name] = fn }
+// by tests and custom workloads. The machine's table starts as the
+// process-wide shared stdlib table, so the first registration clones it
+// rather than mutating state visible to concurrently running Machines.
+func (m *Machine) RegisterLib(name string, fn LibFn) {
+	if !m.libsOwned {
+		clone := make(map[string]LibFn, len(m.libs)+1)
+		for k, v := range m.libs {
+			clone[k] = v
+		}
+		m.libs = clone
+		m.libsOwned = true
+	}
+	m.libs[name] = fn
+}
 
 // LoadMem reads size bytes at addr; exposed to analysis runtimes and
 // baselines (the "slow metadata reading interface" of §5.6.2).

@@ -126,9 +126,16 @@ type Machine struct {
 	reports   []*Report
 	reportIdx map[reportKey]*Report
 
-	libs map[string]LibFn
-	ssl  sslWorld
-	zlib zlibWorld
+	libs      map[string]LibFn
+	libsOwned bool // libs is a private clone, not the shared stdlib table
+	ssl       sslWorld
+	zlib      zlibWorld
+
+	// ext holds per-machine state for analysis external functions,
+	// keyed by analysis name. Compiled analyses are shared (and cached)
+	// across concurrently running Machines, so externals must not keep
+	// run state in closures; they park it here instead.
+	ext map[string]any
 
 	inputCursor uint64 // deterministic "stdin" for gets()
 
@@ -243,6 +250,22 @@ func (m *Machine) Backtrace() []string {
 		out = append(out, fmt.Sprintf("%s@b%d:%d", fr.fn.name, fr.block, fr.pc))
 	}
 	return out
+}
+
+// ExtState returns the machine's state slot for key, creating it with
+// init on first use. A Machine runs on one goroutine, so no locking is
+// needed; the slot dies with the machine, so externals never leak state
+// across runs.
+func (m *Machine) ExtState(key string, init func() any) any {
+	if m.ext == nil {
+		m.ext = make(map[string]any)
+	}
+	s, ok := m.ext[key]
+	if !ok {
+		s = init()
+		m.ext[key] = s
+	}
+	return s
 }
 
 // CurrentTID returns the id of the thread being executed (valid during

@@ -1,0 +1,102 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mir"
+)
+
+// mallocLoopProg builds main() { p = malloc(64); memset(p, 0, 64);
+// s = strlen(gets(p)); free(p); return s } — touches several shared
+// stdlib table entries.
+func mallocLoopProg() *mir.Program {
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+	sz := b.Const(64)
+	ptr := b.Call("malloc", mir.R(sz))
+	z := b.Const(0)
+	b.Call("memset", mir.R(ptr), mir.R(z), mir.R(sz))
+	line := b.Call("gets", mir.R(ptr))
+	n := b.Call("strlen", mir.R(line))
+	b.Call("free", mir.R(ptr))
+	b.RetVal(mir.R(n))
+	return p
+}
+
+// TestConcurrentMachinesSharedStdlib runs many Machines at once against
+// the process-shared stdlib table; under -race this is the regression
+// test for the lazily-built libc/ssl/zlib tables.
+func TestConcurrentMachinesSharedStdlib(t *testing.T) {
+	prog := mallocLoopProg()
+	if err := prog.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	exits := make([]uint64, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := New(prog, Config{Seed: int64(i + 1)})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			exits[i] = res.Exit
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range exits {
+		if e != 16 {
+			t.Errorf("worker %d: exit=%d, want 16 (gets writes 16 bytes)", i, e)
+		}
+	}
+}
+
+// TestRegisterLibCopyOnWrite asserts that overriding a library model on
+// one Machine clones the table instead of mutating the shared one.
+func TestRegisterLibCopyOnWrite(t *testing.T) {
+	prog := mallocLoopProg()
+	if err := prog.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := New(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := stdlibTable()
+	if len(m1.libs) != len(shared) {
+		t.Fatalf("machine should start on the shared table")
+	}
+	// abs64 is pure: abs64() with no args returns 0; the override
+	// returns 7, so behavior tells the tables apart deterministically.
+	m1.RegisterLib("abs64", func(m *Machine, t *thread, args []uint64) uint64 { return 7 })
+	if !m1.libsOwned {
+		t.Fatal("RegisterLib should mark the table as owned")
+	}
+	// The shared table must be untouched — a second machine still sees
+	// the original entry.
+	if len(stdlibTable()) != len(shared) {
+		t.Fatal("shared table size changed")
+	}
+	m2, err := New(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.libsOwned {
+		t.Fatal("fresh machine should share the stdlib table")
+	}
+	if got := m2.libs["abs64"](m2, nil, nil); got != 0 {
+		t.Errorf("override leaked into the shared table: abs64() = %d", got)
+	}
+	if got := m1.libs["abs64"](m1, nil, nil); got != 7 {
+		t.Errorf("override not visible on the owning machine: got %d", got)
+	}
+}
