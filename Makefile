@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only,
 # no external dependencies).
 
-.PHONY: all build test race vet bench experiments examples fmt cover fuzz
+.PHONY: all build test race vet bench experiments examples fmt cover fuzz faults
 
 all: build vet test
 
@@ -19,6 +19,13 @@ test:
 # the gate for any change to vm, compiler, or harness internals.
 race:
 	go test -race ./...
+
+# Deterministic fault-injection suite: three fixed seeds chosen to
+# cover every fault mode with a firing injection point (1 =
+# sched-perturb, 20 = malloc-fail, 23 = handler-panic). Each seed's
+# failure must be typed, recovered, and identical run to run.
+faults:
+	go test ./internal/vm/faults -run TestFaultSuite -count=1 -v -seeds 1,20,23
 
 # Short fuzz passes over the parser and the set containers.
 fuzz:

@@ -10,6 +10,9 @@
 //	aldabench -exp fig4 -size medium
 //	aldabench -exp fig3 -parallel 8            # fan cells out over 8 workers
 //	aldabench -exp fig4 -parallel 8 -virtual   # deterministic virtual timing
+//	aldabench -exp all -checkpoint sweep.jsonl # stream completed cells to JSONL
+//	aldabench -exp all -checkpoint sweep.jsonl -resume   # continue a killed sweep
+//	aldabench -exp fig4 -virtual -fault-seed 20          # inject a deterministic fault
 //
 // Measurement cells (one workload × one configuration) are independent;
 // -parallel N fans them out over N worker goroutines (0 = GOMAXPROCS).
@@ -17,6 +20,21 @@
 // depend on parallelism; with -virtual the numbers are deterministic
 // too and the tables are byte-identical at any -parallel value.
 // Per-cell progress/timing lines go to stderr; suppress with -quiet.
+//
+// Fault tolerance: each cell runs crash-isolated — a VM trap, resource
+// budget overrun (-cell-timeout, -max-heap) or injected fault degrades
+// that one cell to an ERR(<kind>) table entry (error taxonomy: Trap,
+// StepLimit, HeapLimit, Deadline, LibFault) while the rest of the sweep
+// completes (-keep-going, on by default). Deadline failures — the only
+// load-dependent kind — are retried with exponential backoff up to
+// -retries times. -checkpoint streams completed cells to a JSONL file
+// and -resume replays them, so an interrupted sweep picks up where it
+// was killed; under -virtual the resumed tables are byte-identical to
+// an uninterrupted run.
+//
+// Fault injection (-fault-seed, or the explicit -fault-malloc-nth,
+// -fault-panic-nth, -fault-sched-perturb) applies one deterministic
+// fault plan to every cell — the harness hardening testbed.
 package main
 
 import (
@@ -26,6 +44,8 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/vm"
+	"repro/internal/vm/faults"
 	"repro/internal/workloads"
 )
 
@@ -37,6 +57,16 @@ func main() {
 	parallel := flag.Int("parallel", 0, "measurement-cell worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	virtual := flag.Bool("virtual", false, "deterministic virtual timing (steps+hooks) instead of wall-clock")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines on stderr")
+	keepGoing := flag.Bool("keep-going", true, "degrade failed cells to ERR(<kind>) entries instead of aborting the sweep")
+	retries := flag.Int("retries", 1, "extra attempts for retryable (Deadline) cell failures")
+	checkpoint := flag.String("checkpoint", "", "JSONL file streaming completed cells (enables -resume)")
+	resume := flag.Bool("resume", false, "replay completed cells from -checkpoint instead of re-measuring them")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-run VM deadline (0 = none); overruns degrade as ERR(Deadline)")
+	maxHeap := flag.Uint64("max-heap", 0, "per-run simulated-heap budget in bytes (0 = none); overruns degrade as ERR(HeapLimit)")
+	faultSeed := flag.Int64("fault-seed", 0, "derive a deterministic fault plan (malloc-fail / handler-panic / sched-perturb) from this seed (0 = none)")
+	faultMallocNth := flag.Uint64("fault-malloc-nth", 0, "make the nth simulated allocation return NULL (0 = off)")
+	faultPanicNth := flag.Uint64("fault-panic-nth", 0, "panic at the nth analysis hook dispatch (0 = off)")
+	faultSchedPerturb := flag.Uint64("fault-sched-perturb", 0, "perturb the deterministic scheduler seed (0 = off)")
 	flag.Parse()
 
 	var size workloads.Size
@@ -55,16 +85,43 @@ func main() {
 	}
 
 	cfg := harness.Config{
-		Size:        size,
-		Reps:        *reps,
-		Out:         os.Stdout,
-		Parallelism: *parallel,
-		Virtual:     *virtual,
+		Size:           size,
+		Reps:           *reps,
+		Out:            os.Stdout,
+		Parallelism:    *parallel,
+		Virtual:        *virtual,
+		KeepGoing:      *keepGoing,
+		Retries:        *retries,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
 	cfg.Opt.Seed = *seed
+	cfg.Opt.Deadline = *cellTimeout
+	cfg.Opt.MaxHeapBytes = *maxHeap
+
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
+		os.Exit(2)
+	}
+
+	spec := vm.FaultSpec{
+		MallocFailNth:   *faultMallocNth,
+		HandlerPanicNth: *faultPanicNth,
+		SchedPerturb:    *faultSchedPerturb,
+	}
+	if *faultSeed != 0 {
+		plan := faults.FromSeed(*faultSeed)
+		spec = plan.Spec()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "fault plan: seed=%d mode=%s nth=%d\n", plan.Seed, plan.Mode, plan.Nth)
+		}
+	}
+	if !spec.Zero() {
+		cfg.CellFaults = func(program, column string) vm.FaultSpec { return spec }
+	}
 
 	run := func(name string, fn func(harness.Config) error) {
 		if *exp != "all" && *exp != name {

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/compiler"
@@ -20,14 +21,23 @@ type RunOptions struct {
 	Seed     int64
 	MaxSteps uint64
 	Quantum  int
+	// MaxHeapBytes / Deadline are the vm.Config resource budgets; zero
+	// means unbounded (beyond the address space / no wall-clock cap).
+	MaxHeapBytes uint64
+	Deadline     time.Duration
+	// Faults is forwarded to the VM for deterministic fault injection.
+	Faults vm.FaultSpec
 }
 
 func (o RunOptions) vmConfig(track bool) vm.Config {
 	return vm.Config{
-		Seed:        o.Seed,
-		MaxSteps:    o.MaxSteps,
-		Quantum:     o.Quantum,
-		TrackShadow: track,
+		Seed:         o.Seed,
+		MaxSteps:     o.MaxSteps,
+		Quantum:      o.Quantum,
+		TrackShadow:  track,
+		MaxHeapBytes: o.MaxHeapBytes,
+		Deadline:     o.Deadline,
+		Faults:       o.Faults,
 	}
 }
 

@@ -2,6 +2,10 @@ package harness
 
 import (
 	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -119,3 +123,148 @@ func TestForEachCellFirstError(t *testing.T) {
 type errIndexed int
 
 func (e errIndexed) Error() string { return "cell failed" + string(rune('0'+int(e))) }
+
+// TestCheckpointResumeByteIdentical is the interruption regression
+// test: a sweep checkpointed to JSONL, "killed" after N completed cells
+// (the checkpoint truncated to its first N records, exactly what a
+// mid-grid kill leaves behind), and resumed with Resume must render a
+// table byte-identical to an uninterrupted run — and must actually skip
+// the N restored cells rather than re-measuring them.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.jsonl")
+	render := func(path string, resume bool, progress io.Writer) string {
+		var buf bytes.Buffer
+		cfg := Config{
+			Size:           workloads.SizeTiny,
+			Reps:           1,
+			Virtual:        true,
+			Parallelism:    4,
+			Out:            &buf,
+			KeepGoing:      true,
+			CheckpointPath: path,
+			Resume:         resume,
+			Progress:       progress,
+		}
+		if _, err := Fig4(cfg); err != nil {
+			t.Fatalf("Fig4 (resume=%v): %v", resume, err)
+		}
+		return buf.String()
+	}
+
+	clean := render("", false, nil)
+	full := render(ckpt, false, nil)
+	if full != clean {
+		t.Fatalf("checkpointing changed the rendered table\n--- clean ---\n%s--- checkpointed ---\n%s", clean, full)
+	}
+
+	// Simulate the kill: keep only the first 7 completed-cell records.
+	const keep = 7
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) <= keep {
+		t.Fatalf("checkpoint has only %d records", len(lines))
+	}
+	if err := os.WriteFile(ckpt, []byte(strings.Join(lines[:keep], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var progress bytes.Buffer
+	resumed := render(ckpt, true, &progress)
+	if resumed != clean {
+		t.Errorf("resumed render differs from uninterrupted run\n--- clean ---\n%s--- resumed ---\n%s", clean, resumed)
+	}
+	if n := strings.Count(progress.String(), "resumed from checkpoint"); n != keep {
+		t.Errorf("resumed %d cells from the truncated checkpoint, want %d", n, keep)
+	}
+}
+
+// TestCheckpointTornTrailingRecord: a kill mid-write leaves a torn last
+// line; resume must skip it (and re-measure that cell) instead of
+// failing or restoring garbage.
+func TestCheckpointTornTrailingRecord(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.jsonl")
+	render := func(resume bool) string {
+		var buf bytes.Buffer
+		cfg := Config{
+			Size: workloads.SizeTiny, Reps: 1, Virtual: true, Parallelism: 1,
+			Out: &buf, KeepGoing: true, CheckpointPath: ckpt, Resume: resume,
+		}
+		if _, err := Fig4(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	clean := render(false)
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	torn := strings.Join(lines[:3], "") + lines[3][:len(lines[3])/2] // half a record, no newline
+	if err := os.WriteFile(ckpt, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if resumed := render(true); resumed != clean {
+		t.Errorf("torn checkpoint corrupted the resumed table\n--- clean ---\n%s--- resumed ---\n%s", clean, resumed)
+	}
+}
+
+// TestCheckpointFingerprintMismatchIgnored: records written under a
+// different measurement configuration must not be restored.
+func TestCheckpointFingerprintMismatchIgnored(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.jsonl")
+	w, err := newCheckpointWriter(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(checkpointRecord{Grid: "fig4", Cell: "fft/base", Fp: "size=large reps=9 seed=2 virtual=false", WallNS: 42}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	cfg := Config{Size: workloads.SizeTiny, Reps: 1, Virtual: true}
+	got, err := loadCheckpoint(ckpt, "fig4", cfg.fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("restored %d stale records, want 0", len(got))
+	}
+}
+
+// TestCheckpointRestoresDegradedCells: a degraded cell recorded in the
+// checkpoint resumes as the same ERR(<kind>) entry without re-running
+// the faulty cell.
+func TestCheckpointRestoresDegradedCells(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.jsonl")
+	render := func(resume bool, faults func(string, string) vm.FaultSpec) string {
+		var buf bytes.Buffer
+		cfg := Config{
+			Size: workloads.SizeTiny, Reps: 1, Virtual: true, Parallelism: 4,
+			Out: &buf, KeepGoing: true, CheckpointPath: ckpt, Resume: resume,
+			CellFaults: faults,
+		}
+		if _, err := Fig4(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	faulty := func(program, column string) vm.FaultSpec {
+		if program == "fft" && column == "ALDAcc-full" {
+			return vm.FaultSpec{MallocFailNth: 1}
+		}
+		return vm.FaultSpec{}
+	}
+	first := render(false, faulty)
+	// Resume WITHOUT the fault config: the ERR cell must come back from
+	// the checkpoint, proving it was restored rather than re-injected.
+	resumed := render(true, nil)
+	if first != resumed {
+		t.Errorf("degraded cell not restored from checkpoint\n--- first ---\n%s--- resumed ---\n%s", first, resumed)
+	}
+	if !strings.Contains(resumed, "ERR(LibFault)") {
+		t.Errorf("resumed table lost the degraded cell\n%s", resumed)
+	}
+}

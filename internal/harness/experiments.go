@@ -124,6 +124,17 @@ func Fig5(cfg Config) (*Table, error) {
 			sum := m[0] + m[1] + m[2] + m[3]
 			return []float64{m[0], m[1], m[2], m[3], sum, m[4], m[5]}
 		},
+		finishErrs: func(e []string) []string {
+			// The derived sum is degraded if any of its inputs is.
+			sumErr := ""
+			for _, k := range e[:4] {
+				if k != "" {
+					sumErr = k
+					break
+				}
+			}
+			return []string{e[0], e[1], e[2], e[3], sumErr, e[4], e[5]}
+		},
 		programs: Fig5Programs,
 		runner: func(c Config, w string, col int) (runnerFn, error) {
 			switch {

@@ -51,6 +51,29 @@ func TestTableGoldenFigureStyle(t *testing.T) {
 	checkGolden(t, "table_figure_style", buf.String())
 }
 
+func TestTableGoldenDegradedCells(t *testing.T) {
+	// Degraded cells: a measured cell that failed renders ERR(<kind>)
+	// and is excluded from its column average; a failed baseline blanks
+	// the whole row's overheads ("-" against a failed denominator).
+	tbl := &Table{
+		Title:   "degraded cells: ERR entries and a failed baseline",
+		Columns: []string{"hand-tuned", "ALDAcc-full", "ALDAcc-ds-only"},
+		Rows: []Row{
+			{Workload: "fft", BaseWall: 1234567 * time.Nanosecond, Overheads: []float64{2.5, 0, 4.75},
+				Errs: []string{"", "LibFault", ""}},
+			{Workload: "lu_c", BaseWall: 987654321 * time.Nanosecond, Overheads: []float64{3, 2.8, 0},
+				Errs: []string{"", "", "Trap"}},
+			{Workload: "radix", BaseErr: "HeapLimit", Overheads: []float64{0, 0, 0},
+				Errs: []string{"", "", ""}},
+			{Workload: "radiosity", BaseWall: 42 * time.Microsecond, Overheads: []float64{11.99, 9.005, 25}},
+		},
+	}
+	tbl.computeAverages()
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	checkGolden(t, "table_degraded", buf.String())
+}
+
 func TestTableGoldenEdgeCases(t *testing.T) {
 	// Zero and missing overheads: zeros are excluded from the per-column
 	// average, short rows leave trailing columns unaveraged.

@@ -51,6 +51,31 @@ type Config struct {
 	// no progress output). Cells complete in nondeterministic order
 	// under parallelism, so keep Progress separate from Out.
 	Progress io.Writer
+	// KeepGoing degrades failed cells instead of aborting the sweep: a
+	// cell whose run fails (a vm.RunError, a build error, or a panic in
+	// workload construction) renders as ERR(<kind>) and every other
+	// cell still runs. Off, the sweep keeps the serial first-error
+	// behavior: the lowest-indexed failure aborts it.
+	KeepGoing bool
+	// Retries re-measures a cell up to this many extra times when its
+	// failure is retryable (vm.KindDeadline — the one load-dependent
+	// kind). The wait between attempts starts at RetryBackoff (default
+	// 100ms) and doubles.
+	Retries      int
+	RetryBackoff time.Duration
+	// CheckpointPath appends one JSONL record per completed cell
+	// (degraded cells included) to this file. Empty disables
+	// checkpointing.
+	CheckpointPath string
+	// Resume loads CheckpointPath before the sweep and skips every cell
+	// already recorded under the same grid and config fingerprint,
+	// restoring its measurement (or degraded error) verbatim — an
+	// interrupted -virtual sweep resumes byte-identical.
+	Resume bool
+	// CellFaults selects the fault-injection spec for a cell (nil ⇒
+	// none). column is the rendered column name, "base" for the
+	// uninstrumented baseline.
+	CellFaults func(program, column string) vm.FaultSpec
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
 	}
 	return c
 }
@@ -165,7 +193,17 @@ type Row struct {
 	Workload  string
 	BaseWall  time.Duration
 	Overheads []float64 // parallel to the experiment's column names
+	// Errs marks degraded cells: Errs[i] non-empty means column i's run
+	// failed with that error-kind label and Overheads[i] is meaningless.
+	// Nil when every cell succeeded.
+	Errs []string
+	// BaseErr marks a degraded baseline cell; the row's overheads are
+	// then undefined (rendered as "-").
+	BaseErr string
 }
+
+// errCell renders a degraded cell: the kind label wrapped in ERR(...).
+func errCell(kind string) string { return "ERR(" + kind + ")" }
 
 // Table is a rendered experiment result.
 type Table struct {
@@ -182,6 +220,9 @@ func (t *Table) computeAverages() {
 	for ci := range t.Columns {
 		s, n := 0.0, 0
 		for _, r := range t.Rows {
+			if r.BaseErr != "" || (ci < len(r.Errs) && r.Errs[ci] != "") {
+				continue // degraded cells don't pollute the average
+			}
 			if ci < len(r.Overheads) && r.Overheads[ci] > 0 {
 				s += r.Overheads[ci]
 				n++
@@ -202,9 +243,20 @@ func (t *Table) Render(w io.Writer) {
 	}
 	fmt.Fprintln(w)
 	for _, r := range t.Rows {
-		fmt.Fprintf(w, "%-12s %12s", r.Workload, r.BaseWall.Round(10*time.Microsecond))
-		for _, o := range r.Overheads {
-			fmt.Fprintf(w, " %13.2fx", o)
+		if r.BaseErr != "" {
+			fmt.Fprintf(w, "%-12s %12s", r.Workload, errCell(r.BaseErr))
+		} else {
+			fmt.Fprintf(w, "%-12s %12s", r.Workload, r.BaseWall.Round(10*time.Microsecond))
+		}
+		for ci, o := range r.Overheads {
+			switch {
+			case ci < len(r.Errs) && r.Errs[ci] != "":
+				fmt.Fprintf(w, " %14s", errCell(r.Errs[ci]))
+			case r.BaseErr != "":
+				fmt.Fprintf(w, " %14s", "-")
+			default:
+				fmt.Fprintf(w, " %13.2fx", o)
+			}
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -19,13 +20,21 @@ import (
 // slice indexed by cell key, and the table is assembled in that fixed
 // order afterwards — the rendered output is independent of worker
 // interleaving.
+//
+// Fault tolerance: each cell runs behind recover(), failures carry the
+// vm.RunError taxonomy, retryable kinds get bounded backoff retries,
+// and with Config.KeepGoing a failed cell degrades to an ERR(<kind>)
+// table entry instead of aborting the sweep. Completed cells stream to
+// the JSONL checkpoint (Config.CheckpointPath) so an interrupted sweep
+// resumes where it stopped.
 
 // runnerFn produces one measured VM run.
 type runnerFn = func() (*vm.Result, error)
 
 // gridSpec declares a figure-shaped experiment.
 type gridSpec struct {
-	// name tags progress lines and error messages ("fig3").
+	// name tags progress lines, error messages and checkpoint records
+	// ("fig3").
 	name  string
 	title string
 	// measured are the measured configuration columns, in order.
@@ -37,6 +46,10 @@ type gridSpec struct {
 	// overheads (nil ⇒ identity); used for derived columns like
 	// Figure 5's "sum".
 	finish func(measured []float64) []float64
+	// finishErrs maps the measured columns' error labels to the
+	// rendered columns' (nil ⇒ identity). Required whenever finish adds
+	// derived columns, so a degraded input degrades its derivations.
+	finishErrs func(measured []string) []string
 	// programs are the workload rows, in render order.
 	programs []string
 	// runner builds the measurement closure for one cell. col is an
@@ -52,22 +65,30 @@ func (g *gridSpec) colName(col int) string {
 }
 
 // forEachCell runs f for every index in [0, n) across the configured
-// worker count. All cells run to completion unless one fails; after a
-// failure, cells that have not started yet are skipped and the error of
-// the lowest-indexed failing cell is returned (matching what a serial
-// sweep would have reported first).
+// worker count. Without KeepGoing, a failure skips cells that have not
+// started yet and the error of the lowest-indexed failing cell is
+// returned (matching what a serial sweep would have reported first).
+// With KeepGoing, every cell runs regardless of failures; the
+// lowest-indexed error is still returned so callers know the sweep
+// degraded.
 func (c Config) forEachCell(n int, f func(i int) error) error {
 	workers := c.Parallelism
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		var firstErr error
 		for i := 0; i < n; i++ {
 			if err := f(i); err != nil {
-				return err
+				if !c.KeepGoing {
+					return err
+				}
+				if firstErr == nil {
+					firstErr = err
+				}
 			}
 		}
-		return nil
+		return firstErr
 	}
 	var (
 		failed   atomic.Bool
@@ -82,7 +103,7 @@ func (c Config) forEachCell(n int, f func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range cells {
-				if failed.Load() {
+				if !c.KeepGoing && failed.Load() {
 					continue
 				}
 				if err := f(i); err != nil {
@@ -104,32 +125,112 @@ func (c Config) forEachCell(n int, f func(i int) error) error {
 	return firstErr
 }
 
+// measureCell builds and measures one cell behind recover(), retrying
+// retryable failures with exponential backoff. Panics out of workload
+// builders, instrumentation or analysis handlers degrade to an error
+// instead of killing the sweep's worker pool.
+func (c Config) measureCell(g *gridSpec, program string, col int) (wall time.Duration, err error) {
+	attempt := func() (w time.Duration, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &cellFailure{kind: "panic", msg: fmt.Sprintf("panic: %v", r)}
+			}
+		}()
+		fn, err := g.runner(c, program, col)
+		if err != nil {
+			return 0, err
+		}
+		w, _, err = c.measure(fn)
+		return w, err
+	}
+	backoff := c.RetryBackoff
+	for try := 0; ; try++ {
+		wall, err = attempt()
+		if err == nil {
+			return wall, nil
+		}
+		var re *vm.RunError
+		if try >= c.Retries || !errors.As(err, &re) || !re.Retryable() {
+			return 0, err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
 // runGrid measures every cell of the grid, assembles the Table in row
 // and column order, and renders it to c.Out.
 func (c Config) runGrid(g gridSpec) (*Table, error) {
 	stride := len(g.measured) + 1 // baseline + measured columns
-	walls := make([]time.Duration, len(g.programs)*stride)
-	err := c.forEachCell(len(walls), func(i int) error {
+	n := len(g.programs) * stride
+	walls := make([]time.Duration, n)
+	cellErrs := make([]error, n)
+	fp := c.fingerprint()
+
+	var resumed map[string]checkpointRecord
+	if c.Resume && c.CheckpointPath != "" {
+		var err error
+		resumed, err = loadCheckpoint(c.CheckpointPath, g.name, fp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: loading checkpoint: %w", g.name, err)
+		}
+	}
+	var ckpt *checkpointWriter
+	if c.CheckpointPath != "" {
+		var err error
+		ckpt, err = newCheckpointWriter(c.CheckpointPath)
+		if err != nil {
+			return nil, fmt.Errorf("%s: opening checkpoint: %w", g.name, err)
+		}
+		defer ckpt.close()
+	}
+
+	err := c.forEachCell(n, func(i int) error {
 		program := g.programs[i/stride]
 		col := i%stride - 1
-		fn, err := g.runner(c, program, col)
-		if err != nil {
-			return fmt.Errorf("%s %s/%s: %w", g.name, program, g.colName(col), err)
+		key := program + "/" + g.colName(col)
+
+		if rec, ok := resumed[key]; ok {
+			walls[i] = time.Duration(rec.WallNS)
+			cellErrs[i] = restoreErr(rec)
+			if c.Progress != nil {
+				fmt.Fprintf(c.Progress, "[%s] %s resumed from checkpoint\n", g.name, key)
+			}
+			if cellErrs[i] != nil {
+				return fmt.Errorf("%s %s: %w", g.name, key, cellErrs[i])
+			}
+			return nil
+		}
+
+		cc := c
+		if c.CellFaults != nil {
+			cc.Opt.Faults = c.CellFaults(program, g.colName(col))
 		}
 		start := time.Now()
-		wall, _, err := c.measure(fn)
-		if err != nil {
-			return fmt.Errorf("%s %s/%s: %w", g.name, program, g.colName(col), err)
-		}
+		wall, err := cc.measureCell(&g, program, col)
 		walls[i] = wall
+		if err != nil {
+			cellErrs[i] = err
+			if ckpt != nil {
+				ckpt.append(checkpointRecord{Grid: g.name, Cell: key, Fp: fp,
+					ErrKind: errKindLabel(err), ErrMsg: err.Error()})
+			}
+			if c.Progress != nil {
+				fmt.Fprintf(c.Progress, "[%s] %s %s: %v\n", g.name, key, errCell(errKindLabel(err)), err)
+			}
+			return fmt.Errorf("%s %s: %w", g.name, key, err)
+		}
+		if ckpt != nil {
+			ckpt.append(checkpointRecord{Grid: g.name, Cell: key, Fp: fp, WallNS: int64(wall)})
+		}
 		if c.Progress != nil {
-			fmt.Fprintf(c.Progress, "[%s] %s/%s wall=%v elapsed=%v\n",
-				g.name, program, g.colName(col),
+			fmt.Fprintf(c.Progress, "[%s] %s wall=%v elapsed=%v\n",
+				g.name, key,
 				wall.Round(10*time.Microsecond), time.Since(start).Round(time.Millisecond))
 		}
 		return nil
 	})
-	if err != nil {
+	if err != nil && !c.KeepGoing {
 		return nil, err
 	}
 
@@ -140,14 +241,37 @@ func (c Config) runGrid(g gridSpec) (*Table, error) {
 	t := &Table{Title: g.title, Columns: cols}
 	for wi, program := range g.programs {
 		base := walls[wi*stride]
+		baseErr := ""
+		if e := cellErrs[wi*stride]; e != nil {
+			baseErr = errKindLabel(e)
+		}
 		measured := make([]float64, len(g.measured))
+		errLabels := make([]string, len(g.measured))
+		degraded := false
 		for ci := range g.measured {
-			measured[ci] = float64(walls[wi*stride+1+ci]) / float64(base)
+			if e := cellErrs[wi*stride+1+ci]; e != nil {
+				errLabels[ci] = errKindLabel(e)
+				degraded = true
+				continue
+			}
+			if baseErr == "" {
+				measured[ci] = float64(walls[wi*stride+1+ci]) / float64(base)
+			}
 		}
 		if g.finish != nil {
 			measured = g.finish(measured)
+			if g.finishErrs != nil {
+				errLabels = g.finishErrs(errLabels)
+			}
 		}
-		t.Rows = append(t.Rows, Row{Workload: program, BaseWall: base, Overheads: measured})
+		row := Row{Workload: program, BaseWall: base, Overheads: measured, BaseErr: baseErr}
+		if degraded || baseErr != "" {
+			row.Errs = errLabels
+			if baseErr != "" {
+				row.BaseWall = 0
+			}
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	t.computeAverages()
 	t.Render(c.Out)

@@ -1,0 +1,70 @@
+package vm
+
+import "fmt"
+
+// ErrKind classifies a RunError. The harness keys retry and degraded
+// -rendering decisions off the kind, never off message substrings, so
+// messages stay free to carry diagnostic detail.
+type ErrKind uint8
+
+const (
+	// KindTrap is a program fault the VM detected: out-of-range memory,
+	// lock misuse, stack overflow, invalid opcode, thread-limit breach,
+	// deadlock — and panics escaping analysis handlers, which the VM
+	// converts to errors rather than letting them kill the process.
+	KindTrap ErrKind = iota
+	// KindStepLimit is the Config.MaxSteps budget running out.
+	KindStepLimit
+	// KindHeapLimit is simulated-heap exhaustion: either the address
+	// space itself or the Config.MaxHeapBytes budget.
+	KindHeapLimit
+	// KindDeadline is the Config.Deadline wall-clock budget running out.
+	KindDeadline
+	// KindLibFault is a fault raised inside a modeled library call:
+	// libc-model misuse (unterminated strlen input) or an injected
+	// library fault (FaultSpec.MallocFailNth).
+	KindLibFault
+)
+
+var kindNames = [...]string{
+	KindTrap:      "Trap",
+	KindStepLimit: "StepLimit",
+	KindHeapLimit: "HeapLimit",
+	KindDeadline:  "Deadline",
+	KindLibFault:  "LibFault",
+}
+
+func (k ErrKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("ErrKind(%d)", uint8(k))
+}
+
+// ParseKind maps a kind name (as produced by ErrKind.String) back to
+// the kind; used when rehydrating checkpointed cell errors.
+func ParseKind(s string) (ErrKind, bool) {
+	for k, n := range kindNames {
+		if n == s {
+			return ErrKind(k), true
+		}
+	}
+	return 0, false
+}
+
+// RunError is a fault detected by the VM (bad memory access, deadlock,
+// an exhausted resource budget, a library fault) with its kind and a
+// backtrace of the faulting thread.
+type RunError struct {
+	Kind      ErrKind
+	Msg       string
+	Backtrace []string
+}
+
+func (e *RunError) Error() string { return "vm: " + e.Msg }
+
+// Retryable reports whether re-running the machine could plausibly
+// succeed. The VM is deterministic, so only the wall-clock deadline —
+// the one budget that depends on host load rather than program
+// behavior — is worth retrying.
+func (e *RunError) Retryable() bool { return e.Kind == KindDeadline }

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/mir"
@@ -47,7 +48,7 @@ type thread struct {
 func (m *Machine) newThread(fnIdx int, args, shadows []uint64) *thread {
 	id := len(m.threads)
 	if id >= m.cfg.MaxThreads {
-		m.fail("thread limit %d exceeded", m.cfg.MaxThreads)
+		m.failf(KindTrap, "thread limit %d exceeded", m.cfg.MaxThreads)
 		return nil
 	}
 	top := m.cfg.AddrSpace - uint64(id)*m.cfg.StackSize
@@ -91,23 +92,47 @@ func (m *Machine) pushFrame(t *thread, fnIdx int, args, shadows []uint64, retReg
 	}
 	t.frames = append(t.frames, frame{fn: fn, regBase: base, retReg: retReg, savedSP: t.sp})
 	if len(t.frames) > 1<<14 {
-		m.fail("call stack overflow in %s", fn.name)
+		m.failf(KindTrap, "call stack overflow in %s", fn.name)
 	}
 }
 
 // Run executes the program to completion of its main thread and returns
 // the result. Run may be called once per Machine.
-func (m *Machine) Run() (*Result, error) {
+//
+// Panics raised inside analysis handlers (which are arbitrary Go code,
+// compiler-generated or hand-written) are recovered here and surface as
+// a KindTrap RunError, so one broken analysis cannot kill a process
+// that is sweeping many machines.
+func (m *Machine) Run() (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.failf(KindTrap, "panic in handler or VM: %v", r)
+			res, err = nil, m.err
+		}
+	}()
 	main := m.newThread(m.idx[m.prog.Entry], nil, nil)
 	if m.err != nil {
 		return nil, m.err
 	}
 	start := time.Now()
-	rr := 0 // round-robin cursor
+	rr := 0           // round-robin cursor
+	deadlineTick := 0 // slices until the next wall-clock check
 	for m.err == nil && main.state != tDone {
 		if m.steps > m.cfg.MaxSteps {
-			m.fail("step limit %d exceeded", m.cfg.MaxSteps)
+			m.failf(KindStepLimit, "step limit %d exceeded", m.cfg.MaxSteps)
 			break
+		}
+		if m.cfg.Deadline > 0 {
+			// Checking the clock every slice would dominate short quanta;
+			// every 128 slices (~8k instructions) keeps the granularity
+			// far below any sensible deadline.
+			if deadlineTick--; deadlineTick <= 0 {
+				deadlineTick = 128
+				if time.Since(start) > m.cfg.Deadline {
+					m.failf(KindDeadline, "deadline %v exceeded after %d steps", m.cfg.Deadline, m.steps)
+					break
+				}
+			}
 		}
 		// Pick the next runnable thread at or after the cursor.
 		n := len(m.threads)
@@ -121,7 +146,7 @@ func (m *Machine) Run() (*Result, error) {
 		}
 		if picked < 0 {
 			m.cur = main
-			m.fail("deadlock: no runnable threads")
+			m.failf(KindTrap, "deadlock: no runnable threads")
 			break
 		}
 		rr = picked + 1
@@ -279,7 +304,7 @@ frameLoop:
 			case mir.OpLoad:
 				a := val(ins.A)
 				if a > m.mem.byteMask {
-					m.fail("load from out-of-range address %#x", a)
+					m.failf(KindTrap, "load from out-of-range address %#x", a)
 					return
 				}
 				regs[ins.Dst] = m.mem.load(a, ins.Size)
@@ -289,7 +314,7 @@ frameLoop:
 			case mir.OpStore:
 				a := val(ins.A)
 				if a > m.mem.byteMask {
-					m.fail("store to out-of-range address %#x", a)
+					m.failf(KindTrap, "store to out-of-range address %#x", a)
 					return
 				}
 				m.mem.store(a, val(ins.B), ins.Size)
@@ -297,7 +322,7 @@ frameLoop:
 			case mir.OpAlloca:
 				sz := (uint64(ins.Imm) + 7) &^ 7
 				if t.sp-sz < t.stackLow {
-					m.fail("stack overflow in %s", fr.fn.name)
+					m.failf(KindTrap, "stack overflow in %s", fr.fn.name)
 					return
 				}
 				t.sp -= sz
@@ -391,7 +416,7 @@ frameLoop:
 					l.held = true
 					l.owner = t.id
 				} else if l.owner == t.id {
-					m.fail("recursive lock %#x by thread %d", v, t.id)
+					m.failf(KindTrap, "recursive lock %#x by thread %d", v, t.id)
 					return
 				} else {
 					t.state = tBlockedLock
@@ -402,7 +427,7 @@ frameLoop:
 				v := val(ins.A)
 				l := m.locks[v]
 				if l == nil || !l.held || l.owner != t.id {
-					m.fail("unlock of lock %#x not held by thread %d", v, t.id)
+					m.failf(KindTrap, "unlock of lock %#x not held by thread %d", v, t.id)
 					return
 				}
 				l.held = false
@@ -432,7 +457,7 @@ frameLoop:
 			case mir.OpJoin:
 				target := int(val(ins.A))
 				if target < 0 || target >= len(m.threads) {
-					m.fail("join on invalid thread handle %d", target)
+					m.failf(KindTrap, "join on invalid thread handle %d", target)
 					return
 				}
 				if m.threads[target].state != tDone {
@@ -461,6 +486,9 @@ frameLoop:
 					}
 				}
 				m.hookCalls++
+				if f := m.cfg.Faults.HandlerPanicNth; f != 0 && m.hookCalls == f {
+					panic(fmt.Sprintf("injected fault: handler panic at hook dispatch #%d (%s)", f, h.Name))
+				}
 				r := m.Handlers[h.HandlerID](m, tid, args)
 				if h.MetaDst != mir.NoReg && track {
 					shadow[h.MetaDst] = r
@@ -469,7 +497,7 @@ frameLoop:
 			case mir.OpNop:
 				// nothing
 			default:
-				m.fail("invalid opcode %s", ins.Op)
+				m.failf(KindTrap, "invalid opcode %s", ins.Op)
 				return
 			}
 			fr.pc++

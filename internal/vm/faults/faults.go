@@ -1,0 +1,101 @@
+// Package faults derives deterministic fault-injection plans for the
+// VM from compact integer seeds. A plan picks one fault mode — the nth
+// heap allocation returning NULL, the nth analysis-hook dispatch
+// panicking, or a scheduler perturbation — plus its injection point,
+// all as pure functions of the seed. The same seed therefore reproduces
+// the identical failure on every run, which is what lets the harness's
+// degraded paths (ERR cells, retry, resume) be tested instead of merely
+// hoped for.
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// Mode is the fault family a plan injects.
+type Mode uint8
+
+const (
+	// MallocFail: the nth heap allocation returns NULL and the run fails
+	// with vm.KindLibFault.
+	MallocFail Mode = iota
+	// HandlerPanic: the nth hook dispatch panics inside the handler; the
+	// VM recovers it into a vm.KindTrap error.
+	HandlerPanic
+	// SchedPerturb: the scheduler RNG is perturbed — interleavings shift
+	// deterministically but the run still completes. Exercises the
+	// adversity-without-failure path.
+	SchedPerturb
+)
+
+func (m Mode) String() string {
+	switch m {
+	case MallocFail:
+		return "malloc-fail"
+	case HandlerPanic:
+		return "handler-panic"
+	case SchedPerturb:
+		return "sched-perturb"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Plan is one derived injection plan.
+type Plan struct {
+	Seed int64
+	Mode Mode
+	// Nth is the injection point (allocation or hook-dispatch ordinal)
+	// for the failing modes, or the RNG perturbation for SchedPerturb.
+	Nth uint64
+}
+
+// Spec renders the plan as the vm.Config fault request.
+func (p Plan) Spec() vm.FaultSpec {
+	switch p.Mode {
+	case MallocFail:
+		return vm.FaultSpec{MallocFailNth: p.Nth}
+	case HandlerPanic:
+		return vm.FaultSpec{HandlerPanicNth: p.Nth}
+	default:
+		return vm.FaultSpec{SchedPerturb: p.Nth}
+	}
+}
+
+func (p Plan) String() string {
+	return fmt.Sprintf("seed=%d %s nth=%d", p.Seed, p.Mode, p.Nth)
+}
+
+// splitmix is SplitMix64 — a tiny, well-mixed expansion of the seed so
+// adjacent seeds land on unrelated (mode, nth) pairs.
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// FromSeed expands a seed into its injection plan. Injection points are
+// kept small (1..64) so even tiny workloads reach them; a plan that
+// names an ordinal past the end of a run simply never fires, which is
+// itself a valid (fault-free) member of the suite.
+func FromSeed(seed int64) Plan {
+	x := splitmix(uint64(seed))
+	p := Plan{Seed: seed, Mode: Mode(x % 3), Nth: 1 + (x>>8)%64}
+	if p.Mode == SchedPerturb {
+		// Perturbations are full-width: they reseed jitter, not an ordinal.
+		p.Nth = splitmix(x) | 1
+	}
+	return p
+}
+
+// Seeds expands a set of seeds into plans (the shape `make faults` and
+// the harness's -fault-seed flag consume).
+func Seeds(seeds ...int64) []Plan {
+	out := make([]Plan, len(seeds))
+	for i, s := range seeds {
+		out[i] = FromSeed(s)
+	}
+	return out
+}

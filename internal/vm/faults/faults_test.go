@@ -1,0 +1,133 @@
+package faults
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analyses"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// -seeds selects the fault seeds the injection suite runs under;
+// `make faults` pins three fixed seeds here.
+var seedsFlag = flag.String("seeds", "1,2,3", "comma-separated fault-injection seeds")
+
+func suiteSeeds(t *testing.T) []int64 {
+	t.Helper()
+	var out []int64
+	for _, f := range strings.Split(*seedsFlag, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			t.Fatalf("bad -seeds entry %q: %v", f, err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestFromSeedDeterministic(t *testing.T) {
+	for s := int64(-5); s < 100; s++ {
+		if FromSeed(s) != FromSeed(s) {
+			t.Fatalf("seed %d expands differently across calls", s)
+		}
+	}
+}
+
+func TestFromSeedCoversAllModes(t *testing.T) {
+	seen := map[Mode]bool{}
+	for s := int64(0); s < 64; s++ {
+		seen[FromSeed(s).Mode] = true
+	}
+	for _, m := range []Mode{MallocFail, HandlerPanic, SchedPerturb} {
+		if !seen[m] {
+			t.Errorf("no seed in 0..63 selects mode %s", m)
+		}
+	}
+}
+
+// outcome flattens one faulted cell run into a comparable string.
+func outcome(res *vm.Result, err error) string {
+	if err == nil {
+		return fmt.Sprintf("ok steps=%d hooks=%d exit=%d", res.Steps, res.HookCalls, res.Exit)
+	}
+	var re *vm.RunError
+	if errors.As(err, &re) {
+		return fmt.Sprintf("err kind=%s msg=%s", re.Kind, re.Msg)
+	}
+	return "err untyped " + err.Error()
+}
+
+// wantedKind returns the RunError kind a fault mode must produce when
+// its injection point fires, and whether any failure is allowed at all.
+func wantedKind(m Mode) (vm.ErrKind, bool) {
+	switch m {
+	case MallocFail:
+		return vm.KindLibFault, true
+	case HandlerPanic:
+		return vm.KindTrap, true
+	default:
+		return 0, false // perturbation must not fail the run
+	}
+}
+
+// TestFaultSuite is the fault-injection suite behind `make faults`: for
+// every -seeds entry it runs an instrumented workload cell under the
+// seed's plan and asserts (a) the outcome is either success or a typed
+// RunError of the plan's kind — never an untyped error or a process
+// panic — and (b) the outcome is identical when re-run, i.e. the
+// injection is deterministic.
+func TestFaultSuite(t *testing.T) {
+	uaf, err := analyses.Compile("uaf", compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range suiteSeeds(t) {
+		plan := FromSeed(seed)
+		t.Run(plan.String(), func(t *testing.T) {
+			runOnce := func() string {
+				p, err := workloads.Build("fft", workloads.SizeTiny)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, rerr := core.RunAnalysis(p, uaf, core.RunOptions{Faults: plan.Spec()})
+				return outcome(res, rerr)
+			}
+			first := runOnce()
+			if second := runOnce(); second != first {
+				t.Fatalf("seed %d not deterministic:\n  %s\n  %s", seed, first, second)
+			}
+			if strings.HasPrefix(first, "err") {
+				kind, mayFail := wantedKind(plan.Mode)
+				if !mayFail {
+					t.Fatalf("%s plan failed the run: %s", plan.Mode, first)
+				}
+				if want := "err kind=" + kind.String(); !strings.HasPrefix(first, want) {
+					t.Fatalf("outcome %q, want prefix %q", first, want)
+				}
+			}
+			t.Logf("%s -> %s", plan, first)
+		})
+	}
+}
+
+// TestMallocFaultAlwaysFires pins one explicit malloc-fail plan against
+// a workload known to allocate, so the suite can't silently pass by
+// never reaching any injection point.
+func TestMallocFaultAlwaysFires(t *testing.T) {
+	p, err := workloads.Build("fft", workloads.SizeTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := core.RunPlain(p, core.RunOptions{Faults: vm.FaultSpec{MallocFailNth: 1}})
+	var re *vm.RunError
+	if !errors.As(rerr, &re) || re.Kind != vm.KindLibFault {
+		t.Fatalf("err = %v, want KindLibFault RunError", rerr)
+	}
+}

@@ -38,17 +38,12 @@ func stdlibTable() map[string]LibFn {
 func buildStdlibTable() map[string]LibFn {
 	libs := map[string]LibFn{
 		"malloc": func(m *Machine, t *thread, args []uint64) uint64 {
-			a := m.heap.alloc(arg(args, 0))
-			if a == 0 {
-				m.fail("out of simulated heap (malloc %d)", arg(args, 0))
-			}
-			return a
+			return m.heapAlloc(arg(args, 0), "malloc")
 		},
 		"calloc": func(m *Machine, t *thread, args []uint64) uint64 {
 			n := arg(args, 0) * arg(args, 1)
-			a := m.heap.alloc(n)
+			a := m.heapAlloc(n, "calloc")
 			if a == 0 {
-				m.fail("out of simulated heap (calloc %d)", n)
 				return 0
 			}
 			for i := uint64(0); i < n; i += 8 {
@@ -101,7 +96,7 @@ func buildStdlibTable() map[string]LibFn {
 					return i
 				}
 			}
-			m.fail("strlen: unterminated string at %#x", arg(args, 0))
+			m.failf(KindLibFault, "strlen: unterminated string at %#x", arg(args, 0))
 			return 0
 		},
 		"rand": func(m *Machine, t *thread, args []uint64) uint64 {

@@ -37,9 +37,43 @@ type Config struct {
 	StackSize uint64
 	// MaxThreads bounds total threads over the run. Default 128.
 	MaxThreads int
+	// MaxHeapBytes bounds live simulated-heap bytes (size-class rounded).
+	// 0 means no budget beyond the address space itself. Exceeding it
+	// fails the run with KindHeapLimit instead of letting one runaway
+	// workload eat the whole address space.
+	MaxHeapBytes uint64
+	// Deadline bounds the wall-clock time of the interpret loop. 0 means
+	// no deadline. Exceeding it fails the run with KindDeadline — the
+	// only nondeterministic budget, so leave it 0 when byte-identical
+	// reruns matter.
+	Deadline time.Duration
+	// Faults requests deterministic fault injection (see the faults
+	// sub-package for seed-derived plans). Zero value injects nothing.
+	Faults FaultSpec
 	// Stdout receives modeled print output; nil discards it.
 	Stdout io.Writer
 }
+
+// FaultSpec requests deterministic fault injection. The injection
+// points are counted in machine-deterministic units (allocations, hook
+// dispatches), so a given spec reproduces the identical failure on
+// every run with the same seed and program.
+type FaultSpec struct {
+	// MallocFailNth makes the nth heap allocation (1-based, counted
+	// across malloc/calloc and allocating library models) return NULL
+	// and fail the run with KindLibFault. 0 = off.
+	MallocFailNth uint64
+	// HandlerPanicNth makes the nth analysis-hook dispatch (1-based)
+	// panic inside the handler; Run recovers it into a KindTrap
+	// RunError. 0 = off.
+	HandlerPanicNth uint64
+	// SchedPerturb perturbs the scheduler RNG, deterministically
+	// shifting thread interleavings without failing the run. 0 = off.
+	SchedPerturb uint64
+}
+
+// Zero reports whether the spec injects nothing.
+func (f FaultSpec) Zero() bool { return f == FaultSpec{} }
 
 func (c Config) withDefaults() Config {
 	if c.AddrSpace == 0 {
@@ -84,15 +118,6 @@ type Result struct {
 	Threads   int           // total threads ever spawned
 }
 
-// RuntimeError is a fault detected by the VM (bad memory access,
-// deadlock, step cap) with a backtrace.
-type RuntimeError struct {
-	Msg       string
-	Backtrace []string
-}
-
-func (e *RuntimeError) Error() string { return "vm: " + e.Msg }
-
 type lockState struct {
 	held  bool
 	owner int
@@ -114,9 +139,10 @@ type Machine struct {
 	nlive   int
 	cur     *thread
 
-	rng       uint64
-	steps     uint64
-	hookCalls uint64
+	rng        uint64
+	steps      uint64
+	hookCalls  uint64
+	allocCount uint64 // heap allocations performed (fault-injection clock)
 
 	// Handlers is the analysis handler table indexed by HookRef.HandlerID.
 	Handlers []HandlerFn
@@ -139,7 +165,7 @@ type Machine struct {
 
 	inputCursor uint64 // deterministic "stdin" for gets()
 
-	err *RuntimeError
+	err *RunError
 }
 
 type linkedInstr struct {
@@ -165,6 +191,11 @@ func New(prog *mir.Program, cfg Config) (*Machine, error) {
 		reportIdx: make(map[reportKey]*Report),
 	}
 	m.rng = uint64(m.cfg.Seed)*0x9E3779B97F4A7C15 | 1
+	if p := m.cfg.Faults.SchedPerturb; p != 0 {
+		// Deterministically shift the scheduler's jitter stream without
+		// losing the |1 non-zero guarantee.
+		m.rng = (m.rng ^ p*0xBF58476D1CE4E5B9) | 1
+	}
 	m.libs = stdlibTable()
 	m.ssl.init()
 	m.zlib.init()
@@ -232,10 +263,32 @@ func (m *Machine) Rand() uint64 {
 	return x
 }
 
-func (m *Machine) fail(format string, args ...any) {
+// failf records the first fault of the run with its taxonomy kind;
+// later faults (usually cascades of the first) are dropped.
+func (m *Machine) failf(kind ErrKind, format string, args ...any) {
 	if m.err == nil {
-		m.err = &RuntimeError{Msg: fmt.Sprintf(format, args...), Backtrace: m.Backtrace()}
+		m.err = &RunError{Kind: kind, Msg: fmt.Sprintf(format, args...), Backtrace: m.Backtrace()}
 	}
+}
+
+// heapAlloc is the budget- and fault-checked allocation path every
+// allocating library model goes through. It returns 0 after recording
+// a typed failure when the allocation cannot be satisfied.
+func (m *Machine) heapAlloc(n uint64, what string) uint64 {
+	m.allocCount++
+	if f := m.cfg.Faults.MallocFailNth; f != 0 && m.allocCount == f {
+		m.failf(KindLibFault, "injected fault: allocation #%d (%s, %d bytes) returns NULL", f, what, n)
+		return 0
+	}
+	if max := m.cfg.MaxHeapBytes; max != 0 && m.heap.live+sizeClass(n) > max {
+		m.failf(KindHeapLimit, "heap budget %d bytes exceeded (%s, %d bytes, %d live)", max, what, n, m.heap.live)
+		return 0
+	}
+	a := m.heap.alloc(n)
+	if a == 0 {
+		m.failf(KindHeapLimit, "out of simulated heap (%s, %d bytes)", what, n)
+	}
+	return a
 }
 
 // Backtrace renders the current thread's call stack, innermost first.

@@ -100,6 +100,7 @@ const heapAlign = 16
 type heap struct {
 	next  uint64
 	limit uint64
+	live  uint64              // bytes in live allocations (size-class rounded)
 	free  map[uint64][]uint64 // size class -> freed addresses (LIFO)
 	sizes map[uint64]uint64   // live allocation -> size
 }
@@ -126,6 +127,7 @@ func (h *heap) alloc(n uint64) uint64 {
 		a := lst[len(lst)-1]
 		h.free[cls] = lst[:len(lst)-1]
 		h.sizes[a] = cls
+		h.live += cls
 		return a
 	}
 	if h.next+cls > h.limit {
@@ -134,6 +136,7 @@ func (h *heap) alloc(n uint64) uint64 {
 	a := h.next
 	h.next += cls
 	h.sizes[a] = cls
+	h.live += cls
 	return a
 }
 
@@ -146,6 +149,7 @@ func (h *heap) release(a uint64) uint64 {
 	}
 	delete(h.sizes, a)
 	h.free[cls] = append(h.free[cls], a)
+	h.live -= cls
 	return cls
 }
 

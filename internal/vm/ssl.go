@@ -26,9 +26,8 @@ func (w *sslWorld) init() {
 
 func registerSSL(libs map[string]LibFn) {
 	libs["SSL_CTX_new"] = func(m *Machine, t *thread, args []uint64) uint64 {
-		h := m.heap.alloc(32)
+		h := m.heapAlloc(32, "SSL_CTX_new")
 		if h == 0 {
-			m.fail("out of simulated heap (SSL_CTX_new)")
 			return 0
 		}
 		m.ssl.ctxs[h] = true
@@ -41,9 +40,8 @@ func registerSSL(libs map[string]LibFn) {
 		return 0
 	}
 	libs["SSL_new"] = func(m *Machine, t *thread, args []uint64) uint64 {
-		h := m.heap.alloc(64)
+		h := m.heapAlloc(64, "SSL_new")
 		if h == 0 {
-			m.fail("out of simulated heap (SSL_new)")
 			return 0
 		}
 		m.ssl.conns[h] = sslCreated

@@ -1,11 +1,30 @@
 package vm
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/mir"
 )
+
+// wantKind asserts err is a *RunError of the given taxonomy kind —
+// the typed replacement for matching message substrings.
+func wantKind(t *testing.T, err error, kind ErrKind) *RunError {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected a %s error, got nil", kind)
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error type %T (%v), want *RunError", err, err)
+	}
+	if re.Kind != kind {
+		t.Fatalf("error kind %s (%v), want %s", re.Kind, re, kind)
+	}
+	return re
+}
 
 func run(t *testing.T, p *mir.Program, cfg Config) *Result {
 	t.Helper()
@@ -215,8 +234,9 @@ func TestDeadlockDetected(t *testing.T) {
 	b.Ret()
 	m, _ := New(p, Config{})
 	_, err := m.Run()
-	if err == nil || !strings.Contains(err.Error(), "recursive lock") {
-		t.Fatalf("err = %v", err)
+	re := wantKind(t, err, KindTrap)
+	if !strings.Contains(re.Msg, "recursive lock") {
+		t.Fatalf("msg = %q", re.Msg)
 	}
 }
 
@@ -228,9 +248,7 @@ func TestUnlockNotHeld(t *testing.T) {
 	b.Ret()
 	m, _ := New(p, Config{})
 	_, err := m.Run()
-	if err == nil || !strings.Contains(err.Error(), "not held") {
-		t.Fatalf("err = %v", err)
-	}
+	wantKind(t, err, KindTrap)
 }
 
 func TestBlockedLockDeadlock(t *testing.T) {
@@ -267,9 +285,7 @@ func TestStepLimit(t *testing.T) {
 	b.Br(loop)
 	m, _ := New(p, Config{MaxSteps: 1000})
 	_, err := m.Run()
-	if err == nil || !strings.Contains(err.Error(), "step limit") {
-		t.Fatalf("err = %v", err)
-	}
+	wantKind(t, err, KindStepLimit)
 }
 
 func TestUnresolvedCallee(t *testing.T) {
@@ -460,14 +476,13 @@ func TestOutOfRangeMemoryFails(t *testing.T) {
 	b.Ret()
 	m, _ := New(p, Config{})
 	_, err := m.Run()
-	if err == nil || !strings.Contains(err.Error(), "out-of-range") {
-		t.Fatalf("err = %v", err)
+	re := wantKind(t, err, KindTrap)
+	if len(re.Backtrace) == 0 {
+		t.Fatal("trap lost its backtrace")
 	}
-	var re *RuntimeError
 	if !strings.Contains(err.Error(), "vm:") {
-		t.Fatalf("error type: %T", err)
+		t.Fatalf("error rendering: %v", err)
 	}
-	_ = re
 }
 
 func TestStackOverflowDetected(t *testing.T) {
@@ -481,8 +496,9 @@ func TestStackOverflowDetected(t *testing.T) {
 	b.Ret()
 	m, _ := New(p, Config{})
 	_, err := m.Run()
-	if err == nil || !strings.Contains(err.Error(), "stack overflow") {
-		t.Fatalf("err = %v", err)
+	re := wantKind(t, err, KindTrap)
+	if !strings.Contains(re.Msg, "stack overflow") {
+		t.Fatalf("msg = %q", re.Msg)
 	}
 }
 
@@ -498,5 +514,194 @@ func TestGetsDeterministic(t *testing.T) {
 	r2 := run(t, prog(), Config{})
 	if r1.Exit != r2.Exit {
 		t.Fatal("gets not deterministic")
+	}
+}
+
+func TestHeapBudgetEnforced(t *testing.T) {
+	// 1 KiB budget; the third 400-byte allocation must trip it long
+	// before the 256 MiB address space would.
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+	b.Loop(mir.C(4), func(i mir.Reg) {
+		b.Call("malloc", mir.C(400))
+	})
+	b.Ret()
+	m, _ := New(p, Config{MaxHeapBytes: 1024})
+	_, err := m.Run()
+	wantKind(t, err, KindHeapLimit)
+}
+
+func TestHeapBudgetCountsLiveBytesOnly(t *testing.T) {
+	// Alloc/free churn far beyond the budget total must succeed: the
+	// budget bounds live bytes, not cumulative allocations.
+	res := run(t, exprProg(func(b *mir.FuncBuilder) mir.Reg {
+		b.Loop(mir.C(64), func(i mir.Reg) {
+			a := b.Call("malloc", mir.C(400))
+			b.CallVoid("free", mir.R(a))
+		})
+		return b.Const(7)
+	}), Config{MaxHeapBytes: 1024})
+	if res.Exit != 7 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+}
+
+func TestDeadlineEnforced(t *testing.T) {
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.Br(loop)
+	m, _ := New(p, Config{Deadline: 20 * time.Millisecond})
+	_, err := m.Run()
+	re := wantKind(t, err, KindDeadline)
+	if !re.Retryable() {
+		t.Fatal("deadline misses must be retryable (load-dependent)")
+	}
+}
+
+func TestOnlyDeadlineRetryable(t *testing.T) {
+	for kind, want := range map[ErrKind]bool{
+		KindTrap: false, KindStepLimit: false, KindHeapLimit: false,
+		KindDeadline: true, KindLibFault: false,
+	} {
+		if got := (&RunError{Kind: kind}).Retryable(); got != want {
+			t.Errorf("Retryable(%s) = %v, want %v", kind, got, want)
+		}
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []ErrKind{KindTrap, KindStepLimit, KindHeapLimit, KindDeadline, KindLibFault} {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseKind("bogus"); ok {
+		t.Error("ParseKind accepted garbage")
+	}
+}
+
+func TestInjectedMallocFault(t *testing.T) {
+	prog := func() *mir.Program {
+		return exprProg(func(b *mir.FuncBuilder) mir.Reg {
+			a := b.Call("malloc", mir.C(8))
+			c := b.Call("malloc", mir.C(8))
+			d := b.Call("malloc", mir.C(8))
+			s := b.Add(mir.R(a), mir.R(c))
+			return b.Add(mir.R(s), mir.R(d))
+		})
+	}
+	// Unfaulted control run.
+	run(t, prog(), Config{})
+	// Fault the second allocation; the run fails with LibFault, and the
+	// failure is deterministic: same spec, same step count.
+	steps := make([]uint64, 2)
+	for i := range steps {
+		m, err := New(prog(), Config{Faults: FaultSpec{MallocFailNth: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rerr := m.Run()
+		re := wantKind(t, rerr, KindLibFault)
+		if !strings.Contains(re.Msg, "allocation #2") {
+			t.Fatalf("msg = %q", re.Msg)
+		}
+		steps[i] = m.Steps()
+	}
+	if steps[0] != steps[1] {
+		t.Fatalf("injected fault not deterministic: %d vs %d steps", steps[0], steps[1])
+	}
+}
+
+func TestInjectedHandlerPanicRecovered(t *testing.T) {
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+	x := b.Const(1)
+	f := b.Func()
+	f.Blocks[0].Instrs = append(f.Blocks[0].Instrs, mir.Instr{
+		Op: mir.OpHook, Dst: mir.NoReg,
+		Hook: &mir.HookRef{HandlerID: 0, Args: []mir.HookArg{{Kind: mir.HookReg, Reg: x}}, MetaDst: mir.NoReg, Name: "h"},
+	})
+	b.Ret()
+	m, err := New(p, Config{Faults: FaultSpec{HandlerPanicNth: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Handlers = []HandlerFn{func(m *Machine, tid uint64, args []uint64) uint64 { return 0 }}
+	_, rerr := m.Run()
+	re := wantKind(t, rerr, KindTrap)
+	if !strings.Contains(re.Msg, "injected fault: handler panic") {
+		t.Fatalf("msg = %q", re.Msg)
+	}
+}
+
+func TestHandlerPanicRecovered(t *testing.T) {
+	// A genuinely panicking handler (broken analysis code) must surface
+	// as a KindTrap RunError, not kill the process.
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+	x := b.Const(1)
+	f := b.Func()
+	f.Blocks[0].Instrs = append(f.Blocks[0].Instrs, mir.Instr{
+		Op: mir.OpHook, Dst: mir.NoReg,
+		Hook: &mir.HookRef{HandlerID: 0, Args: []mir.HookArg{{Kind: mir.HookReg, Reg: x}}, MetaDst: mir.NoReg, Name: "h"},
+	})
+	b.Ret()
+	m, err := New(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Handlers = []HandlerFn{func(m *Machine, tid uint64, args []uint64) uint64 {
+		var s []int
+		return uint64(s[3]) // index out of range
+	}}
+	_, rerr := m.Run()
+	re := wantKind(t, rerr, KindTrap)
+	if !strings.Contains(re.Msg, "panic in handler") {
+		t.Fatalf("msg = %q", re.Msg)
+	}
+}
+
+func TestSchedPerturbDeterministicAndDistinct(t *testing.T) {
+	// A racy counter: perturbation may change the final value, but the
+	// same perturbation must reproduce the identical run.
+	build := func() *mir.Program {
+		p := mir.NewProgram()
+		w := p.NewFunc("worker", 1)
+		arr := w.Param(0)
+		w.Loop(mir.C(50), func(i mir.Reg) {
+			v := w.Load(mir.R(arr), 8)
+			v2 := w.Add(mir.R(v), mir.C(1))
+			w.Store(mir.R(arr), mir.R(v2), 8)
+		})
+		w.Ret()
+		b := p.NewFunc("main", 0)
+		arr2 := b.Call("calloc", mir.C(1), mir.C(8))
+		h1 := b.Spawn("worker", mir.R(arr2))
+		h2 := b.Spawn("worker", mir.R(arr2))
+		b.Join(mir.R(h1))
+		b.Join(mir.R(h2))
+		v := b.Load(mir.R(arr2), 8)
+		b.RetVal(mir.R(v))
+		return p
+	}
+	at := func(perturb uint64) *Result {
+		return run(t, build(), Config{Seed: 3, Quantum: 5, Faults: FaultSpec{SchedPerturb: perturb}})
+	}
+	a1, a2 := at(12345), at(12345)
+	if a1.Exit != a2.Exit || a1.Steps != a2.Steps {
+		t.Fatalf("same perturbation diverged: %d/%d vs %d/%d", a1.Exit, a1.Steps, a2.Exit, a2.Steps)
+	}
+	base := at(0)
+	distinct := false
+	for p := uint64(1); p <= 8 && !distinct; p++ {
+		r := at(p * 7919)
+		distinct = r.Exit != base.Exit || r.Steps != base.Steps
+	}
+	if !distinct {
+		t.Error("no perturbation changed the racy interleaving at all")
 	}
 }
