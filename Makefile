@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only,
 # no external dependencies).
 
-.PHONY: all build test race vet bench experiments examples fmt cover fuzz faults
+.PHONY: all build test race vet bench experiments examples fmt cover fuzz faults conform
 
 all: build vet test
 
@@ -27,10 +27,20 @@ race:
 faults:
 	go test ./internal/vm/faults -run TestFaultSuite -count=1 -v -seeds 1,20,23
 
-# Short fuzz passes over the parser and the set containers.
+# Differential conformance sweep: 200 generated workloads, each run
+# under every analysis across the full ablation matrix (plus oracle,
+# schedule, and fused-combination legs). Deterministic for a fixed
+# generator seed range; raise -conform-seeds for a nightly-scale sweep.
+conform:
+	go test ./internal/conformance -run 'TestConform' -count=1 -conform-seeds 200
+
+# Short fuzz passes over the parser, the set containers, and the
+# conformance harness (all three seed from checked-in testdata/fuzz
+# corpora).
 fuzz:
 	go test ./internal/lang/parser -run=FuzzParse -fuzz=FuzzParse -fuzztime=30s
 	go test ./internal/meta -run=FuzzSetContainers -fuzz=FuzzSetContainers -fuzztime=30s
+	go test ./internal/conformance -run=FuzzConformance -fuzz=FuzzConformance -fuzztime=30s
 
 # One measured shot of every figure/table benchmark.
 bench:

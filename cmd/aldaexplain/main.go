@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,48 +23,67 @@ import (
 )
 
 func main() {
-	analysisName := flag.String("analysis", "", "built-in analysis name or comma-separated combination: "+strings.Join(analyses.Names(), ", "))
-	file := flag.String("file", "", "path to an ALDA source file")
-	compare := flag.Bool("compare", false, "also show the ds-only and naive plans")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aldaexplain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	analysisName := fs.String("analysis", "", "built-in analysis name or comma-separated combination: "+strings.Join(analyses.Names(), ", "))
+	file := fs.String("file", "", "path to an ALDA source file")
+	compare := fs.Bool("compare", false, "also show the ds-only and naive plans")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var src string
 	switch {
 	case *file != "":
 		b, err := os.ReadFile(*file)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "aldaexplain:", err)
+			return 1
 		}
 		src = string(b)
 	case *analysisName != "":
 		s, err := analyses.Combined(strings.Split(*analysisName, ",")...)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "aldaexplain:", err)
+			return 1
 		}
 		src = s
 	default:
-		fmt.Fprintln(os.Stderr, "need -analysis or -file")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "need -analysis or -file")
+		return 2
 	}
 
-	show := func(title string, opts compiler.Options) {
+	show := func(title string, opts compiler.Options) error {
 		a, err := compiler.Compile(src, opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("=== %s ===\n", title)
-		fmt.Print(a.Plan())
-		fmt.Printf("analysis source: %d LOC\n\n", a.SourceLOC)
+		fmt.Fprintf(stdout, "=== %s ===\n", title)
+		fmt.Fprint(stdout, a.Plan())
+		fmt.Fprintf(stdout, "analysis source: %d LOC\n\n", a.SourceLOC)
+		return nil
 	}
 
-	show("ALDAcc-full", compiler.DefaultOptions())
-	if *compare {
-		show("ALDAcc-ds-only (no coalescing, no CSE)", compiler.DSOnlyOptions())
-		show("naive (hash maps and tree sets everywhere)", compiler.NaiveOptions())
+	titles := []struct {
+		title string
+		opts  compiler.Options
+	}{
+		{"ALDAcc-full", compiler.DefaultOptions()},
+		{"ALDAcc-ds-only (no coalescing, no CSE)", compiler.DSOnlyOptions()},
+		{"naive (hash maps and tree sets everywhere)", compiler.NaiveOptions()},
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "aldaexplain:", err)
-	os.Exit(1)
+	if !*compare {
+		titles = titles[:1]
+	}
+	for _, t := range titles {
+		if err := show(t.title, t.opts); err != nil {
+			fmt.Fprintln(stderr, "aldaexplain:", err)
+			return 1
+		}
+	}
+	return 0
 }

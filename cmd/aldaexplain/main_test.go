@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analyses"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestGolden pins the full three-configuration plan dump for every
+// built-in analysis: the compilation plan (groups, containers, shadow
+// factors, savings) is the tool's entire output surface, so any layout
+// or selection change shows up as a golden diff here — deliberate
+// changes regenerate with -update.
+func TestGolden(t *testing.T) {
+	for _, name := range analyses.Names() {
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run([]string{"-analysis", name, "-compare"}, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+			}
+			checkGolden(t, name, stdout.Bytes())
+		})
+	}
+}
+
+// TestGoldenCombined pins the plan for the shipped four-way
+// combination (fusion changes the group structure, which this output
+// makes visible).
+func TestGoldenCombined(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	arg := "eraser,fasttrack,uaf,tainttrack"
+	if code := run([]string{"-analysis", arg, "-compare"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	checkGolden(t, "combined", stdout.Bytes())
+}
+
+// TestGoldenFiles runs the -file path over the examples' extracted
+// .alda sources.
+func TestGoldenFiles(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/*/*.alda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example .alda files found")
+	}
+	for _, p := range paths {
+		name := filepath.Base(filepath.Dir(p)) + "_" + strings.TrimSuffix(filepath.Base(p), ".alda")
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run([]string{"-file", p}, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+			}
+			checkGolden(t, name, stdout.Bytes())
+		})
+	}
+}
+
+// TestErrors: the documented exit codes for bad invocations.
+func TestErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-analysis", "nosuch"}, &stdout, &stderr); code != 1 {
+		t.Errorf("unknown analysis: exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-file", filepath.Join(t.TempDir(), "missing.alda")}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

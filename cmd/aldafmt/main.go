@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/lang/parser"
@@ -24,42 +25,50 @@ import (
 )
 
 func main() {
-	write := flag.Bool("w", false, "write result to source file instead of stdout")
-	list := flag.Bool("l", false, "list files whose formatting differs")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: aldafmt [-w|-l] file.alda ...")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aldafmt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	write := fs.Bool("w", false, "write result to source file instead of stdout")
+	list := fs.Bool("l", false, "list files whose formatting differs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: aldafmt [-w|-l] file.alda ...")
+		return 2
 	}
 	exit := 0
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "aldafmt:", err)
+			fmt.Fprintln(stderr, "aldafmt:", err)
 			exit = 1
 			continue
 		}
 		out, err := printer.Format(string(src), parser.Parse)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "aldafmt: %s: %v\n", path, err)
+			fmt.Fprintf(stderr, "aldafmt: %s: %v\n", path, err)
 			exit = 1
 			continue
 		}
 		switch {
 		case *list:
 			if out != string(src) {
-				fmt.Println(path)
+				fmt.Fprintln(stdout, path)
 			}
 		case *write:
 			if out != string(src) {
 				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
-					fmt.Fprintln(os.Stderr, "aldafmt:", err)
+					fmt.Fprintln(stderr, "aldafmt:", err)
 					exit = 1
 				}
 			}
 		default:
-			fmt.Print(out)
+			fmt.Fprint(stdout, out)
 		}
 	}
-	os.Exit(exit)
+	return exit
 }

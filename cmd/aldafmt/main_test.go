@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// aldaFiles returns every shipped .alda source (built-in analyses plus
+// the examples' embedded analyses), keyed by a collision-free golden
+// name derived from the parent directory.
+func aldaFiles(t *testing.T) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, pat := range []string{"../../internal/analyses/*.alda", "../../examples/*/*.alda"} {
+		paths, err := filepath.Glob(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range paths {
+			base := strings.TrimSuffix(filepath.Base(p), ".alda")
+			name := filepath.Base(filepath.Dir(p)) + "_" + base
+			out[name] = p
+		}
+	}
+	if len(out) < 10 {
+		t.Fatalf("found only %d .alda files, expected the 8 built-ins plus the examples", len(out))
+	}
+	return out
+}
+
+// TestGolden pins aldafmt's output for every shipped .alda file. The
+// formatter is the printer, so these goldens also freeze the canonical
+// surface style; regenerate with -update after deliberate printer
+// changes.
+func TestGolden(t *testing.T) {
+	for name, path := range aldaFiles(t) {
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run([]string{path}, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+			}
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(stdout.Bytes(), want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, stdout.String(), want)
+			}
+		})
+	}
+}
+
+// TestIdempotent: formatting aldafmt's own output must be a fixed point
+// (format twice, identical bytes).
+func TestIdempotent(t *testing.T) {
+	for name, path := range aldaFiles(t) {
+		t.Run(name, func(t *testing.T) {
+			var first, second, stderr bytes.Buffer
+			if code := run([]string{path}, &first, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+			}
+			tmp := filepath.Join(t.TempDir(), "once.alda")
+			if err := os.WriteFile(tmp, first.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if code := run([]string{tmp}, &second, &stderr); code != 0 {
+				t.Fatalf("second pass exit %d, stderr:\n%s", code, stderr.String())
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Errorf("not idempotent:\n--- first ---\n%s\n--- second ---\n%s", first.String(), second.String())
+			}
+		})
+	}
+}
+
+// TestListAndWrite covers the -l and -w modes on a deliberately
+// misformatted copy.
+func TestListAndWrite(t *testing.T) {
+	src, err := os.ReadFile("../../internal/analyses/uaf.alda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ugly := filepath.Join(dir, "ugly.alda")
+	// Extra blank lines misformat the file without changing the AST.
+	if err := os.WriteFile(ugly, append([]byte("\n\n\n"), src...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-l", ugly}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-l exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != ugly {
+		t.Errorf("-l printed %q, want %q", got, ugly)
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-w", ugly}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-w exit %d, stderr:\n%s", code, stderr.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-l", ugly}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-l after -w exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("-l still lists the file after -w: %q", stdout.String())
+	}
+}
+
+// TestErrors: bad usage and unparsable input produce the documented
+// exit codes without panicking.
+func TestErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.alda")
+	if err := os.WriteFile(bad, []byte("analysis { nonsense"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := run([]string{bad}, &stdout, &stderr); code != 1 {
+		t.Errorf("parse error: exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.alda")}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -14,38 +15,8 @@ import (
 	"repro/internal/workloads"
 )
 
-const heapSanSource = `
-// HeapSan: allocator contract checking.
-address := pointer
-counter := int64
-flag := int8
-
-liveBlock = map(address, flag)
-liveCount = counter
-
-hsOnMalloc(address p) {
-    liveBlock[p] = 1;
-    liveCount = liveCount + 1;
-}
-
-hsOnFree(address p) {
-    if (liveBlock[p] != 1) {
-        alda_assert(0, 1, "free of non-live pointer (double free or foreign pointer)");
-    } else {
-        liveBlock[p] = 0;
-        liveCount = liveCount - 1;
-    }
-}
-
-hsAtExit() {
-    alda_assert(liveCount, 0, "heap blocks leaked at exit");
-}
-
-insert after func malloc call hsOnMalloc($r)
-insert after func calloc call hsOnMalloc($r)
-insert before func free call hsOnFree($1)
-insert before ProgramEnd call hsAtExit()
-`
+//go:embed heapsan.alda
+var heapSanSource string
 
 // offender builds a program with a double free and a leak.
 func offender() *alda.Program {

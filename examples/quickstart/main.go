@@ -3,6 +3,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -12,35 +13,9 @@ import (
 
 // The analysis: mark freed granules, assert on touch (a compact version
 // of the paper's use-after-free example from §3.1.1).
-const uafSource = `
-address := pointer
-size := int64
-flag := int8
-
-freed = map(address, flag)
-allocSize = map(address, size)
-
-onMalloc(address p, size n) {
-    freed.set(p, 0, n);
-    allocSize[p] = n;
-}
-
-onFree(address p) {
-    if (allocSize[p]) {
-        freed.set(p, 1, allocSize[p]);
-        allocSize[p] = 0;
-    }
-}
-
-onAccess(address p) {
-    alda_assert(freed[p], 0, "use after free");
-}
-
-insert after func malloc call onMalloc($r, $1)
-insert before func free call onFree($1)
-insert before LoadInst call onAccess($1)
-insert before StoreInst call onAccess($2)
-`
+//
+//go:embed uaf.alda
+var uafSource string
 
 // buildProgram constructs the analyzed program in MIR (the repository's
 // LLVM-IR stand-in): allocate, use, free — then use again.

@@ -1,0 +1,165 @@
+package baselines
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/lang/ast"
+	"repro/internal/vm"
+)
+
+// UAF is a hand-tuned use-after-free checker, the oracle counterpart of
+// uaf.alda: free poisons every granule of the block, malloc/calloc
+// un-poison (which also handles allocator address reuse), and every
+// load/store asserts its first granule is not poisoned. Hand-picked data
+// structures the way an expert would build it without ALDA: one freed
+// bit per 8-byte granule in a two-level page table of bit-vectors (the
+// eraser-hand page idiom, 64× denser since the payload is one bit), and
+// allocation sizes in a sidecar hash map.
+type UAF struct {
+	pages map[uint64]*uafPage
+	sizes map[uint64]uint64
+	// one-entry page cache
+	lastPI   uint64
+	lastPage *uafPage
+}
+
+const uafPageBits = 1 << 15 // granule bits per page (32 KiB of program bytes)
+
+type uafPage struct {
+	freed [uafPageBits / 64]uint64
+}
+
+// NewUAF returns a fresh hand-tuned use-after-free checker for one run.
+func NewUAF() *UAF {
+	return &UAF{
+		pages:  make(map[uint64]*uafPage),
+		sizes:  make(map[uint64]uint64),
+		lastPI: ^uint64(0),
+	}
+}
+
+// Name identifies the baseline.
+func (u *UAF) Name() string { return "uaf-hand" }
+
+// NeedShadow reports that UAF does not use register metadata.
+func (u *UAF) NeedShadow() bool { return false }
+
+// Footprint returns the page-table storage plus the sidecar size map.
+func (u *UAF) Footprint() uint64 {
+	var n uint64
+	for range u.pages {
+		n += uafPageBits/8 + 16
+	}
+	n += uint64(len(u.sizes)) * 48
+	return n
+}
+
+func (u *UAF) page(pi uint64, create bool) *uafPage {
+	if pi == u.lastPI {
+		return u.lastPage
+	}
+	pg := u.pages[pi]
+	if pg == nil {
+		if !create {
+			return nil
+		}
+		pg = &uafPage{}
+		u.pages[pi] = pg
+	}
+	u.lastPI, u.lastPage = pi, pg
+	return pg
+}
+
+// mark sets (poison=true) or clears the freed bit of every granule in
+// [addr, addr+n).
+func (u *UAF) mark(addr, n uint64, poison bool) {
+	if n == 0 {
+		return
+	}
+	for g, end := addr>>3, (addr+n-1)>>3; g <= end; g++ {
+		pg := u.page(g/uafPageBits, poison)
+		if pg == nil { // clearing never-touched granules is a no-op
+			continue
+		}
+		idx := g % uafPageBits
+		if poison {
+			pg.freed[idx/64] |= 1 << (idx % 64)
+		} else {
+			pg.freed[idx/64] &^= 1 << (idx % 64)
+		}
+	}
+}
+
+func (u *UAF) freedBit(addr uint64) uint64 {
+	g := addr >> 3
+	pg := u.page(g/uafPageBits, false)
+	if pg == nil {
+		return 0
+	}
+	idx := g % uafPageBits
+	return (pg.freed[idx/64] >> (idx % 64)) & 1
+}
+
+// Handler table indices.
+const (
+	uafMalloc = iota
+	uafCalloc
+	uafFree
+	uafLoad
+	uafStore
+	uafN
+)
+
+// Handlers returns the hook table.
+func (u *UAF) Handlers() []vm.HandlerFn {
+	h := make([]vm.HandlerFn, uafN)
+	h[uafMalloc] = func(m *vm.Machine, tid uint64, a []uint64) uint64 {
+		ptr, n := a[0], a[1]
+		u.mark(ptr, n, false)
+		u.sizes[ptr] = n
+		return 0
+	}
+	h[uafCalloc] = func(m *vm.Machine, tid uint64, a []uint64) uint64 {
+		ptr, n := a[0], a[1]*a[2]
+		u.mark(ptr, n, false)
+		u.sizes[ptr] = n
+		return 0
+	}
+	h[uafFree] = func(m *vm.Machine, tid uint64, a []uint64) uint64 {
+		ptr := a[0]
+		if n := u.sizes[ptr]; n != 0 {
+			u.mark(ptr, n, true)
+			delete(u.sizes, ptr)
+		}
+		return 0
+	}
+	h[uafLoad] = func(m *vm.Machine, tid uint64, a []uint64) uint64 {
+		if f := u.freedBit(a[0]); f != 0 {
+			m.Report("uaf-hand", "use after free (read)", f, 0)
+		}
+		return 0
+	}
+	h[uafStore] = func(m *vm.Machine, tid uint64, a []uint64) uint64 {
+		if f := u.freedBit(a[0]); f != 0 {
+			m.Report("uaf-hand", "use after free (write)", f, 0)
+		}
+		return 0
+	}
+	return h
+}
+
+// Rules returns the insertion rules — the same five points uaf.alda
+// instruments, so verdicts are directly comparable.
+func (u *UAF) Rules() []compiler.Rule {
+	return []compiler.Rule{
+		{Kind: compiler.MatchCallee, Callee: "malloc", After: true, HandlerID: uafMalloc,
+			HandlerName: "uafMalloc", Args: []ast.CallArg{retArg(), opArg(1)}},
+		{Kind: compiler.MatchCallee, Callee: "calloc", After: true, HandlerID: uafCalloc,
+			HandlerName: "uafCalloc", Args: []ast.CallArg{retArg(), opArg(1), opArg(2)}},
+		{Kind: compiler.MatchCallee, Callee: "free", After: false, HandlerID: uafFree,
+			HandlerName: "uafFree", Args: []ast.CallArg{opArg(1)}},
+		{Kind: compiler.MatchLoad, After: false, HandlerID: uafLoad,
+			HandlerName: "uafLoad", Args: []ast.CallArg{opArg(1)}},
+		{Kind: compiler.MatchStore, After: false, HandlerID: uafStore,
+			HandlerName: "uafStore", Args: []ast.CallArg{opArg(2)}},
+	}
+}

@@ -1,0 +1,147 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mir"
+)
+
+func TestHandUAFTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *mir.FuncBuilder)
+		// want maps expected report message → expected count; programs
+		// not listed under a message must not report it.
+		want map[string]int
+	}{
+		{
+			name: "clean-lifecycle",
+			build: func(b *mir.FuncBuilder) {
+				buf := b.Call("malloc", mir.C(16))
+				b.Store(mir.R(buf), mir.C(7), 8)
+				b.Load(mir.R(buf), 8)
+				b.CallVoid("free", mir.R(buf))
+			},
+			want: map[string]int{},
+		},
+		{
+			name: "read-after-free",
+			build: func(b *mir.FuncBuilder) {
+				buf := b.Call("malloc", mir.C(16))
+				b.Store(mir.R(buf), mir.C(7), 8)
+				b.CallVoid("free", mir.R(buf))
+				b.Load(mir.R(buf), 8)
+			},
+			want: map[string]int{"use after free (read)": 1},
+		},
+		{
+			name: "write-after-free",
+			build: func(b *mir.FuncBuilder) {
+				buf := b.Call("malloc", mir.C(16))
+				b.CallVoid("free", mir.R(buf))
+				b.Store(mir.R(buf), mir.C(1), 8)
+			},
+			want: map[string]int{"use after free (write)": 1},
+		},
+		{
+			name: "interior-pointer-read",
+			build: func(b *mir.FuncBuilder) {
+				buf := b.Call("malloc", mir.C(32))
+				b.CallVoid("free", mir.R(buf))
+				p := b.Add(mir.R(buf), mir.C(24))
+				b.Load(mir.R(p), 8)
+			},
+			want: map[string]int{"use after free (read)": 1},
+		},
+		{
+			name: "calloc-then-uaf",
+			build: func(b *mir.FuncBuilder) {
+				buf := b.Call("calloc", mir.C(4), mir.C(8))
+				b.Load(mir.R(buf), 8)
+				b.CallVoid("free", mir.R(buf))
+				b.Load(mir.R(buf), 8)
+			},
+			want: map[string]int{"use after free (read)": 1},
+		},
+		{
+			name: "allocator-reuse-unpoisons",
+			build: func(b *mir.FuncBuilder) {
+				// The VM's size-class freelist is LIFO, so the second
+				// malloc reuses the freed block; the new allocation must
+				// read clean.
+				buf := b.Call("malloc", mir.C(16))
+				b.CallVoid("free", mir.R(buf))
+				buf2 := b.Call("malloc", mir.C(16))
+				b.Store(mir.R(buf2), mir.C(1), 8)
+				b.Load(mir.R(buf2), 8)
+			},
+			want: map[string]int{},
+		},
+		{
+			name: "looped-uaf-deduplicates",
+			build: func(b *mir.FuncBuilder) {
+				buf := b.Call("malloc", mir.C(8))
+				b.CallVoid("free", mir.R(buf))
+				b.Loop(mir.C(10), func(i mir.Reg) {
+					b.Load(mir.R(buf), 8)
+				})
+			},
+			want: map[string]int{"use after free (read)": 10},
+		},
+		{
+			name: "stack-memory-never-freed",
+			build: func(b *mir.FuncBuilder) {
+				s := b.Alloca(16)
+				b.Store(mir.R(s), mir.C(3), 8)
+				b.Load(mir.R(s), 8)
+			},
+			want: map[string]int{},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := mir.NewProgram()
+			b := p.NewFunc("main", 0)
+			tc.build(b)
+			b.RetVal(mir.C(0))
+			if err := p.Verify(); err != nil {
+				t.Fatalf("generated program invalid: %v", err)
+			}
+
+			res := runWith(t, p, NewUAF())
+			got := map[string]int{}
+			for _, r := range res.Reports {
+				if !strings.HasPrefix(r.Message, "use after free") {
+					t.Errorf("unexpected report: %v", r)
+					continue
+				}
+				got[r.Message] += r.Count
+				if r.Got != 1 || r.Expected != 0 {
+					t.Errorf("%s: got/expected = %d/%d, want 1/0 to match uaf.alda",
+						r.Message, r.Got, r.Expected)
+				}
+			}
+			for msg, n := range tc.want {
+				if got[msg] != n {
+					t.Errorf("message %q: count %d, want %d", msg, got[msg], n)
+				}
+				delete(got, msg)
+			}
+			for msg, n := range got {
+				t.Errorf("unwanted message %q (count %d)", msg, n)
+			}
+		})
+	}
+}
+
+func TestHandUAFName(t *testing.T) {
+	u := NewUAF()
+	if u.Name() != "uaf-hand" || u.NeedShadow() {
+		t.Fatal("identity wrong")
+	}
+	if u.Footprint() != 0 {
+		t.Fatal("fresh instance should have empty footprint")
+	}
+}

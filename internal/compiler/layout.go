@@ -160,6 +160,16 @@ func keySig(m *sema.MetaObj) string {
 	return sb.String()
 }
 
+// TestPerturbCoalescedTemplates is a test-only hook for the conformance
+// shrinker's self-test: when set, the initial-state template of every
+// keyed group holding two or more coalesced members gets its low bit
+// flipped. Such groups exist only when Coalesce is on, so the flip makes
+// DefaultOptions disagree with DSOnlyOptions/NaiveOptions on any analysis
+// whose coalesced default state matters — a deliberate, deterministic
+// semantic-drift bug for the differential harness to catch and shrink.
+// Never set outside tests.
+var TestPerturbCoalescedTemplates bool
+
 // buildLayout runs metadata coalescing (§5.2) and data-structure
 // selection (§5.3).
 func buildLayout(info *sema.Info, opts Options) (*Layout, error) {
@@ -371,6 +381,9 @@ func buildLayout(info *sema.Info, opts Options) (*Layout, error) {
 			default:
 				g.Impl = ImplHash
 			}
+		}
+		if TestPerturbCoalescedTemplates && g.KeyType != nil && len(g.Members) >= 2 {
+			g.Template[0] ^= 1
 		}
 		lay.Groups = append(lay.Groups, g)
 	}

@@ -92,6 +92,49 @@ func NaiveOptions() Options {
 	return o
 }
 
+// NoFuseOptions returns DefaultOptions with handler fusion disabled —
+// the configuration that isolates FuseHandlers in the ablation matrix.
+func NoFuseOptions() Options {
+	o := DefaultOptions()
+	o.FuseHandlers = false
+	return o
+}
+
+// WithGranularity returns o at a different metadata granularity
+// (1, 2, 4 or 8 bytes).
+func (o Options) WithGranularity(g int) Options {
+	o.Granularity = g
+	return o
+}
+
+// NamedOptions pairs an ablation configuration with a stable name.
+// GranularityVariant marks the configurations that change only the
+// metadata granularity: analysis verdicts are granularity-invariant
+// only for word-aligned workloads, so differential checkers gate these
+// on workload shape.
+type NamedOptions struct {
+	Name               string
+	Opts               Options
+	GranularityVariant bool
+}
+
+// AblationMatrix returns every optimization configuration the paper's
+// Figure 4 ablates plus the granularity variants of §5.1, full-opt
+// first. This is the option matrix the conformance subsystem sweeps:
+// every entry must produce identical analysis verdicts on identical
+// inputs — the configurations change layout and speed, never meaning.
+func AblationMatrix() []NamedOptions {
+	return []NamedOptions{
+		{Name: "full", Opts: DefaultOptions()},
+		{Name: "nofuse", Opts: NoFuseOptions()},
+		{Name: "dsonly", Opts: DSOnlyOptions()},
+		{Name: "naive", Opts: NaiveOptions()},
+		{Name: "gran1", Opts: DefaultOptions().WithGranularity(1), GranularityVariant: true},
+		{Name: "gran2", Opts: DefaultOptions().WithGranularity(2), GranularityVariant: true},
+		{Name: "gran4", Opts: DefaultOptions().WithGranularity(4), GranularityVariant: true},
+	}
+}
+
 func (o Options) granShift() uint {
 	switch o.Granularity {
 	case 1:

@@ -1,0 +1,56 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vm"
+)
+
+// Canon serializes a report set to a canonical byte-comparable form:
+// one line per distinct finding, sorted. The projection keeps what the
+// compilation configuration must preserve — which assertion fired, with
+// what values, at which function/block, how many times — and drops what
+// it legitimately changes: pc (hook insertion shifts instruction
+// indices), Step (fused hooks execute in fewer steps) and the pc-bearing
+// Where/Trace strings.
+func Canon(reports []*vm.Report) string {
+	lines := make([]string, len(reports))
+	for i, r := range reports {
+		lines[i] = fmt.Sprintf("%s|%s|%d|%d|%s|b%d|x%d",
+			r.Analysis, r.Message, int64(r.Got), int64(r.Expected), r.Fn, r.Block, r.Count)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// VerdictCanon is Canon minus the analysis name — the projection for
+// comparing an ALDA analysis against its hand-written oracle, which
+// files reports under its own name ("uaf-hand") but must agree on
+// everything else: message, values, site and count.
+func VerdictCanon(reports []*vm.Report) string {
+	lines := make([]string, len(reports))
+	for i, r := range reports {
+		lines[i] = fmt.Sprintf("%s|%d|%d|%s|b%d|x%d",
+			r.Message, int64(r.Got), int64(r.Expected), r.Fn, r.Block, r.Count)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// mergeCanon unions canonical report sets (the fusion-vs-separate
+// equivalence: a combined analysis must report exactly the union of its
+// parts, and handler names are unique per analysis, so plain line-merge
+// is the union).
+func mergeCanon(canons ...string) string {
+	var lines []string
+	for _, c := range canons {
+		if c == "" {
+			continue
+		}
+		lines = append(lines, strings.Split(c, "\n")...)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,68 @@
+package conformance
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/compiler"
+)
+
+// fuzzRunner is shared across fuzz iterations: compilation is the
+// expensive part and the compiled-analysis memo is seed-independent.
+var (
+	fuzzOnce   sync.Once
+	fuzzShared *Runner
+)
+
+func fuzzR() *Runner {
+	fuzzOnce.Do(func() { fuzzShared = NewRunner() })
+	return fuzzShared
+}
+
+// fuzzConfigs is a trimmed ablation matrix for fuzzing throughput: the
+// two extremes plus the layout-only middle. The full matrix (including
+// granularity sweeps and fusion) runs in TestConform; the fuzzer's job
+// is to explore generator seeds, not configurations.
+var fuzzConfigs = []compiler.NamedOptions{
+	{Name: "full", Opts: compiler.DefaultOptions()},
+	{Name: "dsonly", Opts: compiler.DSOnlyOptions()},
+	{Name: "naive", Opts: compiler.NaiveOptions()},
+}
+
+// fuzzAnalyses covers each handler shape class once: map-heavy with
+// external calls (fasttrack), pure-shadow bit analysis (uaf), state
+// machine over heap objects (sslsan), and value propagation
+// (tainttrack).
+var fuzzAnalyses = []string{"fasttrack", "uaf", "sslsan", "tainttrack"}
+
+// FuzzConformance feeds arbitrary generator seeds through a trimmed
+// differential check: every analysis must produce identical verdicts
+// at every optimization level. The generator maps any uint64 to a
+// verifier-clean workload, so the whole seed space is valid input.
+func FuzzConformance(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(uint64(22))   // shape that exposed the fasttrack join bug
+	f.Add(uint64(1337)) // threaded + uniform
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		w := Generate(seed)
+		r := fuzzR()
+		vmSeed := r.SchedSeeds[0]
+		for _, name := range fuzzAnalyses {
+			ref, err := r.runOne(w, name, fuzzConfigs[0].Opts, vmSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range fuzzConfigs[1:] {
+				got, err := r.runOne(w, name, c.Opts, vmSeed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.equal(ref) {
+					t.Errorf("%s/%s ablation: %s vs %s:\n%s",
+						w.Name, name, fuzzConfigs[0].Name, c.Name, diff(ref, got))
+				}
+			}
+		}
+	})
+}

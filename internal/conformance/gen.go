@@ -1,0 +1,703 @@
+// Package conformance is the differential conformance harness: a
+// seeded, deterministic MIR program generator plus a runner that
+// executes every generated workload under every shipped analysis at
+// every ALDAcc ablation configuration (and, for word-aligned
+// workloads, every metadata granularity), asserting that the verdicts
+// — canonicalized report sets, run-error kinds and exit values — are
+// identical everywhere. ALDAcc's optimizations must change layout and
+// speed, never meaning (§5, Figure 4); this package is the executable
+// form of that claim.
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/mir"
+)
+
+// rng is SplitMix64 — the repo's standard deterministic stream.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) n(n int) int         { return int(r.next() % uint64(n)) }
+func (r *rng) chance(pct int) bool { return r.n(100) < pct }
+func (r *rng) pick(ns ...int) int  { return ns[r.n(len(ns))] }
+
+// BugKind is a deterministic defect the generator can plant. Every bug
+// is observable by at least one shipped analysis and produces the same
+// verdict at every configuration — bugs exercise the reporting path,
+// they don't break invariance. There is deliberately no data-race bug:
+// racy programs have schedule-dependent verdicts, and instrumentation
+// shifts scheduling points, so races would (correctly) break
+// cross-configuration comparison.
+type BugKind int
+
+// Plantable bugs.
+const (
+	BugUAF        BugKind = iota // heap load after free (uaf)
+	BugUninit                    // branch on uninitialized heap word (msan)
+	BugTaint                     // gets-derived value used as address (tainttrack)
+	BugSSLMisuse                 // SSL_free without SSL_shutdown (sslsan)
+	BugSSLLeak                   // SSL handle/ctx never freed (sslsan)
+	BugZlibUninit                // deflate on uninitialized z_stream (zlibsan)
+	BugMixedWidth                // mixed-width access, non-uniform only (strictalias)
+	numBugKinds
+)
+
+var bugNames = [...]string{"uaf", "uninit", "taint", "ssl-misuse", "ssl-leak", "zlib-uninit", "mixed-width"}
+
+func (k BugKind) String() string { return bugNames[k] }
+
+// GenConfig shapes one generated workload.
+type GenConfig struct {
+	// Actions is the number of random main-body actions (allocations,
+	// accesses, loops, diamonds, library sessions).
+	Actions int
+	// Threads adds race-free spawn/join/lock patterns.
+	Threads bool
+	// Bugs plants 1–2 deterministic defects.
+	Bugs bool
+	// Uniform restricts the program to 8-byte-aligned word accesses and
+	// word-multiple allocation sizes, the discipline under which
+	// analysis verdicts are invariant across metadata granularities
+	// (sub-word accesses key different granules at different
+	// granularities, so mixed-width programs are pinned to the default
+	// granularity).
+	Uniform bool
+}
+
+// Workload is one generated program plus the properties the runner
+// needs to know which invariants apply.
+type Workload struct {
+	Name     string
+	Seed     uint64
+	Cfg      GenConfig
+	Prog     *mir.Program
+	Uniform  bool // safe for the granularity sweep
+	Threaded bool
+	Bugs     []BugKind
+}
+
+// Generate derives a workload shape from the seed and builds it. Same
+// seed, same program — byte for byte.
+func Generate(seed uint64) *Workload {
+	r := newRng(seed)
+	cfg := GenConfig{
+		Actions: 6 + r.n(18),
+		Threads: r.chance(40),
+		Bugs:    r.chance(50),
+		Uniform: r.chance(60),
+	}
+	return GenerateCfg(seed, cfg)
+}
+
+// GenerateCfg builds a workload with an explicit shape. The rng is
+// re-derived from the seed, so (seed, cfg) fully determines the
+// program.
+func GenerateCfg(seed uint64, cfg GenConfig) *Workload {
+	g := &gen{
+		r:   newRng(seed ^ 0xa5a5a5a5deadbeef),
+		p:   mir.NewProgram(),
+		cfg: cfg,
+	}
+	g.b = g.p.NewFunc("main", 0)
+	g.build()
+	w := &Workload{
+		Name:     fmt.Sprintf("w%016x", seed),
+		Seed:     seed,
+		Cfg:      cfg,
+		Prog:     g.p,
+		Uniform:  cfg.Uniform,
+		Threaded: cfg.Threads,
+		Bugs:     g.bugs,
+	}
+	return w
+}
+
+// galloc is a generated allocation the builder can target.
+type galloc struct {
+	reg   mir.Reg
+	size  int64
+	heap  bool
+	freed bool
+	gets  bool // holds gets() content: reads stay inside [0,16)
+}
+
+type gen struct {
+	r   *rng
+	p   *mir.Program
+	b   *mir.FuncBuilder
+	cfg GenConfig
+
+	allocs []*galloc
+	vals   []mir.Reg // clean (untainted, initialized) value registers
+	sums   []mir.Reg // folded into the exit checksum
+	bugs   []BugKind
+
+	nWorkers int
+}
+
+func (g *gen) build() {
+	b := g.b
+	// Seed the value pool so every action has operands.
+	g.vals = append(g.vals, b.Const(int64(g.r.n(1000))+1), b.Const(int64(g.r.n(97))+3))
+
+	for i := 0; i < g.cfg.Actions; i++ {
+		g.action()
+	}
+	if g.cfg.Threads {
+		g.threadSection()
+	}
+	if g.cfg.Bugs {
+		g.plantBugs()
+	}
+
+	// Exit checksum: fold every collected value; the runner compares
+	// Result.Exit across configurations, so any value-level divergence
+	// (not just report divergence) is caught.
+	acc := b.Const(0)
+	for _, v := range g.sums {
+		acc = b.Add(mir.R(acc), mir.R(v))
+	}
+	b.RetVal(mir.R(acc))
+}
+
+// ---------------------------------------------------------------------------
+// Value and allocation plumbing
+
+func (g *gen) val() mir.Reg { return g.vals[g.r.n(len(g.vals))] }
+
+func (g *gen) pushVal(v mir.Reg) {
+	g.vals = append(g.vals, v)
+	if g.r.chance(50) {
+		g.sums = append(g.sums, v)
+	}
+}
+
+// sizeFor picks an allocation size: always a multiple of 8 (the heap is
+// 16-aligned, so word-multiple sizes keep granules from straddling
+// allocations at any granularity), between 8 and 64 bytes.
+func (g *gen) sizeFor() int64 { return int64(1+g.r.n(8)) * 8 }
+
+// initAlloc fully initializes an allocation immediately — the
+// discipline that keeps msan quiet and granularity irrelevant for
+// clean memory. Heap blocks sometimes use memset (exercising the
+// transfer-function handlers); everything else uses word stores.
+func (g *gen) initAlloc(a *galloc) {
+	b := g.b
+	if a.heap && g.r.chance(40) {
+		b.CallVoid("memset", mir.R(a.reg), mir.C(0), mir.C(a.size))
+		return
+	}
+	for off := int64(0); off < a.size; off += 8 {
+		p := b.Add(mir.R(a.reg), mir.C(off))
+		b.Store(mir.R(p), mir.C(int64(g.r.n(128))), 8)
+	}
+}
+
+// newAlloc emits a fresh initialized allocation.
+func (g *gen) newAlloc(heap bool) *galloc {
+	b := g.b
+	size := g.sizeFor()
+	a := &galloc{size: size, heap: heap}
+	if !heap {
+		a.reg = b.Alloca(size)
+		g.initAlloc(a)
+	} else {
+		switch g.r.n(3) {
+		case 0: // calloc arrives zeroed and unpoisoned
+			a.reg = b.Call("calloc", mir.C(size/8), mir.C(8))
+		default:
+			a.reg = b.Call("malloc", mir.C(size))
+			g.initAlloc(a)
+		}
+	}
+	g.allocs = append(g.allocs, a)
+	return a
+}
+
+// liveAlloc picks a live allocation of at least minSize bytes,
+// creating one if none fits.
+func (g *gen) liveAlloc(minSize int64) *galloc {
+	var fit []*galloc
+	for _, a := range g.allocs {
+		if !a.freed && a.size >= minSize {
+			fit = append(fit, a)
+		}
+	}
+	if len(fit) == 0 {
+		for {
+			a := g.newAlloc(g.r.chance(60))
+			if a.size >= minSize {
+				return a
+			}
+		}
+	}
+	return fit[g.r.n(len(fit))]
+}
+
+// wordOff picks an 8-aligned in-bounds offset; gets-content buffers
+// stay inside the deterministic first 16 bytes.
+func (g *gen) wordOff(a *galloc) int64 {
+	limit := a.size
+	if a.gets && limit > 16 {
+		limit = 16
+	}
+	return int64(g.r.n(int(limit/8))) * 8
+}
+
+func (g *gen) addrAt(a *galloc, off int64) mir.Reg {
+	if off == 0 && g.r.chance(50) {
+		return a.reg
+	}
+	return g.b.Add(mir.R(a.reg), mir.C(off))
+}
+
+// ---------------------------------------------------------------------------
+// Actions
+
+func (g *gen) action() {
+	switch g.r.n(12) {
+	case 0:
+		g.newAlloc(false)
+	case 1:
+		g.newAlloc(true)
+	case 2:
+		g.actFree()
+	case 3, 4:
+		g.actStore()
+	case 5, 6:
+		g.actLoad()
+	case 7:
+		g.actArith()
+	case 8:
+		g.actLoop()
+	case 9:
+		g.actDiamond()
+	case 10:
+		g.actLibSession()
+	case 11:
+		g.actMemcpy()
+	}
+}
+
+func (g *gen) actFree() {
+	var heaps []*galloc
+	for _, a := range g.allocs {
+		// gets buffers stay live: the taint bug needs one, and keeping
+		// them out of the freelist keeps their content region stable.
+		if a.heap && !a.freed && !a.gets {
+			heaps = append(heaps, a)
+		}
+	}
+	if len(heaps) == 0 {
+		return
+	}
+	a := heaps[g.r.n(len(heaps))]
+	g.b.CallVoid("free", mir.R(a.reg))
+	a.freed = true
+}
+
+// accessWidth picks an access width and a compatibly-aligned offset.
+// Uniform workloads always access full words.
+func (g *gen) accessWidth(a *galloc) (uint8, int64) {
+	if g.cfg.Uniform {
+		return 8, g.wordOff(a)
+	}
+	w := uint8(g.r.pick(1, 2, 4, 8))
+	base := g.wordOff(a)
+	slot := int64(0)
+	if w < 8 {
+		slot = int64(g.r.n(int(8/int64(w)))) * int64(w)
+	}
+	return w, base + slot
+}
+
+func (g *gen) actStore() {
+	a := g.liveAlloc(8)
+	w, off := g.accessWidth(a)
+	p := g.addrAt(a, off)
+	g.b.Store(mir.R(p), mir.R(g.val()), w)
+}
+
+func (g *gen) actLoad() {
+	a := g.liveAlloc(8)
+	w, off := g.accessWidth(a)
+	p := g.addrAt(a, off)
+	v := g.b.Load(mir.R(p), w)
+	// Values read out of gets content are tainted: they must never flow
+	// into an address or they would trip tainttrack's sink in "clean"
+	// programs, so they go straight to the checksum instead of the
+	// reusable value pool.
+	if a.gets {
+		g.sums = append(g.sums, v)
+		return
+	}
+	g.pushVal(v)
+}
+
+func (g *gen) actArith() {
+	b := g.b
+	ops := []mir.Op{mir.OpAdd, mir.OpSub, mir.OpMul, mir.OpXor, mir.OpAnd, mir.OpOr}
+	v := b.Bin(ops[g.r.n(len(ops))], mir.R(g.val()), mir.R(g.val()))
+	g.pushVal(v)
+}
+
+// actLoop walks an array: for i in [0,words) { a[i] = i*k; s += a[i] }.
+func (g *gen) actLoop() {
+	b := g.b
+	a := g.liveAlloc(16)
+	words := a.size / 8
+	if a.gets && words > 2 {
+		words = 2
+	}
+	k := int64(g.r.n(9)) + 1
+	cell := b.Alloca(8)
+	b.Store(mir.R(cell), mir.C(0), 8)
+	b.Loop(mir.C(words), func(i mir.Reg) {
+		off := b.Mul(mir.R(i), mir.C(8))
+		p := b.Add(mir.R(a.reg), mir.R(off))
+		v := b.Mul(mir.R(i), mir.C(k))
+		b.Store(mir.R(p), mir.R(v), 8)
+		got := b.Load(mir.R(p), 8)
+		s := b.Load(mir.R(cell), 8)
+		s2 := b.Add(mir.R(s), mir.R(got))
+		b.Store(mir.R(cell), mir.R(s2), 8)
+	})
+	sum := b.Load(mir.R(cell), 8)
+	g.pushVal(sum)
+}
+
+// actDiamond branches on a clean comparison and stores a different
+// constant on each arm.
+func (g *gen) actDiamond() {
+	b := g.b
+	a := g.liveAlloc(8)
+	off := g.wordOff(a)
+	cond := b.Bin(mir.OpLt, mir.R(g.val()), mir.C(int64(g.r.n(500))))
+	b.If(mir.R(cond), func() {
+		p := g.addrAt(a, off)
+		b.Store(mir.R(p), mir.C(11), 8)
+	}, func() {
+		p := g.addrAt(a, off)
+		b.Store(mir.R(p), mir.C(22), 8)
+	})
+	p := b.Add(mir.R(a.reg), mir.C(off))
+	g.pushVal(b.Load(mir.R(p), 8))
+}
+
+func (g *gen) actMemcpy() {
+	b := g.b
+	dst := g.liveAlloc(16)
+	src := g.liveAlloc(16)
+	if dst == src {
+		return
+	}
+	n := dst.size
+	if src.size < n {
+		n = src.size
+	}
+	b.CallVoid("memcpy", mir.R(dst.reg), mir.R(src.reg), mir.C(n))
+	if src.gets {
+		// The copy moved input-derived bytes; cap reads like a gets buf.
+		dst.gets = true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Library sessions
+
+func (g *gen) actLibSession() {
+	switch g.r.n(3) {
+	case 0:
+		g.getsSession()
+	case 1:
+		g.sslSession(true, true)
+	case 2:
+		g.zlibSession(true)
+	}
+}
+
+// getsSession reads 16 deterministic input bytes + NUL into a buffer.
+// Only main ever calls gets: the input cursor advances per call, so the
+// call order must not depend on the schedule.
+func (g *gen) getsSession() *galloc {
+	a := g.liveAlloc(24)
+	g.b.Call("gets", mir.R(a.reg)) // result register feeds the $r hooks
+	a.gets = true
+	if !g.cfg.Uniform {
+		n := g.b.Call("strlen", mir.R(a.reg))
+		g.pushVal(n)
+	}
+	return a
+}
+
+// sslSession runs a full OpenSSL client lifecycle; shutdown/free can be
+// skipped by the SSL bug planters.
+func (g *gen) sslSession(shutdown, free bool) {
+	b := g.b
+	ctx := b.Call("SSL_CTX_new")
+	h := b.Call("SSL_new", mir.R(ctx))
+	b.CallVoid("SSL_set_fd", mir.R(h), mir.C(3))
+	if g.r.chance(50) {
+		b.CallVoid("SSL_connect", mir.R(h))
+	} else {
+		b.CallVoid("SSL_accept", mir.R(h))
+	}
+	buf := g.liveAlloc(16)
+	n := b.Call("SSL_read", mir.R(h), mir.R(buf.reg), mir.C(16))
+	g.sums = append(g.sums, n)
+	b.CallVoid("SSL_write", mir.R(h), mir.R(buf.reg), mir.C(16))
+	// SSL_read overwrote the buffer with handle-derived raw bytes; the
+	// model writes them without store hooks, so treat like gets content
+	// (deterministic, but don't reuse loaded values as clean).
+	buf.gets = true
+	if shutdown {
+		b.CallVoid("SSL_shutdown", mir.R(h))
+	}
+	if free {
+		b.CallVoid("SSL_free", mir.R(h))
+		b.CallVoid("SSL_CTX_free", mir.R(ctx))
+	}
+}
+
+// zlibSession compresses an initialized buffer through the modeled
+// deflate/inflate interface. init=false leaves the stream
+// uninitialized for zlibsan's bug.
+func (g *gen) zlibSession(init bool) {
+	b := g.b
+	const zStreamSize = 40 // vm.ZStreamSize
+	strm := b.Alloca(zStreamSize)
+	in := g.liveAlloc(32)
+	out := g.liveAlloc(32)
+	inflate := g.r.chance(50)
+
+	// Field writes also initialize the stream memory for msan.
+	store := func(off int64, v mir.Operand) {
+		p := b.Add(mir.R(strm), mir.C(off))
+		b.Store(mir.R(p), v, 8)
+	}
+	store(0, mir.R(in.reg))   // next_in
+	store(8, mir.C(16))       // avail_in
+	store(16, mir.R(out.reg)) // next_out
+	store(24, mir.C(32))      // avail_out
+	store(32, mir.C(0))       // total_out
+
+	name := "deflate"
+	if inflate {
+		name = "inflate"
+	}
+	if init {
+		b.CallVoid(name+"Init", mir.R(strm))
+	}
+	rc := b.Call(name, mir.R(strm))
+	g.sums = append(g.sums, rc)
+	p := b.Add(mir.R(strm), mir.C(32))
+	total := b.Load(mir.R(p), 8)
+	g.pushVal(total)
+	if init {
+		b.CallVoid(name+"End", mir.R(strm))
+	}
+	// The model wrote raw bytes into out; cap like gets content.
+	out.gets = true
+}
+
+// ---------------------------------------------------------------------------
+// Threads: race-free by construction. Racy programs have
+// schedule-dependent verdicts and instrumentation shifts scheduling
+// points, so only patterns whose per-granule access order is fixed (or
+// whose verdict is order-independent) keep the cross-config and
+// cross-seed invariants sound:
+//
+//   - disjoint: workers own disjoint slices of a shared calloc'd array
+//   - counter:  workers increment one cell under a lock (lockset never
+//     empties, so Eraser stays quiet in every schedule)
+//   - handoff:  main initializes, one worker takes over after spawn
+//     (Eraser's textbook init-then-handoff false positive — a
+//     deterministic report, identical in every schedule and config)
+
+func (g *gen) newWorker(nparams int) (*mir.FuncBuilder, string) {
+	name := fmt.Sprintf("worker%d", g.nWorkers)
+	g.nWorkers++
+	return g.p.NewFunc(name, nparams), name
+}
+
+func (g *gen) threadSection() {
+	switch g.r.n(3) {
+	case 0:
+		g.threadsDisjoint()
+	case 1:
+		g.threadsCounter()
+	case 2:
+		g.threadsHandoff()
+	}
+}
+
+func (g *gen) threadsDisjoint() {
+	b := g.b
+	nw := 1 + g.r.n(3)
+	words := int64(4 + g.r.n(5))
+
+	w, name := g.newWorker(1)
+	base := w.Param(0)
+	cell := w.Alloca(8)
+	w.Store(mir.R(cell), mir.C(0), 8)
+	w.Loop(mir.C(words), func(i mir.Reg) {
+		off := w.Mul(mir.R(i), mir.C(8))
+		p := w.Add(mir.R(base), mir.R(off))
+		v := w.Mul(mir.R(i), mir.C(3))
+		v2 := w.Add(mir.R(v), mir.C(7))
+		w.Store(mir.R(p), mir.R(v2), 8)
+		got := w.Load(mir.R(p), 8)
+		s := w.Load(mir.R(cell), 8)
+		s2 := w.Add(mir.R(s), mir.R(got))
+		w.Store(mir.R(cell), mir.R(s2), 8)
+	})
+	sum := w.Load(mir.R(cell), 8)
+	w.Store(mir.R(base), mir.R(sum), 8) // publish into own slice head
+	w.Ret()
+
+	shared := b.Call("calloc", mir.C(int64(nw)*words), mir.C(8))
+	var handles []mir.Reg
+	for i := 0; i < nw; i++ {
+		slice := b.Add(mir.R(shared), mir.C(int64(i)*words*8))
+		handles = append(handles, b.Spawn(name, mir.R(slice)))
+	}
+	for _, h := range handles {
+		b.Join(mir.R(h))
+	}
+	for i := 0; i < nw; i++ {
+		p := b.Add(mir.R(shared), mir.C(int64(i)*words*8))
+		g.sums = append(g.sums, b.Load(mir.R(p), 8))
+	}
+}
+
+func (g *gen) threadsCounter() {
+	b := g.b
+	iters := int64(8 + g.r.n(24))
+
+	w, name := g.newWorker(2)
+	cell, lock := w.Param(0), w.Param(1)
+	w.Loop(mir.C(iters), func(i mir.Reg) {
+		w.Lock(mir.R(lock))
+		v := w.Load(mir.R(cell), 8)
+		v2 := w.Add(mir.R(v), mir.C(1))
+		w.Store(mir.R(cell), mir.R(v2), 8)
+		w.Unlock(mir.R(lock))
+	})
+	w.Ret()
+
+	cellM := b.Call("calloc", mir.C(1), mir.C(8))
+	lockM := b.Call("malloc", mir.C(8))
+	h1 := b.Spawn(name, mir.R(cellM), mir.R(lockM))
+	h2 := b.Spawn(name, mir.R(cellM), mir.R(lockM))
+	b.Join(mir.R(h1))
+	b.Join(mir.R(h2))
+	b.Lock(mir.R(lockM))
+	total := b.Load(mir.R(cellM), 8)
+	b.Unlock(mir.R(lockM))
+	g.sums = append(g.sums, total)
+}
+
+func (g *gen) threadsHandoff() {
+	b := g.b
+	words := int64(2 + g.r.n(3))
+
+	w, name := g.newWorker(1)
+	buf := w.Param(0)
+	w.Loop(mir.C(words), func(i mir.Reg) {
+		off := w.Mul(mir.R(i), mir.C(8))
+		p := w.Add(mir.R(buf), mir.R(off))
+		v := w.Load(mir.R(p), 8)
+		v2 := w.Add(mir.R(v), mir.C(5))
+		w.Store(mir.R(p), mir.R(v2), 8)
+	})
+	w.Ret()
+
+	bufM := b.Call("malloc", mir.C(words*8))
+	for off := int64(0); off < words*8; off += 8 {
+		p := b.Add(mir.R(bufM), mir.C(off))
+		b.Store(mir.R(p), mir.C(off+1), 8)
+	}
+	h := b.Spawn(name, mir.R(bufM))
+	b.Join(mir.R(h))
+	p := b.Add(mir.R(bufM), mir.C(0))
+	g.sums = append(g.sums, b.Load(mir.R(p), 8))
+}
+
+// ---------------------------------------------------------------------------
+// Bug planting. Runs last so later allocations can't recycle a freed
+// block out from under the use-after-free site.
+
+func (g *gen) plantBugs() {
+	kinds := []BugKind{BugUAF, BugUninit, BugTaint, BugSSLMisuse, BugSSLLeak, BugZlibUninit}
+	if !g.cfg.Uniform {
+		kinds = append(kinds, BugMixedWidth)
+	}
+	n := 1 + g.r.n(2)
+	for i := 0; i < n && len(kinds) > 0; i++ {
+		k := g.r.n(len(kinds))
+		kind := kinds[k]
+		kinds = append(kinds[:k], kinds[k+1:]...)
+		g.plantBug(kind)
+		g.bugs = append(g.bugs, kind)
+	}
+}
+
+func (g *gen) plantBug(kind BugKind) {
+	b := g.b
+	switch kind {
+	case BugUAF:
+		size := g.sizeFor()
+		buf := b.Call("malloc", mir.C(size))
+		g.initAlloc(&galloc{reg: buf, size: size, heap: true})
+		b.CallVoid("free", mir.R(buf))
+		off := int64(g.r.n(int(size/8))) * 8
+		p := b.Add(mir.R(buf), mir.C(off))
+		if g.r.chance(50) {
+			g.sums = append(g.sums, b.Load(mir.R(p), 8))
+		} else {
+			b.Store(mir.R(p), mir.C(99), 8)
+		}
+	case BugUninit:
+		buf := b.Call("malloc", mir.C(16))
+		v := b.Load(mir.R(buf), 8)
+		scratch := b.Alloca(8)
+		b.Store(mir.R(scratch), mir.C(0), 8)
+		b.If(mir.R(v), func() {
+			b.Store(mir.R(scratch), mir.C(1), 8)
+		}, nil)
+		g.sums = append(g.sums, b.Load(mir.R(scratch), 8))
+		b.CallVoid("free", mir.R(buf))
+	case BugTaint:
+		in := g.getsSession()
+		t := b.Load(mir.R(in.reg), 8) // tainted word
+		big := g.liveAlloc(64)
+		off := b.Bin(mir.OpAnd, mir.R(t), mir.C(0x38)) // 0..56, word-aligned
+		p := b.Add(mir.R(big.reg), mir.R(off))
+		if g.r.chance(50) {
+			g.sums = append(g.sums, b.Load(mir.R(p), 8))
+		} else {
+			b.Store(mir.R(p), mir.C(5), 8)
+		}
+	case BugSSLMisuse:
+		g.sslSession(false, true) // free without shutdown
+	case BugSSLLeak:
+		g.sslSession(true, false) // never freed: reported at ProgramEnd
+	case BugZlibUninit:
+		g.zlibSession(false)
+	case BugMixedWidth:
+		a := g.liveAlloc(8)
+		g.pushVal(b.Load(mir.R(a.reg), 8))
+		g.pushVal(b.Load(mir.R(a.reg), 4))
+	}
+}

@@ -1,0 +1,90 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestGenerateDeterministic: same seed, byte-identical program text.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a := Generate(seed)
+		b := Generate(seed)
+		if a.Prog.String() != b.Prog.String() {
+			t.Fatalf("seed %d: non-deterministic generation", seed)
+		}
+		if a.Cfg != b.Cfg || a.Uniform != b.Uniform {
+			t.Fatalf("seed %d: non-deterministic shape", seed)
+		}
+	}
+}
+
+// TestGenerateVerifies: every generated program is verifier-clean and
+// runs to completion uninstrumented.
+func TestGenerateVerifies(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		w := Generate(seed)
+		if err := w.Prog.Verify(); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, w.Prog.String())
+		}
+		res, err := core.RunPlain(w.Prog, core.RunOptions{Seed: 1})
+		if err != nil {
+			t.Fatalf("seed %d: plain run failed: %v\n%s", seed, err, w.Prog.String())
+		}
+		if res.Steps == 0 {
+			t.Fatalf("seed %d: empty program", seed)
+		}
+	}
+}
+
+// TestGenerateExitDeterministic: the exit checksum must not depend on
+// the scheduler seed (the generator's race-freedom discipline).
+func TestGenerateExitDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		w := Generate(seed)
+		if !w.Threaded {
+			continue
+		}
+		r1, err := core.RunPlain(w.Prog, core.RunOptions{Seed: 1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r2, err := core.RunPlain(w.Prog, core.RunOptions{Seed: 99})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r1.Exit != r2.Exit {
+			t.Fatalf("seed %d: exit differs across schedules: %d vs %d\n%s",
+				seed, r1.Exit, r2.Exit, w.Prog.String())
+		}
+	}
+}
+
+// TestGenerateShapes: the seed stream must exercise every generator
+// dimension (threads, bugs, uniform and mixed-width) within a modest
+// seed range, or conformance coverage silently narrows.
+func TestGenerateShapes(t *testing.T) {
+	var threaded, bugged, uniform, mixed int
+	for seed := uint64(0); seed < 200; seed++ {
+		w := Generate(seed)
+		if w.Threaded {
+			threaded++
+		}
+		if len(w.Bugs) > 0 {
+			bugged++
+		}
+		if w.Uniform {
+			uniform++
+		} else {
+			mixed++
+		}
+	}
+	for name, n := range map[string]int{
+		"threaded": threaded, "bugged": bugged, "uniform": uniform, "mixed": mixed,
+	} {
+		if n < 20 {
+			t.Errorf("shape %s hit only %d/200 seeds", name, n)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/mir"
+)
+
+// Shrink delta-debugs a failing program down to a minimal reproducer:
+// the smallest program (it can find) for which fails still returns
+// true. fails must treat every infrastructure error as "does not fail"
+// so candidates that trap or stop compiling are simply rejected.
+//
+// Three reduction passes run to a fixpoint:
+//
+//   - drop whole functions that are no longer referenced
+//   - ddmin over non-terminator instructions (deleting an instruction
+//     is always register-safe: unwritten registers read 0, so Verify
+//     keeps passing and the VM stays deterministic)
+//   - shrink constants (halve immediates and allocation sizes, keeping
+//     sizes word-multiples)
+//
+// The fails budget caps total candidate evaluations so a pathological
+// predicate cannot hang a test run.
+func Shrink(p *mir.Program, fails func(*mir.Program) bool) *mir.Program {
+	s := &shrinker{fails: fails, budget: 3000}
+	cur := p.Clone()
+	for {
+		changed := false
+		if c, ok := s.dropFuncs(cur); ok {
+			cur, changed = c, true
+		}
+		if c, ok := s.ddminInstrs(cur); ok {
+			cur, changed = c, true
+		}
+		if c, ok := s.shrinkConsts(cur); ok {
+			cur, changed = c, true
+		}
+		if !changed || s.budget <= 0 {
+			return cur
+		}
+	}
+}
+
+type shrinker struct {
+	fails  func(*mir.Program) bool
+	budget int
+}
+
+func (s *shrinker) try(p *mir.Program) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	if p.Verify() != nil {
+		return false
+	}
+	return s.fails(p)
+}
+
+// dropFuncs removes non-entry functions that nothing references.
+func (s *shrinker) dropFuncs(p *mir.Program) (*mir.Program, bool) {
+	refs := make(map[string]int)
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Callee != "" {
+					refs[in.Callee]++
+				}
+			}
+		}
+	}
+	changed := false
+	cur := p
+	var names []string
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if name == p.Entry || refs[name] > 0 {
+			continue
+		}
+		cand := cur.Clone()
+		delete(cand.Funcs, name)
+		if s.try(cand) {
+			cur, changed = cand, true
+		}
+	}
+	return cur, changed
+}
+
+// instrPos addresses one instruction.
+type instrPos struct {
+	fn    string
+	block int
+	idx   int
+}
+
+// deletable lists non-terminator instruction positions in a stable
+// order.
+func deletable(p *mir.Program) []instrPos {
+	var names []string
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []instrPos
+	for _, name := range names {
+		f := p.Funcs[name]
+		for bi, b := range f.Blocks {
+			for ii, in := range b.Instrs {
+				if in.Op.IsTerminator() {
+					continue
+				}
+				out = append(out, instrPos{name, bi, ii})
+			}
+		}
+	}
+	return out
+}
+
+// without rebuilds the program with the given positions removed.
+func without(p *mir.Program, drop map[instrPos]bool) *mir.Program {
+	out := p.Clone()
+	for name, f := range out.Funcs {
+		for bi := range f.Blocks {
+			kept := f.Blocks[bi].Instrs[:0]
+			for ii, in := range f.Blocks[bi].Instrs {
+				if !drop[instrPos{name, bi, ii}] {
+					kept = append(kept, in)
+				}
+			}
+			f.Blocks[bi].Instrs = kept
+		}
+	}
+	return out
+}
+
+// ddminInstrs is the classic ddmin loop over deletable instructions:
+// try removing chunks, halving the chunk size until single
+// instructions.
+func (s *shrinker) ddminInstrs(p *mir.Program) (*mir.Program, bool) {
+	cur := p
+	changed := false
+	for chunk := len(deletable(cur)) / 2; chunk >= 1; {
+		items := deletable(cur)
+		removedAny := false
+		for lo := 0; lo < len(items); lo += chunk {
+			hi := lo + chunk
+			if hi > len(items) {
+				hi = len(items)
+			}
+			drop := make(map[instrPos]bool, hi-lo)
+			for _, pos := range items[lo:hi] {
+				drop[pos] = true
+			}
+			cand := without(cur, drop)
+			if s.try(cand) {
+				cur, changed, removedAny = cand, true, true
+				// Positions shifted; restart this granularity.
+				break
+			}
+		}
+		if !removedAny {
+			chunk /= 2
+		}
+	}
+	return cur, changed
+}
+
+// shrinkConsts halves OpConst immediates and OpAlloca sizes (keeping
+// allocation sizes positive word multiples).
+func (s *shrinker) shrinkConsts(p *mir.Program) (*mir.Program, bool) {
+	cur := p
+	changed := false
+	for {
+		improved := false
+		for _, name := range funcNames(cur) {
+			f := cur.Funcs[name]
+			for bi := range f.Blocks {
+				for ii := range f.Blocks[bi].Instrs {
+					in := &f.Blocks[bi].Instrs[ii]
+					var next int64
+					switch {
+					case in.Op == mir.OpConst && in.Imm > 1:
+						next = in.Imm / 2
+					case in.Op == mir.OpAlloca && in.Imm > 8:
+						next = (in.Imm / 2) &^ 7
+						if next < 8 {
+							next = 8
+						}
+					default:
+						continue
+					}
+					cand := cur.Clone()
+					cand.Funcs[name].Blocks[bi].Instrs[ii].Imm = next
+					if s.try(cand) {
+						cur, changed, improved = cand, true, true
+					}
+				}
+			}
+		}
+		if !improved {
+			return cur, changed
+		}
+	}
+}
+
+func funcNames(p *mir.Program) []string {
+	var names []string
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteRepro stores a shrunk reproducer as round-trippable MIR text
+// with a comment header describing the broken invariant. The parser
+// skips comments, so the file re-loads with mir.ParseText.
+func WriteRepro(dir string, m Mismatch, shrunk *mir.Program) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// conformance reproducer: %s property broken\n", m.Property)
+	fmt.Fprintf(&b, "// workload %s (seed %d), analysis %s, %s vs %s\n", m.Workload, m.Seed, m.Analysis, m.Ref, m.Got)
+	fmt.Fprintf(&b, "// reproduce: go test ./internal/conformance -run TestRepros\n")
+	b.WriteString(shrunk.String())
+	name := fmt.Sprintf("%s_%s_%s.mir", m.Workload, m.Analysis, m.Property)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

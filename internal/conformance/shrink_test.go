@@ -1,0 +1,140 @@
+package conformance
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/mir"
+)
+
+// perturbedFails builds the fail predicate for the deliberately broken
+// compiler: uaf's verdicts must differ between DefaultOptions (where
+// coalescing exists for the perturbed template hook to corrupt) and
+// DSOnlyOptions.
+func perturbedFails(r *Runner) func(*mir.Program) bool {
+	full := compiler.DefaultOptions()
+	dsonly := compiler.DSOnlyOptions()
+	return func(p *mir.Program) bool {
+		a, err1 := r.RunProg(p, "uaf", full, 1)
+		b, err2 := r.RunProg(p, "uaf", dsonly, 1)
+		return err1 == nil && err2 == nil && !a.equal(b)
+	}
+}
+
+// TestShrinkerCatchesPerturbedCoalescing is the acceptance check for
+// the whole loop: a deliberately broken optimization (coalesced group
+// templates perturbed through the test-only compiler hook) must be
+// (a) caught by the differential runner and (b) shrunk to a tiny
+// reproducer.
+func TestShrinkerCatchesPerturbedCoalescing(t *testing.T) {
+	compiler.TestPerturbCoalescedTemplates = true
+	defer func() { compiler.TestPerturbCoalescedTemplates = false }()
+	// Fresh runner: its compile memo must only ever see the perturbed
+	// compiler (and the process-global compile cache is never used by
+	// conformance, so the poison stays contained).
+	r := NewRunner()
+
+	w := GenerateCfg(7, GenConfig{Actions: 12, Uniform: true, Bugs: true})
+	ms, err := r.CheckAnalysis(w, "uaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("perturbed coalescing not caught by the differential runner")
+	}
+
+	fails := perturbedFails(r)
+	if !fails(w.Prog) {
+		t.Fatal("fail predicate does not reproduce on the full workload")
+	}
+	shrunk := Shrink(w.Prog, fails)
+	if !fails(shrunk) {
+		t.Fatal("shrunk program no longer fails")
+	}
+	if err := shrunk.Verify(); err != nil {
+		t.Fatalf("shrunk program fails verification: %v", err)
+	}
+	if n := shrunk.InstrCount(); n > 20 {
+		t.Fatalf("shrunk to %d instructions, want <= 20:\n%s", n, shrunk.String())
+	}
+	t.Logf("shrunk to %d instructions:\n%s", shrunk.InstrCount(), shrunk.String())
+
+	// The reproducer must survive the testdata round trip.
+	dir := t.TempDir()
+	path, err := WriteRepro(dir, ms[0], shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := mir.ParseText(string(data))
+	if err != nil {
+		t.Fatalf("repro does not re-parse: %v", err)
+	}
+	if !fails(back) {
+		t.Fatal("re-parsed repro no longer fails")
+	}
+}
+
+// TestShrinkBudget: the shrinker must terminate even when everything
+// "fails" (a pathological predicate), bounded by its budget.
+func TestShrinkBudget(t *testing.T) {
+	w := GenerateCfg(11, GenConfig{Actions: 20, Uniform: true})
+	n := 0
+	shrunk := Shrink(w.Prog, func(p *mir.Program) bool { n++; return true })
+	if n > 3100 {
+		t.Fatalf("budget not enforced: %d candidate evaluations", n)
+	}
+	// Everything non-terminator can go.
+	if got := len(deletable(shrunk)); got != 0 {
+		t.Fatalf("all-fail predicate should shrink to terminators only, %d left:\n%s", got, shrunk.String())
+	}
+}
+
+// TestRepros replays every checked-in reproducer: each one documents a
+// bug that is now fixed, so the full conformance invariants must hold
+// on it (ablation across all analyses, and schedule invariance, the
+// property the first checked-in repro was reduced from).
+func TestRepros(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "repros", "*.mir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no checked-in reproducers found")
+	}
+	r := NewRunner()
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := mir.ParseText(string(data))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := p.Verify(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			w := &Workload{
+				Name:     strings.TrimSuffix(filepath.Base(f), ".mir"),
+				Prog:     p,
+				Threaded: true, // replay schedule invariance too
+			}
+			ms, err := r.Check(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range ms {
+				t.Errorf("%s", m)
+			}
+		})
+	}
+}

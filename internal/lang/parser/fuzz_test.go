@@ -14,13 +14,20 @@ import (
 // and for accepted sources the parse→print→parse round trip is a fixed
 // point — the printer output re-parses to a program that prints
 // identically. Seeded from the eight shipped .alda analyses (read from
-// disk, like the printer tests, to keep this package frontend-only).
+// disk, like the printer tests, to keep this package frontend-only); a
+// matching checked-in corpus lives in testdata/fuzz/FuzzParse so
+// `go test -fuzz` starts from the same inputs even when the glob moves.
 func FuzzParse(f *testing.F) {
-	paths, _ := filepath.Glob("../../analyses/*.alda")
+	paths, err := filepath.Glob("../../analyses/*.alda")
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("no .alda seeds found (glob err %v): fix the corpus wiring", err)
+	}
 	for _, p := range paths {
-		if b, err := os.ReadFile(p); err == nil {
-			f.Add(string(b))
+		b, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
 		}
+		f.Add(string(b))
 	}
 	f.Add("analysis empty { }")
 	f.Add("analysis m { meta addr2label: map<pointer, int64>; on LoadInst call check($a); func check(p: pointer) { alda_assert(1, 1); } }")

@@ -160,6 +160,30 @@ func (b *FuncBuilder) Join(handle Operand) {
 	b.emit(Instr{Op: OpJoin, A: handle})
 }
 
+// If is a convenience that emits `if cond != 0 { then() } else { els() }`
+// as a diamond and leaves the builder positioned in the join block. els
+// may be nil for a one-armed conditional.
+func (b *FuncBuilder) If(cond Operand, then, els func()) {
+	thenB := b.NewBlock()
+	join := b.NewBlock()
+	elsB := join
+	if els != nil {
+		elsB = b.NewBlock()
+	}
+	b.CondBr(cond, thenB, elsB)
+
+	b.SetBlock(thenB)
+	then()
+	b.Br(join)
+
+	if els != nil {
+		b.SetBlock(elsB)
+		els()
+		b.Br(join)
+	}
+	b.SetBlock(join)
+}
+
 // Loop is a convenience that emits a counted loop `for i = 0; i < n;
 // i++ { body(i) }`. It creates the needed blocks and leaves the builder
 // positioned in the exit block. The body callback receives the loop

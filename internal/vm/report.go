@@ -18,6 +18,13 @@ type Report struct {
 	Trace    []string // full backtrace, innermost first
 	Count    int
 	Step     uint64 // machine step of first occurrence
+
+	// Fn and Block locate the finding structurally. Unlike Where they
+	// exclude the pc, which instrumentation shifts as hooks are
+	// inserted, so differential checkers can compare finding sites
+	// across compilation configurations.
+	Fn    string
+	Block int
 }
 
 // reportKey identifies a finding site for deduplication without
@@ -63,6 +70,8 @@ func (m *Machine) Report(analysis, message string, got, expected uint64) {
 		Trace:    trace,
 		Count:    1,
 		Step:     m.steps,
+		Fn:       key.fn,
+		Block:    key.block,
 	}
 	m.reportIdx[key] = r
 	m.reports = append(m.reports, r)
