@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only,
 # no external dependencies).
 
-.PHONY: all build test race vet bench experiments examples fmt cover fuzz faults conform
+.PHONY: all build test race vet bench benchgate benchbaseline experiments examples fmt cover fuzz faults conform
 
 all: build vet test
 
@@ -45,6 +45,23 @@ fuzz:
 # One measured shot of every figure/table benchmark.
 bench:
 	go test -bench=. -benchmem -benchtime=1x .
+
+# Hot-path benchmark regression gate: re-measure the BenchHotPath
+# micro-suite and fail on a >15% geometric-mean regression against the
+# checked-in BENCH_baseline.json. Override BENCHTIME for a faster or
+# slower sweep (0 = single-batch smoke, exercises the gate machinery
+# only). The 15% threshold is meaningful on hardware comparable to the
+# machine that recorded the baseline; see EXPERIMENTS.md for how to
+# refresh it.
+BENCHTIME ?= 100ms
+benchgate:
+	go run ./cmd/aldabench -benchgate -bench-baseline BENCH_baseline.json -benchtime $(BENCHTIME)
+
+# Refresh the gate baseline on this machine: measure and write
+# BENCH_<rev>.json, then copy it over BENCH_baseline.json.
+benchbaseline:
+	go run ./cmd/aldabench -bench-json -benchtime 250ms
+	cp BENCH_$$(git rev-parse --short HEAD).json BENCH_baseline.json
 
 # Regenerate the paper's evaluation tables (EXPERIMENTS.md's source).
 experiments:

@@ -41,13 +41,58 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
+	"time"
 
 	"repro/internal/harness"
+	"repro/internal/perf"
 	"repro/internal/vm"
 	"repro/internal/vm/faults"
 	"repro/internal/workloads"
 )
+
+// gitRev returns the short HEAD revision for BENCH_<rev>.json naming,
+// or "dev" outside a git checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// runBench handles the -bench-json / -benchgate modes: measure the
+// BenchHotPath suite, then emit BENCH_<rev>.json and/or gate against a
+// baseline file. Exits the process.
+func runBench(emitJSON bool, gate bool, baseline string, benchtime time.Duration, threshold float64) {
+	fmt.Fprintf(os.Stderr, "bench: running hot-path suite (benchtime %v)\n", benchtime)
+	f := perf.RunSuite(benchtime)
+	f.Rev = gitRev()
+	if emitJSON {
+		path := fmt.Sprintf("BENCH_%s.json", f.Rev)
+		if err := perf.WriteFile(path, f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s (%d benches)\n", path, len(f.Benches))
+		if s, err := perf.SpeedupVsRef(f); err == nil {
+			fmt.Fprintf(os.Stderr, "bench: flat-arena vs map-backed hash Get/Set geomean speedup: %.2fx\n", s)
+		}
+	}
+	if gate {
+		base, err := perf.ReadFile(baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		if err := perf.Gate(base, f, threshold); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	os.Exit(0)
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig3|fig4|fig5|table3|table4|libsan|ablate|pgo|mem|gran|all")
@@ -67,7 +112,16 @@ func main() {
 	faultMallocNth := flag.Uint64("fault-malloc-nth", 0, "make the nth simulated allocation return NULL (0 = off)")
 	faultPanicNth := flag.Uint64("fault-panic-nth", 0, "panic at the nth analysis hook dispatch (0 = off)")
 	faultSchedPerturb := flag.Uint64("fault-sched-perturb", 0, "perturb the deterministic scheduler seed (0 = off)")
+	benchJSON := flag.Bool("bench-json", false, "run the BenchHotPath micro-suite and write BENCH_<rev>.json")
+	benchGate := flag.Bool("benchgate", false, "run the BenchHotPath micro-suite and fail on geomean regression vs -bench-baseline")
+	benchBaseline := flag.String("bench-baseline", "BENCH_baseline.json", "baseline file for -benchgate")
+	benchTime := flag.Duration("benchtime", 100*time.Millisecond, "per-bench time budget for -bench-json/-benchgate (0 = single-batch smoke)")
+	benchThreshold := flag.Float64("bench-threshold", perf.GateThreshold, "geomean regression ratio failing -benchgate")
 	flag.Parse()
+
+	if *benchJSON || *benchGate {
+		runBench(*benchJSON, *benchGate, *benchBaseline, *benchTime, *benchThreshold)
+	}
 
 	var size workloads.Size
 	switch *sizeFlag {

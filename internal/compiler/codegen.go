@@ -37,6 +37,7 @@ type hstate struct {
 	epoch   uint64
 	entries [][]uint64
 	evalid  []uint64 // epoch stamps for entries
+	egen    []uint64 // container rehash generations for hash-backed entries
 	vcache  []uint64
 	vvalid  []uint64 // epoch stamps for scalar values
 }
@@ -155,6 +156,7 @@ func (rt *Runtime) buildHandler(h *sema.Handler) (vm.HandlerFn, error) {
 	st := &hstate{
 		entries: make([][]uint64, len(hc.slots)),
 		evalid:  make([]uint64, len(hc.slots)),
+		egen:    make([]uint64, len(hc.slots)),
 		vcache:  make([]uint64, len(hc.vslots)),
 		vvalid:  make([]uint64, len(hc.vslots)),
 	}
@@ -249,6 +251,7 @@ func (rt *Runtime) buildFusedHandler(spec *FusedSpec) (vm.HandlerFn, error) {
 	st := &hstate{
 		entries: make([][]uint64, len(hc.slots)),
 		evalid:  make([]uint64, len(hc.slots)),
+		egen:    make([]uint64, len(hc.slots)),
 		vcache:  make([]uint64, len(hc.vslots)),
 		vvalid:  make([]uint64, len(hc.vslots)),
 	}
@@ -403,18 +406,23 @@ func (hc *hcompiler) assign(as *ast.AssignExpr) (stmtFn, error) {
 			ef := l.ef
 			w := int(l.constOff / 64)
 			words := l.mem.SetWords
+			// Evaluate the RHS operand before fetching the destination
+			// view: the inline-arena hash tables may rehash while
+			// materializing `other`, which would detach an
+			// already-fetched destination and lose the write. A stale
+			// *source* view is harmless — rehash copies values.
 			if bin.Op == token.AND {
 				return func(h *hstate) {
+					r := other(h)
 					entry := ef(h)
 					dst := entry[w : w+words]
-					r := other(h)
 					meta.BitAnd(dst, dst, r.bits)
 				}, nil
 			}
 			return func(h *hstate) {
+				r := other(h)
 				entry := ef(h)
 				dst := entry[w : w+words]
-				r := other(h)
 				meta.BitOr(dst, dst, r.bits)
 			}, nil
 		}
@@ -430,22 +438,24 @@ func (hc *hcompiler) assign(as *ast.AssignExpr) (stmtFn, error) {
 	case SetBitVec:
 		words := mem.SetWords
 		off := hc.offsetFn(l)
+		// Destination view fetched last: evaluating the offset or RHS
+		// may grow a hash container and detach an earlier view.
 		return func(h *hstate) {
-			entry := l.ef(h)
 			w := int(off(h) / 64)
 			r := rhs(h)
+			entry := l.ef(h)
 			meta.BitCopy(entry[w:w+words], r.bits)
 		}, nil
 	default: // SetTree
 		off := hc.offsetFn(l)
 		return func(h *hstate) {
-			entry := l.ef(h)
 			w := int(off(h) / 64)
 			r := rhs(h)
 			t := r.tree
 			if !r.owned {
 				t = t.Clone()
 			}
+			entry := l.ef(h)
 			if handle := entry[w]; handle != 0 {
 				rt.trees[handle-1] = t
 			} else {
@@ -595,14 +605,46 @@ func (hc *hcompiler) memberLocation(mem *Member, keys []ast.Expr) (loc, error) {
 				hc.slots[class] = slot
 			}
 			inner := ef
-			ef = func(h *hstate) []uint64 {
-				if h.evalid[slot] == h.epoch {
-					return h.entries[slot]
+			// The flat-arena hash tables rehash on growth and on
+			// back-shifting removal, detaching previously returned entry
+			// views from the live arena; their cache slots validate the
+			// container generation as well as the invocation epoch. The
+			// other containers never move a materialized entry.
+			switch g.Impl {
+			case ImplHash:
+				hm := gs.c.(*meta.HashMap)
+				ef = func(h *hstate) []uint64 {
+					if h.evalid[slot] == h.epoch && h.egen[slot] == hm.Gen() {
+						return h.entries[slot]
+					}
+					e := inner(h)
+					h.entries[slot] = e
+					h.evalid[slot] = h.epoch
+					h.egen[slot] = hm.Gen()
+					return e
 				}
-				e := inner(h)
-				h.entries[slot] = e
-				h.evalid[slot] = h.epoch
-				return e
+			case ImplHash2:
+				hm2 := gs.c2
+				ef = func(h *hstate) []uint64 {
+					if h.evalid[slot] == h.epoch && h.egen[slot] == hm2.Gen() {
+						return h.entries[slot]
+					}
+					e := inner(h)
+					h.entries[slot] = e
+					h.evalid[slot] = h.epoch
+					h.egen[slot] = hm2.Gen()
+					return e
+				}
+			default:
+				ef = func(h *hstate) []uint64 {
+					if h.evalid[slot] == h.epoch {
+						return h.entries[slot]
+					}
+					e := inner(h)
+					h.entries[slot] = e
+					h.evalid[slot] = h.epoch
+					return e
+				}
 			}
 		}
 	}
@@ -812,8 +854,12 @@ func (hc *hcompiler) storeScalar(l loc, rhs evalFn) (stmtFn, error) {
 	if l.dynOff != nil {
 		dyn := l.dynOff
 		inval := hc.invalidator(l.mem.Meta.Name, -1)
+		// Entry view fetched last: the offset or RHS evaluation may
+		// grow a hash container and detach an earlier view.
 		return func(h *hstate) {
-			meta.StoreField(ef(h), dyn(h), width, rhs(h))
+			d := dyn(h)
+			v := rhs(h)
+			meta.StoreField(ef(h), d, width, v)
 			inval(h)
 		}, nil
 	}
@@ -840,7 +886,8 @@ func (hc *hcompiler) storeScalar(l loc, rhs evalFn) (stmtFn, error) {
 		}, nil
 	}
 	return func(h *hstate) {
-		meta.StoreField(ef(h), off, width, rhs(h))
+		v := rhs(h)
+		meta.StoreField(ef(h), off, width, v)
 		inval(h)
 	}, nil
 }
@@ -1096,19 +1143,24 @@ func (hc *hcompiler) setScalarMethod(x *ast.MethodExpr, recvT sema.VType) (evalF
 		if mem.Repr == SetBitVec {
 			words := mem.SetWords
 			dom := uint64(mem.SetDomain)
+			// Mutators fetch the entry view last so that offset/element
+			// evaluation growing a hash container cannot detach the
+			// write target.
 			switch x.Name {
 			case "add":
 				return func(h *hstate) uint64 {
-					e := ef(h)
 					w := int(off(h) / 64)
-					meta.BitAdd(e[w:w+words], ev(h)%dom)
+					v := ev(h) % dom
+					e := ef(h)
+					meta.BitAdd(e[w:w+words], v)
 					return 0
 				}, nil
 			case "remove":
 				return func(h *hstate) uint64 {
-					e := ef(h)
 					w := int(off(h) / 64)
-					meta.BitRemove(e[w:w+words], ev(h)%dom)
+					v := ev(h) % dom
+					e := ef(h)
+					meta.BitRemove(e[w:w+words], v)
 					return 0
 				}, nil
 			default:
@@ -1119,20 +1171,26 @@ func (hc *hcompiler) setScalarMethod(x *ast.MethodExpr, recvT sema.VType) (evalF
 				}, nil
 			}
 		}
+		// getTree writes the tree handle into the entry, so the entry
+		// view must be fetched after the offset; the tree itself lives
+		// outside the arena and survives rehashes.
 		switch x.Name {
 		case "add":
 			return func(h *hstate) uint64 {
-				rt.getTree(ef(h), int(off(h)/64), univ).Add(ev(h))
+				w := int(off(h) / 64)
+				rt.getTree(ef(h), w, univ).Add(ev(h))
 				return 0
 			}, nil
 		case "remove":
 			return func(h *hstate) uint64 {
-				rt.getTree(ef(h), int(off(h)/64), univ).Remove(ev(h))
+				w := int(off(h) / 64)
+				rt.getTree(ef(h), w, univ).Remove(ev(h))
 				return 0
 			}, nil
 		default:
 			return func(h *hstate) uint64 {
-				return b2u(rt.getTree(ef(h), int(off(h)/64), univ).Find(ev(h)))
+				w := int(off(h) / 64)
+				return b2u(rt.getTree(ef(h), w, univ).Find(ev(h)))
 			}, nil
 		}
 
@@ -1154,25 +1212,28 @@ func (hc *hcompiler) setScalarMethod(x *ast.MethodExpr, recvT sema.VType) (evalF
 		}
 		if x.Name == "size" {
 			return func(h *hstate) uint64 {
-				return uint64(rt.getTree(ef(h), int(off(h)/64), univ).Size())
+				w := int(off(h) / 64)
+				return uint64(rt.getTree(ef(h), w, univ).Size())
 			}, nil
 		}
 		return func(h *hstate) uint64 {
-			return b2u(rt.getTree(ef(h), int(off(h)/64), univ).Empty())
+			w := int(off(h) / 64)
+			return b2u(rt.getTree(ef(h), w, univ).Empty())
 		}, nil
 
 	case "clear":
 		if mem.Repr == SetBitVec {
 			words := mem.SetWords
 			return func(h *hstate) uint64 {
-				e := ef(h)
 				w := int(off(h) / 64)
+				e := ef(h)
 				meta.BitClear(e[w : w+words])
 				return 0
 			}, nil
 		}
 		return func(h *hstate) uint64 {
-			rt.getTree(ef(h), int(off(h)/64), univ).Clear()
+			w := int(off(h) / 64)
+			rt.getTree(ef(h), w, univ).Clear()
 			return 0
 		}, nil
 	}
@@ -1435,7 +1496,8 @@ func (hc *hcompiler) set(e ast.Expr) (setFn, error) {
 		}
 		univ := mem.SetUniv
 		return func(h *hstate) setRef {
-			return setRef{tree: rt.getTree(ef(h), int(off(h)/64), univ)}
+			w := int(off(h) / 64)
+			return setRef{tree: rt.getTree(ef(h), w, univ)}
 		}, nil
 
 	case *ast.BinaryExpr:

@@ -3,6 +3,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -158,9 +159,26 @@ func (c Config) measureCell(g *gridSpec, program string, col int) (wall time.Dur
 	}
 }
 
+// lockedWriter serializes writes from concurrent worker goroutines.
+// Config.Progress is an arbitrary io.Writer with no thread-safety
+// contract of its own, so the grid wraps it before fanning out.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
 // runGrid measures every cell of the grid, assembles the Table in row
 // and column order, and renders it to c.Out.
 func (c Config) runGrid(g gridSpec) (*Table, error) {
+	if c.Progress != nil {
+		c.Progress = &lockedWriter{w: c.Progress}
+	}
 	stride := len(g.measured) + 1 // baseline + measured columns
 	n := len(g.programs) * stride
 	walls := make([]time.Duration, n)

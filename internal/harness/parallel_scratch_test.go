@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/analyses"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// TestConcurrentCellsSharedCompile is the race-detector coverage for
+// the pooled-scratch hot path: eight concurrent cells share one
+// CachedCompile analysis (whose compiled handler closures capture
+// preallocated scratch buffers) while each cell gets its own Runtime
+// and Machine (whose threads pool hook-argument and shadow slices).
+// Under `make race` this proves the pools are per-runtime/per-thread,
+// not accidentally shared through the memoized Analysis. Verdicts must
+// also match a serial rerun of the same cells exactly.
+func TestConcurrentCellsSharedCompile(t *testing.T) {
+	a, err := analyses.Compile("uaf", compiler.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	progs := []string{"fft", "lu", "radix", "barnes", "ocean", "radiosity", "raytrace", "volrend"}
+
+	runCells := func(parallel bool) []string {
+		out := make([]string, len(progs))
+		var wg sync.WaitGroup
+		for i, name := range progs {
+			cell := func(i int, name string) {
+				defer wg.Done()
+				p, err := workloads.BuildBug(name, workloads.SizeTiny, workloads.BugUAF)
+				if err != nil {
+					out[i] = "builderr: " + err.Error()
+					return
+				}
+				res, err := core.RunAnalysis(p, a, core.RunOptions{Seed: int64(i) + 1})
+				if err != nil {
+					out[i] = "runerr: " + err.Error()
+					return
+				}
+				out[i] = fmt.Sprintf("%s: %d reports", name, len(res.Reports))
+			}
+			wg.Add(1)
+			if parallel {
+				go cell(i, name)
+			} else {
+				cell(i, name)
+			}
+		}
+		wg.Wait()
+		return out
+	}
+
+	concurrent := runCells(true)
+	serial := runCells(false)
+	for i := range progs {
+		if concurrent[i] != serial[i] {
+			t.Errorf("cell %s diverges: concurrent %q vs serial %q", progs[i], concurrent[i], serial[i])
+		}
+		if concurrent[i] == fmt.Sprintf("%s: 0 reports", progs[i]) {
+			t.Errorf("cell %s: planted UAF not reported", progs[i])
+		}
+	}
+}

@@ -159,6 +159,12 @@ type ShadowMap struct {
 	lookups  uint64
 	template []uint64
 	zeroTmpl bool
+
+	// one-entry software TLB: program accesses streak within a page, so
+	// the common case skips the chunk-directory load entirely. Chunks
+	// never move once materialized, so the cache never goes stale.
+	lastCI    uint64
+	lastChunk []uint64
 }
 
 // NewShadowMap returns a shadow map covering maxKeys granule indices
@@ -175,10 +181,14 @@ func NewShadowMap(maxKeys uint64, entryWords int, template []uint64) *ShadowMap 
 		keyMask:  size - 1,
 		template: template,
 		zeroTmpl: template == nil || templateIsZero(template),
+		lastCI:   ^uint64(0),
 	}
 }
 
 func (m *ShadowMap) chunk(ci uint64) []uint64 {
+	if ci == m.lastCI {
+		return m.lastChunk
+	}
 	c := m.chunks[ci]
 	if c == nil {
 		c = make([]uint64, shadowChunkSize*m.ew)
@@ -188,6 +198,19 @@ func (m *ShadowMap) chunk(ci uint64) []uint64 {
 			}
 		}
 		m.chunks[ci] = c
+	}
+	m.lastCI, m.lastChunk = ci, c
+	return c
+}
+
+// peekChunk is chunk() without materialization (nil when absent).
+func (m *ShadowMap) peekChunk(ci uint64) []uint64 {
+	if ci == m.lastCI {
+		return m.lastChunk
+	}
+	c := m.chunks[ci]
+	if c != nil {
+		m.lastCI, m.lastChunk = ci, c
 	}
 	return c
 }
@@ -205,7 +228,7 @@ func (m *ShadowMap) Entry(key uint64) []uint64 {
 func (m *ShadowMap) Peek(key uint64) []uint64 {
 	m.lookups++
 	key &= m.keyMask
-	c := m.chunks[key>>shadowChunkBits]
+	c := m.peekChunk(key >> shadowChunkBits)
 	if c == nil {
 		return nil
 	}
@@ -248,7 +271,7 @@ func (m *ShadowMap) RangeOr(key, n uint64, off, width uint) uint64 {
 	m.lookups++
 	if n == 1 {
 		key &= m.keyMask
-		c := m.chunks[key>>shadowChunkBits]
+		c := m.peekChunk(key >> shadowChunkBits)
 		if c == nil {
 			if m.zeroTmpl {
 				return 0
@@ -530,38 +553,151 @@ func (m *PageTableMap) Bytes() uint64 {
 
 // ---------------------------------------------------------------------------
 // HashMap — the generic fallback for sparse, unbounded key spaces.
+//
+// Open-addressing table with the entries inline in a single flat
+// []uint64 arena: slot i occupies stride = 1+entryWords words, key
+// first. Linear probing is tombstone-free — Remove back-shifts the
+// probe chain — and growth doubles the arena and rehashes in place-ish,
+// so steady-state Entry/Peek allocate nothing and touch one or two
+// cache lines instead of a Go-map bucket walk plus a per-entry slice.
+//
+// Because entries live inline, a rehash (growth or a back-shifting
+// Remove) moves them: entry slices returned before the rehash keep
+// their pre-rehash values but are detached from the live arena. Gen()
+// counts rehashes so callers that cache entry views (the compiler's
+// lookup-CSE slots) can revalidate; values survive a rehash verbatim,
+// so stale *reads* are safe — only writes must go through a
+// post-rehash view.
 
-// HashMap maps arbitrary keys to entries via a Go map.
+const hashMul = 0x9E3779B97F4A7C15 // 2^64 / phi (Fibonacci hashing)
+
+// HashMap maps arbitrary uint64 keys to entries.
 type HashMap struct {
-	m        map[uint64][]uint64
+	arena    []uint64 // nslots * stride words: key, entry...
+	used     []uint64 // occupancy bitmap, one bit per slot
+	mask     uint64   // nslots - 1
+	shift    uint     // 64 - log2(nslots)
+	count    uint64
+	growAt   uint64 // rehash threshold (7/8 load)
 	ew       int
+	stride   int
 	lookups  uint64
+	gen      uint64
 	template []uint64
+	zeroTmpl bool
 }
+
+const hashMinSlots = 8
 
 // NewHashMap returns an empty hash map.
 func NewHashMap(entryWords int, template []uint64) *HashMap {
-	return &HashMap{m: make(map[uint64][]uint64), ew: entryWords, template: template}
+	m := &HashMap{
+		ew:       entryWords,
+		stride:   1 + entryWords,
+		template: template,
+		zeroTmpl: template == nil || templateIsZero(template),
+	}
+	m.resize(hashMinSlots)
+	return m
+}
+
+func (m *HashMap) resize(nslots uint64) {
+	old := m.arena
+	oldUsed := m.used
+	oldMask := m.mask
+	m.arena = make([]uint64, nslots*uint64(m.stride))
+	m.used = make([]uint64, (nslots+63)/64)
+	m.mask = nslots - 1
+	m.shift = 64 - log2u(nslots)
+	m.growAt = nslots - nslots/4
+	m.gen++
+	if old == nil {
+		return
+	}
+	stride := uint64(m.stride)
+	for i := uint64(0); i <= oldMask; i++ {
+		if oldUsed[i>>6]&(1<<(i&63)) == 0 {
+			continue
+		}
+		src := old[i*stride : i*stride+stride]
+		j := (src[0] * hashMul) >> m.shift
+		for m.used[j>>6]&(1<<(j&63)) != 0 {
+			j = (j + 1) & m.mask
+		}
+		m.used[j>>6] |= 1 << (j & 63)
+		copy(m.arena[j*stride:], src)
+	}
+}
+
+func log2u(n uint64) uint {
+	var l uint
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+func (m *HashMap) isUsed(i uint64) bool { return m.used[i>>6]&(1<<(i&63)) != 0 }
+
+// find probes for key: (slot, true) when present, else the insertion
+// slot and false.
+func (m *HashMap) find(key uint64) (uint64, bool) {
+	i := (key * hashMul) >> m.shift
+	for {
+		if !m.isUsed(i) {
+			return i, false
+		}
+		if m.arena[i*uint64(m.stride)] == key {
+			return i, true
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// insert claims slot i for key with a template-filled entry. The caller
+// has already verified key is absent and i is its probe-derived free
+// slot.
+func (m *HashMap) insert(i, key uint64) []uint64 {
+	if m.count >= m.growAt {
+		m.resize((m.mask + 1) * 2)
+		i, _ = m.find(key)
+	}
+	m.used[i>>6] |= 1 << (i & 63)
+	m.count++
+	base := i * uint64(m.stride)
+	m.arena[base] = key
+	e := m.arena[base+1 : base+1+uint64(m.ew) : base+1+uint64(m.ew)]
+	if m.zeroTmpl {
+		for j := range e {
+			e[j] = 0
+		}
+	} else {
+		copy(e, m.template)
+	}
+	return e
 }
 
 // Entry returns the entry words for key, creating from template.
 func (m *HashMap) Entry(key uint64) []uint64 {
 	m.lookups++
-	e, ok := m.m[key]
+	i, ok := m.find(key)
 	if !ok {
-		e = make([]uint64, m.ew)
-		if m.template != nil {
-			copy(e, m.template)
-		}
-		m.m[key] = e
+		return m.insert(i, key)
 	}
-	return e
+	base := i*uint64(m.stride) + 1
+	return m.arena[base : base+uint64(m.ew) : base+uint64(m.ew)]
 }
 
-// Peek returns the entry words or nil.
+// Peek returns the entry words or nil, never materializing.
 func (m *HashMap) Peek(key uint64) []uint64 {
 	m.lookups++
-	return m.m[key]
+	i, ok := m.find(key)
+	if !ok {
+		return nil
+	}
+	base := i*uint64(m.stride) + 1
+	return m.arena[base : base+uint64(m.ew) : base+uint64(m.ew)]
 }
 
 // Fill sets the field on n consecutive keys.
@@ -577,12 +713,13 @@ func (m *HashMap) RangeOr(key, n uint64, off, width uint) uint64 {
 	m.lookups++
 	var acc uint64
 	tmplV := uint64(0)
-	if m.template != nil {
+	if !m.zeroTmpl {
 		tmplV = LoadField(m.template, off, width)
 	}
 	for i := uint64(0); i < n; i++ {
-		if e, ok := m.m[key+i]; ok {
-			acc |= LoadField(e, off, width)
+		if s, ok := m.find(key + i); ok {
+			base := s*uint64(m.stride) + 1
+			acc |= LoadField(m.arena[base:base+uint64(m.ew)], off, width)
 		} else {
 			acc |= tmplV
 		}
@@ -590,62 +727,209 @@ func (m *HashMap) RangeOr(key, n uint64, off, width uint) uint64 {
 	return acc
 }
 
-// Remove deletes the entry.
-func (m *HashMap) Remove(key uint64) { delete(m.m, key) }
+// Remove deletes the entry, back-shifting the probe chain so no
+// tombstones accumulate (Knuth 6.4 algorithm R).
+func (m *HashMap) Remove(key uint64) {
+	i, ok := m.find(key)
+	if !ok {
+		return
+	}
+	m.count--
+	m.gen++
+	stride := uint64(m.stride)
+	j := i
+	for {
+		j = (j + 1) & m.mask
+		if !m.isUsed(j) {
+			break
+		}
+		home := (m.arena[j*stride] * hashMul) >> m.shift
+		// Slot j may fill the hole at i only if i lies on j's probe path,
+		// i.e. cyclically within [home, j).
+		if (j-home)&m.mask >= (j-i)&m.mask {
+			copy(m.arena[i*stride:i*stride+stride], m.arena[j*stride:j*stride+stride])
+			i = j
+		}
+	}
+	m.used[i>>6] &^= 1 << (i & 63)
+}
 
-// ForEach visits every entry.
+// ForEach visits every entry in slot order (deterministic, unlike the
+// former Go-map backing; callers must stay order-insensitive anyway).
 func (m *HashMap) ForEach(fn func(key uint64, entry []uint64)) {
-	for k, e := range m.m {
-		fn(k, e)
+	stride := uint64(m.stride)
+	for i := uint64(0); i <= m.mask; i++ {
+		if m.isUsed(i) {
+			base := i * stride
+			fn(m.arena[base], m.arena[base+1:base+stride])
+		}
 	}
 }
 
 // Lookups returns the lookup counter.
 func (m *HashMap) Lookups() uint64 { return m.lookups }
 
-// Bytes returns entry storage plus hash-table overhead.
+// Len returns the number of live entries.
+func (m *HashMap) Len() int { return int(m.count) }
+
+// Gen returns the rehash generation; entry slices obtained at an older
+// generation are detached from the live arena (stale for writes).
+func (m *HashMap) Gen() uint64 { return m.gen }
+
+// Bytes returns the arena plus occupancy bitmap.
 func (m *HashMap) Bytes() uint64 {
-	return uint64(len(m.m)) * (uint64(m.ew)*8 + 32)
+	return uint64(len(m.arena))*8 + uint64(len(m.used))*8
 }
 
 // ---------------------------------------------------------------------------
 // HashMap2 — composite two-key fallback used when a nested map has two
-// unbounded key dimensions (e.g. map(pointer, map(pointer, v))).
+// unbounded key dimensions (e.g. map(pointer, map(pointer, v))). Same
+// flat-arena open addressing as HashMap with stride = 2+entryWords.
 
 // HashMap2 maps key pairs to entries.
 type HashMap2 struct {
-	m        map[[2]uint64][]uint64
+	arena    []uint64 // nslots * stride words: key1, key2, entry...
+	used     []uint64
+	mask     uint64
+	shift    uint
+	count    uint64
+	growAt   uint64
 	ew       int
+	stride   int
 	lookups  uint64
+	gen      uint64
 	template []uint64
+	zeroTmpl bool
 }
 
 // NewHashMap2 returns an empty two-key hash map.
 func NewHashMap2(entryWords int, template []uint64) *HashMap2 {
-	return &HashMap2{m: make(map[[2]uint64][]uint64), ew: entryWords, template: template}
+	m := &HashMap2{
+		ew:       entryWords,
+		stride:   2 + entryWords,
+		template: template,
+		zeroTmpl: template == nil || templateIsZero(template),
+	}
+	m.resize(hashMinSlots)
+	return m
+}
+
+// hash2 mixes a key pair (splitmix64-style finalizer over the
+// Fibonacci-spread first key).
+func hash2(k1, k2 uint64) uint64 {
+	h := k1*hashMul ^ (k2+hashMul)*0xBF58476D1CE4E5B9
+	h ^= h >> 30
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+func (m *HashMap2) resize(nslots uint64) {
+	old := m.arena
+	oldUsed := m.used
+	oldMask := m.mask
+	m.arena = make([]uint64, nslots*uint64(m.stride))
+	m.used = make([]uint64, (nslots+63)/64)
+	m.mask = nslots - 1
+	m.shift = 64 - log2u(nslots)
+	m.growAt = nslots - nslots/4
+	m.gen++
+	if old == nil {
+		return
+	}
+	stride := uint64(m.stride)
+	for i := uint64(0); i <= oldMask; i++ {
+		if oldUsed[i>>6]&(1<<(i&63)) == 0 {
+			continue
+		}
+		src := old[i*stride : i*stride+stride]
+		j := hash2(src[0], src[1]) >> m.shift
+		for m.used[j>>6]&(1<<(j&63)) != 0 {
+			j = (j + 1) & m.mask
+		}
+		m.used[j>>6] |= 1 << (j & 63)
+		copy(m.arena[j*stride:], src)
+	}
+}
+
+func (m *HashMap2) isUsed(i uint64) bool { return m.used[i>>6]&(1<<(i&63)) != 0 }
+
+func (m *HashMap2) find(k1, k2 uint64) (uint64, bool) {
+	i := hash2(k1, k2) >> m.shift
+	stride := uint64(m.stride)
+	for {
+		if !m.isUsed(i) {
+			return i, false
+		}
+		if m.arena[i*stride] == k1 && m.arena[i*stride+1] == k2 {
+			return i, true
+		}
+		i = (i + 1) & m.mask
+	}
 }
 
 // Entry returns the entry words for (k1, k2), creating from template.
 func (m *HashMap2) Entry(k1, k2 uint64) []uint64 {
 	m.lookups++
-	k := [2]uint64{k1, k2}
-	e, ok := m.m[k]
+	i, ok := m.find(k1, k2)
 	if !ok {
-		e = make([]uint64, m.ew)
-		if m.template != nil {
+		if m.count >= m.growAt {
+			m.resize((m.mask + 1) * 2)
+			i, _ = m.find(k1, k2)
+		}
+		m.used[i>>6] |= 1 << (i & 63)
+		m.count++
+		base := i * uint64(m.stride)
+		m.arena[base] = k1
+		m.arena[base+1] = k2
+		e := m.arena[base+2 : base+2+uint64(m.ew) : base+2+uint64(m.ew)]
+		if m.zeroTmpl {
+			for j := range e {
+				e[j] = 0
+			}
+		} else {
 			copy(e, m.template)
 		}
-		m.m[k] = e
+		return e
 	}
-	return e
+	base := i*uint64(m.stride) + 2
+	return m.arena[base : base+uint64(m.ew) : base+uint64(m.ew)]
+}
+
+// Peek returns the entry words or nil, never materializing.
+func (m *HashMap2) Peek(k1, k2 uint64) []uint64 {
+	m.lookups++
+	i, ok := m.find(k1, k2)
+	if !ok {
+		return nil
+	}
+	base := i*uint64(m.stride) + 2
+	return m.arena[base : base+uint64(m.ew) : base+uint64(m.ew)]
+}
+
+// ForEach visits every entry in slot order.
+func (m *HashMap2) ForEach(fn func(k1, k2 uint64, entry []uint64)) {
+	stride := uint64(m.stride)
+	for i := uint64(0); i <= m.mask; i++ {
+		if m.isUsed(i) {
+			base := i * stride
+			fn(m.arena[base], m.arena[base+1], m.arena[base+2:base+stride])
+		}
+	}
 }
 
 // Lookups returns the lookup counter.
 func (m *HashMap2) Lookups() uint64 { return m.lookups }
 
-// Bytes returns entry storage plus hash-table overhead.
+// Len returns the number of live entries.
+func (m *HashMap2) Len() int { return int(m.count) }
+
+// Gen returns the rehash generation (see HashMap.Gen).
+func (m *HashMap2) Gen() uint64 { return m.gen }
+
+// Bytes returns the arena plus occupancy bitmap.
 func (m *HashMap2) Bytes() uint64 {
-	return uint64(len(m.m)) * (uint64(m.ew)*8 + 40)
+	return uint64(len(m.arena))*8 + uint64(len(m.used))*8
 }
 
 // Compile-time interface checks.

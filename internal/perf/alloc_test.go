@@ -1,0 +1,82 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/analyses"
+	"repro/internal/compiler"
+	"repro/internal/instrument"
+	"repro/internal/mir"
+	"repro/internal/vm"
+)
+
+// quickstartUAFProgram is the quickstart workload shape — malloc a
+// buffer, write it in a loop, free it, touch it again — with the write
+// loop scaled up so the machine reaches a steady state with many
+// scheduler quanta before the use-after-free at the end.
+func quickstartUAFProgram() *mir.Program {
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+	buf := b.Call("malloc", mir.C(64))
+	b.Loop(mir.C(1<<16), func(i mir.Reg) {
+		idx := b.Bin(mir.OpAnd, mir.R(i), mir.C(7))
+		off := b.Mul(mir.R(idx), mir.C(8))
+		addr := b.Add(mir.R(buf), mir.R(off))
+		b.Store(mir.R(addr), mir.R(i), 8)
+		b.Load(mir.R(addr), 8)
+	})
+	b.CallVoid("free", mir.R(buf))
+	b.Store(mir.R(buf), mir.C(99), 8) // the bug
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// TestQuantumAllocFree asserts a full instrumented vm.Machine quantum —
+// interpreter dispatch, hook argument marshalling and the compiled UAF
+// handler bodies — allocates nothing once warm. This is the end-to-end
+// version of the per-container guarantees in internal/meta.
+func TestQuantumAllocFree(t *testing.T) {
+	a, err := analyses.Compile("uaf", compiler.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	inst, err := instrument.Apply(quickstartUAFProgram(), a)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	rt, err := a.NewRuntime()
+	if err != nil {
+		t.Fatalf("runtime: %v", err)
+	}
+	m, err := vm.New(inst, vm.Config{TrackShadow: a.NeedShadow})
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	m.Handlers = rt.Handlers()
+	if err := m.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	// Warm up: materialize container entries, memory chunks and pools.
+	for i := 0; i < 64; i++ {
+		if !m.RunQuantum() {
+			t.Fatal("workload finished during warmup")
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if !m.RunQuantum() {
+			t.Fatal("workload finished during measurement")
+		}
+	}); avg != 0 {
+		t.Fatalf("%v allocs per instrumented quantum, want 0", avg)
+	}
+	// Drain to completion: the run must still find the planted UAF.
+	for m.RunQuantum() {
+	}
+	res, err := m.Finish()
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if len(res.Reports) == 0 {
+		t.Fatal("instrumented run lost the use-after-free finding")
+	}
+}

@@ -43,6 +43,24 @@ type thread struct {
 
 	hookArgs []uint64
 	libArgs  []uint64
+	libShs   []uint64
+}
+
+// opVal and opSh resolve instruction operands against a frame's register
+// and shadow windows. Free functions (not closures) so the dispatch loop
+// allocates nothing per frame.
+func opVal(regs []uint64, o mir.Operand) uint64 {
+	if o.IsConst {
+		return uint64(o.Const)
+	}
+	return regs[o.Reg]
+}
+
+func opSh(shadow []uint64, o mir.Operand) uint64 {
+	if o.IsConst {
+		return 0
+	}
+	return shadow[o.Reg]
 }
 
 func (m *Machine) newThread(fnIdx int, args, shadows []uint64) *thread {
@@ -58,6 +76,7 @@ func (m *Machine) newThread(fnIdx int, args, shadows []uint64) *thread {
 		stackLow: top - m.cfg.StackSize,
 		hookArgs: make([]uint64, 16),
 		libArgs:  make([]uint64, 16),
+		libShs:   make([]uint64, 16),
 	}
 	m.threads = append(m.threads, t)
 	m.nlive++
@@ -110,54 +129,86 @@ func (m *Machine) Run() (res *Result, err error) {
 			res, err = nil, m.err
 		}
 	}()
-	main := m.newThread(m.idx[m.prog.Entry], nil, nil)
+	if err := m.Start(); err != nil {
+		return nil, err
+	}
+	for m.RunQuantum() {
+	}
+	return m.Finish()
+}
+
+// Start creates the main thread and arms the scheduler without
+// executing any instructions. Together with RunQuantum and Finish it
+// exposes the interpret loop one scheduler slice at a time, so
+// benchmarks and allocation tests can measure steady-state slices in
+// isolation. Run is equivalent to Start, RunQuantum until false, Finish
+// — with the handler-panic recovery that only Run provides.
+func (m *Machine) Start() error {
+	m.main = m.newThread(m.idx[m.prog.Entry], nil, nil)
+	if m.err != nil {
+		return m.err
+	}
+	m.runStart = time.Now()
+	m.rr = 0
+	m.dlTick = 0
+	return nil
+}
+
+// RunQuantum executes one jittered scheduler slice on the next runnable
+// thread and reports whether the program is still running. It returns
+// false once the main thread finishes or the run fails; callers then
+// collect the outcome with Finish. Unlike Run, handler panics are not
+// recovered here.
+func (m *Machine) RunQuantum() bool {
+	main := m.main
+	if m.err != nil || main == nil || main.state == tDone {
+		return false
+	}
+	if m.steps > m.cfg.MaxSteps {
+		m.failf(KindStepLimit, "step limit %d exceeded", m.cfg.MaxSteps)
+		return false
+	}
+	if m.cfg.Deadline > 0 {
+		// Checking the clock every slice would dominate short quanta;
+		// every 128 slices (~8k instructions) keeps the granularity
+		// far below any sensible deadline.
+		if m.dlTick--; m.dlTick <= 0 {
+			m.dlTick = 128
+			if time.Since(m.runStart) > m.cfg.Deadline {
+				m.failf(KindDeadline, "deadline %v exceeded after %d steps", m.cfg.Deadline, m.steps)
+				return false
+			}
+		}
+	}
+	// Pick the next runnable thread at or after the cursor.
+	n := len(m.threads)
+	picked := -1
+	for i := 0; i < n; i++ {
+		c := (m.rr + i) % n
+		if m.threads[c].state == tRunnable {
+			picked = c
+			break
+		}
+	}
+	if picked < 0 {
+		m.cur = main
+		m.failf(KindTrap, "deadlock: no runnable threads")
+		return false
+	}
+	m.rr = picked + 1
+	q := m.cfg.Quantum/2 + int(m.Rand()%uint64(m.cfg.Quantum)) + 1
+	m.runThread(m.threads[picked], q)
+	return m.err == nil && main.state != tDone
+}
+
+// Finish runs AtExit finalizers and assembles the Result after the
+// interpret loop has stopped (RunQuantum returned false).
+func (m *Machine) Finish() (*Result, error) {
+	wall := time.Since(m.runStart)
 	if m.err != nil {
 		return nil, m.err
 	}
-	start := time.Now()
-	rr := 0           // round-robin cursor
-	deadlineTick := 0 // slices until the next wall-clock check
-	for m.err == nil && main.state != tDone {
-		if m.steps > m.cfg.MaxSteps {
-			m.failf(KindStepLimit, "step limit %d exceeded", m.cfg.MaxSteps)
-			break
-		}
-		if m.cfg.Deadline > 0 {
-			// Checking the clock every slice would dominate short quanta;
-			// every 128 slices (~8k instructions) keeps the granularity
-			// far below any sensible deadline.
-			if deadlineTick--; deadlineTick <= 0 {
-				deadlineTick = 128
-				if time.Since(start) > m.cfg.Deadline {
-					m.failf(KindDeadline, "deadline %v exceeded after %d steps", m.cfg.Deadline, m.steps)
-					break
-				}
-			}
-		}
-		// Pick the next runnable thread at or after the cursor.
-		n := len(m.threads)
-		picked := -1
-		for i := 0; i < n; i++ {
-			c := (rr + i) % n
-			if m.threads[c].state == tRunnable {
-				picked = c
-				break
-			}
-		}
-		if picked < 0 {
-			m.cur = main
-			m.failf(KindTrap, "deadlock: no runnable threads")
-			break
-		}
-		rr = picked + 1
-		q := m.cfg.Quantum/2 + int(m.Rand()%uint64(m.cfg.Quantum)) + 1
-		m.runThread(m.threads[picked], q)
-	}
-	wall := time.Since(start)
-	if m.err != nil {
-		return nil, m.err
-	}
-	m.cur = main
+	m.cur = m.main
 	for _, fn := range m.AtExit {
 		fn(m)
 	}
@@ -165,7 +216,7 @@ func (m *Machine) Run() (res *Result, err error) {
 		Steps:     m.steps,
 		HookCalls: m.hookCalls,
 		Wall:      wall,
-		Exit:      main.retVal,
+		Exit:      m.main.retVal,
 		Reports:   m.reports,
 		Threads:   len(m.threads),
 	}, nil
@@ -186,19 +237,6 @@ frameLoop:
 		}
 		code := fr.fn.blocks
 
-		val := func(o mir.Operand) uint64 {
-			if o.IsConst {
-				return uint64(o.Const)
-			}
-			return regs[o.Reg]
-		}
-		sh := func(o mir.Operand) uint64 {
-			if o.IsConst {
-				return 0
-			}
-			return shadow[o.Reg]
-		}
-
 		for quantum > 0 {
 			ins := &code[fr.block][fr.pc]
 			m.steps++
@@ -211,72 +249,72 @@ frameLoop:
 					shadow[ins.Dst] = 0
 				}
 			case mir.OpMov:
-				regs[ins.Dst] = val(ins.A)
+				regs[ins.Dst] = opVal(regs, ins.A)
 				if track {
-					shadow[ins.Dst] = sh(ins.A)
+					shadow[ins.Dst] = opSh(shadow, ins.A)
 				}
 			case mir.OpAdd:
-				regs[ins.Dst] = val(ins.A) + val(ins.B)
+				regs[ins.Dst] = opVal(regs, ins.A) + opVal(regs, ins.B)
 				if track {
-					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+					shadow[ins.Dst] = opSh(shadow, ins.A) | opSh(shadow, ins.B)
 				}
 			case mir.OpSub:
-				regs[ins.Dst] = val(ins.A) - val(ins.B)
+				regs[ins.Dst] = opVal(regs, ins.A) - opVal(regs, ins.B)
 				if track {
-					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+					shadow[ins.Dst] = opSh(shadow, ins.A) | opSh(shadow, ins.B)
 				}
 			case mir.OpMul:
-				regs[ins.Dst] = val(ins.A) * val(ins.B)
+				regs[ins.Dst] = opVal(regs, ins.A) * opVal(regs, ins.B)
 				if track {
-					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+					shadow[ins.Dst] = opSh(shadow, ins.A) | opSh(shadow, ins.B)
 				}
 			case mir.OpDiv:
-				b := int64(val(ins.B))
+				b := int64(opVal(regs, ins.B))
 				if b == 0 {
 					regs[ins.Dst] = 0
 				} else {
-					regs[ins.Dst] = uint64(int64(val(ins.A)) / b)
+					regs[ins.Dst] = uint64(int64(opVal(regs, ins.A)) / b)
 				}
 				if track {
-					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+					shadow[ins.Dst] = opSh(shadow, ins.A) | opSh(shadow, ins.B)
 				}
 			case mir.OpRem:
-				b := int64(val(ins.B))
+				b := int64(opVal(regs, ins.B))
 				if b == 0 {
 					regs[ins.Dst] = 0
 				} else {
-					regs[ins.Dst] = uint64(int64(val(ins.A)) % b)
+					regs[ins.Dst] = uint64(int64(opVal(regs, ins.A)) % b)
 				}
 				if track {
-					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+					shadow[ins.Dst] = opSh(shadow, ins.A) | opSh(shadow, ins.B)
 				}
 			case mir.OpAnd:
-				regs[ins.Dst] = val(ins.A) & val(ins.B)
+				regs[ins.Dst] = opVal(regs, ins.A) & opVal(regs, ins.B)
 				if track {
-					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+					shadow[ins.Dst] = opSh(shadow, ins.A) | opSh(shadow, ins.B)
 				}
 			case mir.OpOr:
-				regs[ins.Dst] = val(ins.A) | val(ins.B)
+				regs[ins.Dst] = opVal(regs, ins.A) | opVal(regs, ins.B)
 				if track {
-					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+					shadow[ins.Dst] = opSh(shadow, ins.A) | opSh(shadow, ins.B)
 				}
 			case mir.OpXor:
-				regs[ins.Dst] = val(ins.A) ^ val(ins.B)
+				regs[ins.Dst] = opVal(regs, ins.A) ^ opVal(regs, ins.B)
 				if track {
-					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+					shadow[ins.Dst] = opSh(shadow, ins.A) | opSh(shadow, ins.B)
 				}
 			case mir.OpShl:
-				regs[ins.Dst] = val(ins.A) << (val(ins.B) & 63)
+				regs[ins.Dst] = opVal(regs, ins.A) << (opVal(regs, ins.B) & 63)
 				if track {
-					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+					shadow[ins.Dst] = opSh(shadow, ins.A) | opSh(shadow, ins.B)
 				}
 			case mir.OpShr:
-				regs[ins.Dst] = val(ins.A) >> (val(ins.B) & 63)
+				regs[ins.Dst] = opVal(regs, ins.A) >> (opVal(regs, ins.B) & 63)
 				if track {
-					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+					shadow[ins.Dst] = opSh(shadow, ins.A) | opSh(shadow, ins.B)
 				}
 			case mir.OpEq, mir.OpNe, mir.OpLt, mir.OpLe, mir.OpGt, mir.OpGe:
-				a, b := int64(val(ins.A)), int64(val(ins.B))
+				a, b := int64(opVal(regs, ins.A)), int64(opVal(regs, ins.B))
 				var r bool
 				switch ins.Op {
 				case mir.OpEq:
@@ -298,13 +336,17 @@ frameLoop:
 					regs[ins.Dst] = 0
 				}
 				if track {
-					shadow[ins.Dst] = sh(ins.A) | sh(ins.B)
+					shadow[ins.Dst] = opSh(shadow, ins.A) | opSh(shadow, ins.B)
 				}
 
 			case mir.OpLoad:
-				a := val(ins.A)
+				a := opVal(regs, ins.A)
 				if a > m.mem.byteMask {
 					m.failf(KindTrap, "load from out-of-range address %#x", a)
+					return
+				}
+				if straddles(a, ins.Size) {
+					m.failf(KindTrap, "%d-byte load at %#x straddles a word boundary", ins.Size, a)
 					return
 				}
 				regs[ins.Dst] = m.mem.load(a, ins.Size)
@@ -312,12 +354,12 @@ frameLoop:
 					shadow[ins.Dst] = 0
 				}
 			case mir.OpStore:
-				a := val(ins.A)
+				a := opVal(regs, ins.A)
 				if a > m.mem.byteMask {
 					m.failf(KindTrap, "store to out-of-range address %#x", a)
 					return
 				}
-				m.mem.store(a, val(ins.B), ins.Size)
+				m.mem.store(a, opVal(regs, ins.B), ins.Size)
 
 			case mir.OpAlloca:
 				sz := (uint64(ins.Imm) + 7) &^ 7
@@ -336,7 +378,7 @@ frameLoop:
 				fr.pc = 0
 				continue
 			case mir.OpCondBr:
-				if val(ins.A) != 0 {
+				if opVal(regs, ins.A) != 0 {
 					fr.block = ins.Target
 				} else {
 					fr.block = ins.Else
@@ -348,13 +390,15 @@ frameLoop:
 				if ins.UserFn >= 0 {
 					args := t.libArgs[:0]
 					for _, a := range ins.Args {
-						args = append(args, val(a))
+						args = append(args, opVal(regs, a))
 					}
 					var shs []uint64
 					if track {
-						shs = make([]uint64, len(ins.Args))
-						for i, a := range ins.Args {
-							shs[i] = sh(a)
+						// Pooled: pushFrame copies into the callee's slab
+						// before this buffer is reused.
+						shs = t.libShs[:0]
+						for _, a := range ins.Args {
+							shs = append(shs, opSh(shadow, a))
 						}
 					}
 					fr.pc++ // resume after the call
@@ -363,7 +407,7 @@ frameLoop:
 				}
 				args := t.libArgs[:0]
 				for _, a := range ins.Args {
-					args = append(args, val(a))
+					args = append(args, opVal(regs, a))
 				}
 				r := ins.Lib(m, t, args)
 				if ins.Dst != mir.NoReg {
@@ -378,9 +422,9 @@ frameLoop:
 
 			case mir.OpRet, mir.OpRetVal:
 				if ins.Op == mir.OpRetVal {
-					t.retVal = val(ins.A)
+					t.retVal = opVal(regs, ins.A)
 					if track {
-						t.retShadow = sh(ins.A)
+						t.retShadow = opSh(shadow, ins.A)
 					} else {
 						t.retShadow = 0
 					}
@@ -406,7 +450,7 @@ frameLoop:
 				continue frameLoop
 
 			case mir.OpLock:
-				v := val(ins.A)
+				v := opVal(regs, ins.A)
 				l := m.locks[v]
 				if l == nil {
 					l = &lockState{}
@@ -424,7 +468,7 @@ frameLoop:
 					return // retry this instruction when woken
 				}
 			case mir.OpUnlock:
-				v := val(ins.A)
+				v := opVal(regs, ins.A)
 				l := m.locks[v]
 				if l == nil || !l.held || l.owner != t.id {
 					m.failf(KindTrap, "unlock of lock %#x not held by thread %d", v, t.id)
@@ -436,13 +480,13 @@ frameLoop:
 			case mir.OpSpawn:
 				args := t.libArgs[:0]
 				for _, a := range ins.Args {
-					args = append(args, val(a))
+					args = append(args, opVal(regs, a))
 				}
 				var shs []uint64
 				if track {
-					shs = make([]uint64, len(ins.Args))
-					for i, a := range ins.Args {
-						shs[i] = sh(a)
+					shs = t.libShs[:0]
+					for _, a := range ins.Args {
+						shs = append(shs, opSh(shadow, a))
 					}
 				}
 				nt := m.newThread(ins.UserFn, args, shs)
@@ -455,7 +499,7 @@ frameLoop:
 				}
 				m.cur = t // newThread does not switch execution
 			case mir.OpJoin:
-				target := int(val(ins.A))
+				target := int(opVal(regs, ins.A))
 				if target < 0 || target >= len(m.threads) {
 					m.failf(KindTrap, "join on invalid thread handle %d", target)
 					return

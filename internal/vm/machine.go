@@ -144,6 +144,13 @@ type Machine struct {
 	hookCalls  uint64
 	allocCount uint64 // heap allocations performed (fault-injection clock)
 
+	// Interpret-loop scheduler state, split out of Run so that
+	// Start/RunQuantum/Finish can drive the loop one slice at a time.
+	main     *thread
+	runStart time.Time
+	rr       int // round-robin cursor
+	dlTick   int // slices until the next wall-clock check
+
 	// Handlers is the analysis handler table indexed by HookRef.HandlerID.
 	Handlers []HandlerFn
 	// AtExit callbacks run after main returns (analysis finalization).

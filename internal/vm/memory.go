@@ -52,9 +52,18 @@ func (m *memory) storeWord(addr uint64, v uint64) {
 	m.chunk(w >> memChunkBits)[w&memChunkMask] = v
 }
 
+// straddles reports whether a size-byte access at addr crosses out of
+// its containing 64-bit word. load shifts within one word only, so a
+// straddling sub-word read would silently return bytes from the wrong
+// locations; the VM traps on it instead (KindTrap RunError).
+func straddles(addr uint64, size uint8) bool {
+	return size != 8 && (addr&7)+uint64(size) > 8
+}
+
 // load reads size bytes (1, 2, 4 or 8) at addr, little-endian within the
 // containing word. Sub-word accesses must not straddle a word boundary;
-// workload builders keep natural alignment so they never do.
+// workload builders keep natural alignment so they never do, and OpLoad
+// traps (straddles) before calling here.
 func (m *memory) load(addr uint64, size uint8) uint64 {
 	w := m.loadWord(addr)
 	if size == 8 {

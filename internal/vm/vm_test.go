@@ -705,3 +705,37 @@ func TestSchedPerturbDeterministicAndDistinct(t *testing.T) {
 		t.Error("no perturbation changed the racy interleaving at all")
 	}
 }
+
+func TestStraddlingSubWordLoadTraps(t *testing.T) {
+	// A 4-byte load at offset 6 of an 8-aligned buffer crosses its
+	// containing 64-bit word. The old behavior silently shifted within
+	// one word and returned bytes from the wrong locations; it must
+	// trap instead.
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+	buf := b.Alloca(16)
+	a := b.Add(mir.R(buf), mir.C(6))
+	b.Load(mir.R(a), 4)
+	b.Ret()
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	m, _ := New(p, Config{})
+	_, err := m.Run()
+	re := wantKind(t, err, KindTrap)
+	if !strings.Contains(re.Msg, "straddles") {
+		t.Fatalf("trap message %q, want straddle diagnostic", re.Msg)
+	}
+
+	// Aligned sub-word loads and full-word loads at any alignment
+	// within a word stay legal.
+	res := run(t, exprProg(func(b *mir.FuncBuilder) mir.Reg {
+		buf := b.Alloca(16)
+		b.Store(mir.R(buf), mir.C(0x1122334455667788), 8)
+		a4 := b.Add(mir.R(buf), mir.C(4))
+		return b.Load(mir.R(a4), 4)
+	}), Config{})
+	if res.Exit != 0x11223344 {
+		t.Fatalf("aligned 4-byte load = %#x, want 0x11223344", res.Exit)
+	}
+}
