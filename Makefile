@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only,
 # no external dependencies).
 
-.PHONY: all build test race vet bench benchgate benchbaseline experiments examples fmt cover fuzz faults conform
+.PHONY: all build test race vet bench benchgate benchbaseline experiments examples fmt cover fuzz faults conform metrics
 
 all: build vet test
 
@@ -66,6 +66,16 @@ benchbaseline:
 # Regenerate the paper's evaluation tables (EXPERIMENTS.md's source).
 experiments:
 	go run ./cmd/aldabench -exp all -size small -reps 5
+
+# Observability smoke: run one deterministic sweep with the metrics
+# registry, overhead attribution, and Chrome-trace export all on, then
+# validate the trace parses. metrics.json is byte-stable under -virtual
+# (volatile counters excluded); load trace.json in Perfetto or
+# chrome://tracing.
+metrics:
+	go run ./cmd/aldabench -exp fig4 -size tiny -reps 1 -virtual -parallel 4 \
+		-metrics-json metrics.json -trace trace.json
+	go run ./cmd/aldabench -attrib uaf -size tiny -reps 1 -virtual
 
 examples:
 	go run ./examples/quickstart

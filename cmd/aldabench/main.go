@@ -45,7 +45,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analyses"
+	"repro/internal/compiler"
+	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/mir"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/vm"
 	"repro/internal/vm/faults"
@@ -117,6 +122,14 @@ func main() {
 	benchBaseline := flag.String("bench-baseline", "BENCH_baseline.json", "baseline file for -benchgate")
 	benchTime := flag.Duration("benchtime", 100*time.Millisecond, "per-bench time budget for -bench-json/-benchgate (0 = single-batch smoke)")
 	benchThreshold := flag.Float64("bench-threshold", perf.GateThreshold, "geomean regression ratio failing -benchgate")
+	metricsJSON := flag.String("metrics-json", "", "write the sweep's observability counters to this JSON file (deterministic under -virtual)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto / chrome://tracing)")
+	attrib := flag.String("attrib", "", "run the overhead-attribution report for this analysis (e.g. uaf, msan) instead of -exp")
+	attribPrograms := flag.String("attrib-programs", "", "comma-separated workloads for -attrib (default: a representative set)")
+	profileOut := flag.String("profile-out", "", "collect a per-member access profile (train run) and write it to this file, then exit")
+	profileIn := flag.String("profile-in", "", "load a profile written by -profile-out; the pgo experiment uses it instead of training inline")
+	profileAnalysis := flag.String("profile-analysis", "msan", "analysis -profile-out trains")
+	profileTrain := flag.String("profile-train", "libquantum", "workload -profile-out trains on (at size tiny, matching the pgo experiment)")
 	flag.Parse()
 
 	if *benchJSON || *benchGate {
@@ -161,6 +174,88 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *profileOut != "" {
+		a, err := analyses.Compile(*profileAnalysis, compiler.DefaultOptions())
+		if err == nil {
+			var prog *mir.Program
+			if prog, err = workloads.Build(*profileTrain, workloads.SizeTiny); err == nil {
+				var p *compiler.Profile
+				if p, err = core.CollectProfile(a, prog, cfg.Opt); err == nil {
+					err = p.WriteFile(*profileOut)
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profile-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "profile-out: wrote %s (%s trained on %s/tiny)\n", *profileOut, *profileAnalysis, *profileTrain)
+		os.Exit(0)
+	}
+	if *profileIn != "" {
+		p, err := compiler.ReadProfileFile(*profileIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profile-in: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.PGOProfile = p
+	}
+
+	var reg *obs.Registry
+	if *metricsJSON != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
+	var trace *obs.Trace
+	if *tracePath != "" {
+		var err error
+		trace, err = obs.CreateTrace(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		compiler.SetTraceSink(trace)
+		cfg.Trace = trace
+	}
+	finishObs := func() {
+		if trace != nil {
+			compiler.SetTraceSink(nil)
+			if err := trace.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				os.Exit(1)
+			}
+			n, err := obs.ValidateTraceFile(*tracePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace: invalid trace written: %v\n", err)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events, validated)\n", *tracePath, n)
+			}
+		}
+		if reg != nil {
+			hits, misses := compiler.CompileCacheStats()
+			reg.AddVolatile("compiler.cache.hits", hits)
+			reg.AddVolatile("compiler.cache.misses", misses)
+			f, err := os.Create(*metricsJSON)
+			if err == nil {
+				// Volatile counters (hook ns, cache hits, retries) are
+				// host-dependent; keep the -virtual export golden-pinnable.
+				err = reg.WriteJSON(f, !*virtual)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "metrics-json: wrote %s\n", *metricsJSON)
+			}
+		}
+	}
+
 	spec := vm.FaultSpec{
 		MallocFailNth:   *faultMallocNth,
 		HandlerPanicNth: *faultPanicNth,
@@ -175,6 +270,19 @@ func main() {
 	}
 	if !spec.Zero() {
 		cfg.CellFaults = func(program, column string) vm.FaultSpec { return spec }
+	}
+
+	if *attrib != "" {
+		var programs []string
+		if *attribPrograms != "" {
+			programs = strings.Split(*attribPrograms, ",")
+		}
+		if _, err := harness.Attrib(cfg, *attrib, programs); err != nil {
+			fmt.Fprintf(os.Stderr, "attrib: %v\n", err)
+			os.Exit(1)
+		}
+		finishObs()
+		return
 	}
 
 	run := func(name string, fn func(harness.Config) error) {
@@ -202,4 +310,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	finishObs()
 }

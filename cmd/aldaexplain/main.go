@@ -16,10 +16,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analyses"
 	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workloads"
 )
 
 func main() {
@@ -32,6 +36,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	analysisName := fs.String("analysis", "", "built-in analysis name or comma-separated combination: "+strings.Join(analyses.Names(), ", "))
 	file := fs.String("file", "", "path to an ALDA source file")
 	compare := fs.Bool("compare", false, "also show the ds-only and naive plans")
+	stats := fs.Bool("stats", false, "run -workload (size tiny) under the analysis and print its observability counters")
+	workload := fs.String("workload", "fft", "workload for -stats")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,5 +91,98 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if *stats {
+		if err := showStats(stdout, src, *workload); err != nil {
+			fmt.Fprintln(stderr, "aldaexplain:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// showStats runs one tiny workload under the analysis with metrics
+// collection on and prints the counters the obs registry would hold:
+// hook dispatch counts (with the event category the attribution report
+// uses), per-container traffic, and per-member access counts.
+func showStats(stdout io.Writer, src, workload string) error {
+	opts := compiler.DefaultOptions()
+	opts.ProfileCollect = true
+	a, err := compiler.Compile(src, opts)
+	if err != nil {
+		return err
+	}
+	analyses.RegisterExternals(a)
+	prog, err := workloads.Build(workload, workloads.SizeTiny)
+	if err != nil {
+		return err
+	}
+	sh := obs.NewShard()
+	if _, err := core.RunAnalysis(prog, a, core.RunOptions{Seed: 1, Metrics: sh}); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "=== runtime stats (%s, size tiny) ===\n", workload)
+	fmt.Fprintf(stdout, "vm: steps=%d quanta=%d ctx_switches=%d hook_dispatches=%d\n",
+		sh.Counts["vm.steps"], sh.Counts["vm.sched.quanta"],
+		sh.Counts["vm.sched.ctx_switches"], sh.Counts["vm.op.hook"])
+
+	names := a.HandlerNames()
+	cats := a.HookCategories()
+	fmt.Fprintln(stdout, "hooks:")
+	for i, n := range names {
+		if calls := sh.Counts["vm.hook."+n+".calls"]; calls > 0 {
+			fmt.Fprintf(stdout, "  %-36s %-6s %12d calls\n", n, cats[i], calls)
+		}
+	}
+
+	keys := make([]string, 0, len(sh.Counts))
+	for k := range sh.Counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type cstat struct {
+		get, set, iter, rehash, hit, miss uint64
+	}
+	byLabel := map[string]*cstat{}
+	var order []string
+	for _, k := range keys {
+		rest, ok := strings.CutPrefix(k, "meta.")
+		if !ok {
+			continue
+		}
+		dot := strings.LastIndexByte(rest, '.')
+		label, op := rest[:dot], rest[dot+1:]
+		cs := byLabel[label]
+		if cs == nil {
+			cs = &cstat{}
+			byLabel[label] = cs
+			order = append(order, label)
+		}
+		switch op {
+		case "get":
+			cs.get = sh.Counts[k]
+		case "set":
+			cs.set = sh.Counts[k]
+		case "iter":
+			cs.iter = sh.Counts[k]
+		case "rehash":
+			cs.rehash = sh.Counts[k]
+		case "cache_hit":
+			cs.hit = sh.Counts[k]
+		case "cache_miss":
+			cs.miss = sh.Counts[k]
+		}
+	}
+	fmt.Fprintln(stdout, "containers:")
+	for _, l := range order {
+		cs := byLabel[l]
+		fmt.Fprintf(stdout, "  %-44s get=%d set=%d iter=%d rehash=%d", l, cs.get, cs.set, cs.iter, cs.rehash)
+		if cs.hit+cs.miss > 0 {
+			fmt.Fprintf(stdout, " cache-hit=%.1f%%", 100*float64(cs.hit)/float64(cs.hit+cs.miss))
+		}
+		fmt.Fprintln(stdout)
+	}
+	fmt.Fprintln(stdout, "members:")
+	fmt.Fprint(stdout, compiler.ProfileFromCounts(sh.Counts).String())
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/lang/ast"
@@ -98,6 +99,10 @@ type Analysis struct {
 	// SourceLOC counts non-blank, non-comment source lines (Table 4).
 	SourceLOC int
 
+	// Stats records per-stage compile times and decision counts. Times
+	// are volatile; counts are deterministic per (source, Options).
+	Stats CompileStats
+
 	// memberCounterIdx assigns profile-counter slots when
 	// Options.ProfileCollect is set.
 	memberCounterIdx map[string]int
@@ -105,29 +110,44 @@ type Analysis struct {
 
 // Compile parses, checks and compiles an ALDA source text.
 func Compile(src string, opts Options) (*Analysis, error) {
+	t0 := time.Now()
 	prog, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	parseNS := int64(time.Since(t0))
+	traceStage("parse", t0)
 	a, err := CompileProgram(prog, opts)
 	if err != nil {
 		return nil, err
 	}
+	a.Stats.ParseNS = parseNS
 	a.SourceLOC = CountLOC(src)
 	return a, nil
 }
 
 // CompileProgram compiles a parsed program.
 func CompileProgram(prog *ast.Program, opts Options) (*Analysis, error) {
+	t := time.Now()
 	info, err := sema.Check(prog)
 	if err != nil {
 		return nil, err
 	}
+	semaNS := int64(time.Since(t))
+	traceStage("sema", t)
+
+	t = time.Now()
 	acc := access.Analyze(info)
+	accessNS := int64(time.Since(t))
+	traceStage("access", t)
+
+	t = time.Now()
 	lay, err := buildLayout(info, opts)
 	if err != nil {
 		return nil, err
 	}
+	layoutNS := int64(time.Since(t))
+	traceStage("layout", t)
 	a := &Analysis{
 		Info:       info,
 		Access:     acc,
@@ -145,14 +165,35 @@ func CompileProgram(prog *ast.Program, opts Options) (*Analysis, error) {
 			a.memberCounterIdx[m.Name] = i
 		}
 	}
+	t = time.Now()
 	if err := a.lowerRules(); err != nil {
 		return nil, err
 	}
 	if err := a.checkShadowConflicts(); err != nil {
 		return nil, err
 	}
+	lowerNS := int64(time.Since(t))
+	traceStage("lower", t)
+
+	var fuseNS int64
 	if opts.FuseHandlers {
+		t = time.Now()
 		a.fuseRules()
+		fuseNS = int64(time.Since(t))
+		traceStage("fuse", t)
+	}
+
+	coalesced := 0
+	for _, g := range lay.Groups {
+		if len(g.Members) > 1 {
+			coalesced += len(g.Members)
+		}
+	}
+	a.Stats = CompileStats{
+		SemaNS: semaNS, AccessNS: accessNS, LayoutNS: layoutNS,
+		LowerNS: lowerNS, FuseNS: fuseNS,
+		Groups: len(lay.Groups), Coalesced: coalesced,
+		FusedHooks: len(a.Fused), Rules: len(a.Rules),
 	}
 	return a, nil
 }

@@ -1,7 +1,9 @@
 package compiler
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 )
@@ -51,6 +53,54 @@ func (p *Profile) String() string {
 		fmt.Fprintf(&b, "%-20s %12d accesses\n", r.name, r.count)
 	}
 	return b.String()
+}
+
+// ProfileMetricPrefix prefixes per-member access counts in the obs
+// metrics registry; ProfileFromCounts strips it back off. Keeping the
+// profile inside the ordinary metrics stream is what makes the
+// -profile-out / -profile-in round trip a plain registry export.
+const ProfileMetricPrefix = "profile.member."
+
+// profileFile is the on-disk profile format.
+type profileFile struct {
+	Counts map[string]uint64 `json:"counts"`
+}
+
+// WriteFile saves the profile as JSON for a later -profile-in run.
+func (p *Profile) WriteFile(path string) error {
+	b, err := json.MarshalIndent(profileFile{Counts: p.Counts}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadProfileFile loads a profile written by WriteFile.
+func ReadProfileFile(path string) (*Profile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f profileFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("profile %s: %w", path, err)
+	}
+	if f.Counts == nil {
+		f.Counts = make(map[string]uint64)
+	}
+	return &Profile{Counts: f.Counts}, nil
+}
+
+// ProfileFromCounts extracts the per-member access counts embedded in a
+// metrics counter map under ProfileMetricPrefix.
+func ProfileFromCounts(counts map[string]uint64) *Profile {
+	p := &Profile{Counts: make(map[string]uint64)}
+	for k, v := range counts {
+		if name, ok := strings.CutPrefix(k, ProfileMetricPrefix); ok {
+			p.Counts[name] = v
+		}
+	}
+	return p
 }
 
 // Profile returns the per-member access counts accumulated by a runtime

@@ -13,6 +13,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/instrument"
 	"repro/internal/mir"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -27,6 +28,20 @@ type RunOptions struct {
 	Deadline     time.Duration
 	// Faults is forwarded to the VM for deterministic fault injection.
 	Faults vm.FaultSpec
+
+	// Metrics, when non-nil, receives the run's observability counters
+	// after a successful run (VM op/hook/scheduler counts, container
+	// traffic, profile counts). Failed runs report nothing: their
+	// partial counters would differ between a run that trapped and one
+	// that was retried, breaking determinism of merged metrics.
+	Metrics *obs.Shard
+	// TimeHooks additionally records per-handler cumulative nanoseconds
+	// (volatile counters; leave off for deterministic -virtual runs).
+	TimeHooks bool
+	// Trace, when non-nil, receives VM quantum/fault trace events,
+	// tagged with TraceTID.
+	Trace    *obs.Trace
+	TraceTID int64
 }
 
 func (o RunOptions) vmConfig(track bool) vm.Config {
@@ -38,6 +53,73 @@ func (o RunOptions) vmConfig(track bool) vm.Config {
 		MaxHeapBytes: o.MaxHeapBytes,
 		Deadline:     o.Deadline,
 		Faults:       o.Faults,
+		TimeHooks:    o.TimeHooks,
+		Trace:        o.Trace,
+		TraceTID:     o.TraceTID,
+	}
+}
+
+// hookName labels handler id for metrics keys; ids beyond the known
+// name table (baselines, plain runs) fall back to a numeric label.
+func hookName(names []string, id int) string {
+	if id < len(names) {
+		return names[id]
+	}
+	return fmt.Sprintf("h%d", id)
+}
+
+func addNZ(s *obs.Shard, key string, v uint64) {
+	if v != 0 {
+		s.Add(key, v)
+	}
+}
+
+// observe flattens a finished machine's counters (and, when available,
+// the runtime's container traffic and member-access profile) into the
+// options' metrics shard. Keys under vm.*, meta.* and profile.* are
+// deterministic for -virtual runs; vm.hook.*.ns is volatile.
+func observe(o RunOptions, m *vm.Machine, names []string, rt *compiler.Runtime) {
+	s := o.Metrics
+	if s == nil {
+		return
+	}
+	mm := m.Metrics()
+	var steps uint64
+	for op, n := range mm.Ops {
+		if n == 0 {
+			continue
+		}
+		steps += n
+		s.Add("vm.op."+mir.Op(op).String(), n)
+	}
+	s.Add("vm.steps", steps)
+	s.Add("vm.sched.quanta", mm.Quanta)
+	s.Add("vm.sched.ctx_switches", mm.CtxSwitches)
+	addNZ(s, "vm.faults.fired", mm.FaultsFired)
+	for id, n := range mm.HookCalls {
+		if n != 0 {
+			s.Add("vm.hook."+hookName(names, id)+".calls", n)
+		}
+	}
+	for id, ns := range mm.HookNS {
+		if ns != 0 {
+			s.AddVolatile("vm.hook."+hookName(names, id)+".ns", ns)
+		}
+	}
+	if rt == nil {
+		return
+	}
+	for _, gt := range rt.GroupTraffic() {
+		pre := "meta." + gt.Label + "."
+		addNZ(s, pre+"get", gt.Stats.Gets())
+		addNZ(s, pre+"set", gt.Stats.Sets())
+		addNZ(s, pre+"iter", gt.Stats.Iters)
+		addNZ(s, pre+"rehash", gt.Stats.Rehashes)
+		addNZ(s, pre+"cache_hit", gt.Stats.CacheHits)
+		addNZ(s, pre+"cache_miss", gt.Stats.CacheMisses)
+	}
+	for name, c := range rt.Profile().Counts {
+		addNZ(s, compiler.ProfileMetricPrefix+name, c)
 	}
 }
 
@@ -47,7 +129,12 @@ func RunPlain(p *mir.Program, opt RunOptions) (*vm.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.Run()
+	res, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	observe(opt, m, nil, nil)
+	return res, nil
 }
 
 // RunAnalysis instruments p with a compiled ALDA analysis and executes
@@ -74,7 +161,12 @@ func RunInstrumented(inst *mir.Program, a *compiler.Analysis, opt RunOptions) (*
 		return nil, err
 	}
 	m.Handlers = rt.Handlers()
-	return m.Run()
+	res, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	observe(opt, m, a.HandlerNames(), rt)
+	return res, nil
 }
 
 // RunBaseline executes p under a hand-tuned baseline analysis. The
@@ -90,7 +182,12 @@ func RunBaseline(p *mir.Program, factory func() baselines.Baseline, opt RunOptio
 		return nil, err
 	}
 	m.Handlers = b.Handlers()
-	return m.Run()
+	res, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	observe(opt, m, nil, nil)
+	return res, nil
 }
 
 // CollectProfile recompiles the analysis with access counters, runs it
@@ -110,19 +207,25 @@ func CollectProfile(a *compiler.Analysis, train *mir.Program, opt RunOptions) (*
 	if err != nil {
 		return nil, err
 	}
-	rt, err := pa.NewRuntime()
-	if err != nil {
+	// The profile rides the ordinary metrics pathway: the training run
+	// exports profile.member.* counters into a private shard, and the
+	// shard flattens back into a Profile — the same counters an external
+	// -profile-out file round-trips through.
+	popt := opt
+	sh := obs.NewShard()
+	popt.Metrics = sh
+	if _, err := RunInstrumented(inst, pa, popt); err != nil {
 		return nil, err
 	}
-	m, err := vm.New(inst, opt.vmConfig(pa.NeedShadow))
-	if err != nil {
-		return nil, err
+	if opt.Metrics != nil {
+		for k, v := range sh.Counts {
+			opt.Metrics.Add(k, v)
+		}
+		for k, v := range sh.Volatile {
+			opt.Metrics.AddVolatile(k, v)
+		}
 	}
-	m.Handlers = rt.Handlers()
-	if _, err := m.Run(); err != nil {
-		return nil, err
-	}
-	return rt.Profile(), nil
+	return compiler.ProfileFromCounts(sh.Counts), nil
 }
 
 // RecompileWithProfile rebuilds an analysis under profile-guided

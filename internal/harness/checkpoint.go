@@ -27,13 +27,21 @@ type checkpointRecord struct {
 	WallNS  int64  `json:"wall_ns"`
 	ErrKind string `json:"err_kind,omitempty"`
 	ErrMsg  string `json:"err_msg,omitempty"`
+	// Metrics carries the cell's deterministic observability counters
+	// when the sweep ran with Config.Metrics, so a resumed sweep merges
+	// the identical counts a re-measurement would have produced.
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
 }
 
 // fingerprint ties checkpoint records to the measurement parameters
 // that determine a cell's value; a stale checkpoint from a different
 // configuration is ignored rather than poisoning the resumed table.
 func (c Config) fingerprint() string {
-	return fmt.Sprintf("size=%s reps=%d seed=%d virtual=%v", c.Size, c.Reps, c.Opt.Seed, c.Virtual)
+	// metrics participates because it changes what a record must carry:
+	// a checkpoint written without counters cannot resume a metrics
+	// sweep (the resumed cells would silently contribute nothing).
+	return fmt.Sprintf("size=%s reps=%d seed=%d virtual=%v metrics=%v",
+		c.Size, c.Reps, c.Opt.Seed, c.Virtual, c.Metrics != nil)
 }
 
 // checkpointWriter appends records to the checkpoint file; safe for the

@@ -321,14 +321,19 @@ func PGO(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	// Train on one representative workload, apply everywhere — the
-	// usual PGO deployment shape.
-	train, err := workloads.Build("libquantum", workloads.SizeTiny)
-	if err != nil {
-		return nil, err
-	}
-	prof, err := core.CollectProfile(static, train, cfg.Opt)
-	if err != nil {
-		return nil, err
+	// usual PGO deployment shape. A profile loaded from disk
+	// (-profile-in) replaces the inline training run; the deterministic
+	// VM makes the two routes produce the same profile.
+	prof := cfg.PGOProfile
+	if prof == nil {
+		train, err := workloads.Build("libquantum", workloads.SizeTiny)
+		if err != nil {
+			return nil, err
+		}
+		prof, err = core.CollectProfile(static, train, cfg.Opt)
+		if err != nil {
+			return nil, err
+		}
 	}
 	pgo, err := core.RecompileWithProfile(static, prof)
 	if err != nil {

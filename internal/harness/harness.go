@@ -15,6 +15,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/instrument"
+	"repro/internal/obs"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -76,6 +77,19 @@ type Config struct {
 	// none). column is the rendered column name, "base" for the
 	// uninstrumented baseline.
 	CellFaults func(program, column string) vm.FaultSpec
+	// Metrics, when non-nil, collects per-cell observability counters
+	// into this registry: each cell runs with a private obs.Shard that
+	// merges in on completion, so serial, parallel and resumed sweeps
+	// accumulate identical deterministic counters. Wall-clock sweeps
+	// additionally record per-hook nanoseconds (volatile counters).
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives Chrome trace_event spans: one per
+	// harness cell plus the VM quanta and fault instants inside it,
+	// tagged with the cell index as the trace tid.
+	Trace *obs.Trace
+	// PGOProfile, when non-nil, replaces the PGO experiment's inline
+	// training run with a previously collected profile (-profile-in).
+	PGOProfile *compiler.Profile
 }
 
 func (c Config) withDefaults() Config {

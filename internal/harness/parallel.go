@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -130,13 +131,17 @@ func (c Config) forEachCell(n int, f func(i int) error) error {
 // retryable failures with exponential backoff. Panics out of workload
 // builders, instrumentation or analysis handlers degrade to an error
 // instead of killing the sweep's worker pool.
-func (c Config) measureCell(g *gridSpec, program string, col int) (wall time.Duration, err error) {
+func (c Config) measureCell(g *gridSpec, program string, col int, sh *obs.Shard) (wall time.Duration, tries int, err error) {
 	attempt := func() (w time.Duration, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = &cellFailure{kind: "panic", msg: fmt.Sprintf("panic: %v", r)}
 			}
 		}()
+		// A retried attempt starts from a clean shard so the merged
+		// counters reflect the one attempt that succeeded. Reset is
+		// nil-safe, so sweeps without metrics pay nothing here.
+		sh.Reset()
 		fn, err := g.runner(c, program, col)
 		if err != nil {
 			return 0, err
@@ -148,14 +153,45 @@ func (c Config) measureCell(g *gridSpec, program string, col int) (wall time.Dur
 	for try := 0; ; try++ {
 		wall, err = attempt()
 		if err == nil {
-			return wall, nil
+			return wall, try, nil
 		}
 		var re *vm.RunError
 		if try >= c.Retries || !errors.As(err, &re) || !re.Retryable() {
-			return 0, err
+			return 0, try, err
 		}
 		time.Sleep(backoff)
 		backoff *= 2
+	}
+}
+
+// noteCell folds one finished cell into the sweep-level registry:
+// counter merges from the cell's shard (live cells) or its checkpoint
+// record (resumed cells), the ok/err tallies, and the cell-wall
+// histogram. Virtual cell walls are deterministic and feed a pinned
+// histogram; wall-clock walls are volatile.
+func (c Config) noteCell(shard *obs.Shard, counts map[string]uint64, wall time.Duration, tries int, err error) {
+	r := c.Metrics
+	if r == nil {
+		return
+	}
+	if tries > 0 {
+		r.AddVolatile("harness.cells.retries", uint64(tries))
+	}
+	if err != nil {
+		r.Add("harness.cells.err."+errKindLabel(err), 1)
+		return
+	}
+	if shard != nil {
+		r.MergeShard(shard)
+	}
+	if counts != nil {
+		r.MergeCounts(counts)
+	}
+	r.Add("harness.cells.ok", 1)
+	if c.Virtual {
+		r.Observe("harness.cell_wall", uint64(wall))
+	} else {
+		r.AddVolatile("harness.cell_wall_ns", uint64(wall))
 	}
 }
 
@@ -211,6 +247,10 @@ func (c Config) runGrid(g gridSpec) (*Table, error) {
 		if rec, ok := resumed[key]; ok {
 			walls[i] = time.Duration(rec.WallNS)
 			cellErrs[i] = restoreErr(rec)
+			c.noteCell(nil, rec.Metrics, time.Duration(rec.WallNS), 0, cellErrs[i])
+			if c.Metrics != nil {
+				c.Metrics.AddVolatile("harness.checkpoint.resumed", 1)
+			}
 			if c.Progress != nil {
 				fmt.Fprintf(c.Progress, "[%s] %s resumed from checkpoint\n", g.name, key)
 			}
@@ -224,22 +264,49 @@ func (c Config) runGrid(g gridSpec) (*Table, error) {
 		if c.CellFaults != nil {
 			cc.Opt.Faults = c.CellFaults(program, g.colName(col))
 		}
+		var shard *obs.Shard
+		if c.Metrics != nil {
+			shard = obs.NewShard()
+			cc.Opt.Metrics = shard
+			// Hook timing reads the clock per dispatch — useful for wall
+			// attribution, poison for deterministic virtual counters.
+			cc.Opt.TimeHooks = !c.Virtual
+		}
+		if c.Trace != nil {
+			cc.Opt.Trace = c.Trace
+			cc.Opt.TraceTID = int64(i)
+		}
 		start := time.Now()
-		wall, err := cc.measureCell(&g, program, col)
+		wall, tries, err := cc.measureCell(&g, program, col, shard)
 		walls[i] = wall
+		if c.Trace != nil {
+			c.Trace.Span("harness", g.name+"/"+key, int64(i), start, time.Since(start))
+		}
 		if err != nil {
 			cellErrs[i] = err
+			c.noteCell(shard, nil, 0, tries, err)
 			if ckpt != nil {
 				ckpt.append(checkpointRecord{Grid: g.name, Cell: key, Fp: fp,
 					ErrKind: errKindLabel(err), ErrMsg: err.Error()})
+				if c.Metrics != nil {
+					c.Metrics.AddVolatile("harness.checkpoint.appended", 1)
+				}
 			}
 			if c.Progress != nil {
 				fmt.Fprintf(c.Progress, "[%s] %s %s: %v\n", g.name, key, errCell(errKindLabel(err)), err)
 			}
 			return fmt.Errorf("%s %s: %w", g.name, key, err)
 		}
+		c.noteCell(shard, nil, wall, tries, nil)
 		if ckpt != nil {
-			ckpt.append(checkpointRecord{Grid: g.name, Cell: key, Fp: fp, WallNS: int64(wall)})
+			rec := checkpointRecord{Grid: g.name, Cell: key, Fp: fp, WallNS: int64(wall)}
+			if shard != nil {
+				rec.Metrics = shard.Counts
+			}
+			ckpt.append(rec)
+			if c.Metrics != nil {
+				c.Metrics.AddVolatile("harness.checkpoint.appended", 1)
+			}
 		}
 		if c.Progress != nil {
 			fmt.Fprintf(c.Progress, "[%s] %s wall=%v elapsed=%v\n",

@@ -24,7 +24,39 @@ type Container interface {
 	// (backing arrays, materialized chunks/pages, hash entries) — the
 	// quantity behind the paper's §6.2 memory-footprint comparison.
 	Bytes() uint64
+	// Stats returns the container's operation counters (obs layer).
+	Stats() Stats
 }
+
+// Stats are per-container operation counters, the source of the obs
+// layer's meta.* metrics. They are plain field increments on paths the
+// container already executes — allocation-free, always on, and
+// deterministic for a deterministic access sequence. Nested calls
+// count at every level (ArrayMap.Fill calls Entry per key, so a Fill
+// over n keys also adds n to Entries), matching Lookups' accounting.
+type Stats struct {
+	Entries     uint64 // Entry calls (get-or-materialize)
+	Peeks       uint64 // Peek calls (presence-preserving reads)
+	Fills       uint64 // Fill calls (range/field stores)
+	Ranges      uint64 // RangeOr calls (range/field reads)
+	Removes     uint64 // Remove calls
+	Iters       uint64 // ForEach traversals
+	Rehashes    uint64 // hash-arena growths that moved live entries
+	CacheHits   uint64 // last-chunk/last-page inline-cache hits
+	CacheMisses uint64 // inline-cache misses (directory walks)
+}
+
+// Gets sums read-side traffic.
+func (s Stats) Gets() uint64 { return s.Entries + s.Peeks + s.Ranges }
+
+// Sets sums write-side traffic.
+func (s Stats) Sets() uint64 { return s.Fills + s.Removes }
+
+// lookups is the legacy Lookups() value — one per Entry/Peek/Fill/
+// RangeOr call. Every such call increments exactly one of these four
+// counters, so Lookups is derived rather than maintained as a fifth
+// field: the hot paths pay one increment, not two.
+func (s Stats) lookups() uint64 { return s.Entries + s.Peeks + s.Fills + s.Ranges }
 
 func templateIsZero(t []uint64) bool {
 	for _, w := range t {
@@ -47,9 +79,9 @@ type ArrayMap struct {
 	words    []uint64
 	ew       int
 	domain   uint64
-	lookups  uint64
 	touched  []bool
 	template []uint64
+	stats    Stats // cold relative to the fields above; keep it last
 }
 
 // NewArrayMap returns an ArrayMap over a bounded key domain with entries
@@ -74,7 +106,7 @@ func (m *ArrayMap) slot(key uint64) int { return int(key%m.domain) * m.ew }
 
 // Entry returns the entry words for key.
 func (m *ArrayMap) Entry(key uint64) []uint64 {
-	m.lookups++
+	m.stats.Entries++
 	i := m.slot(key)
 	m.touched[key%m.domain] = true
 	return m.words[i : i+m.ew : i+m.ew]
@@ -82,7 +114,7 @@ func (m *ArrayMap) Entry(key uint64) []uint64 {
 
 // Peek returns the entry words without marking the key live.
 func (m *ArrayMap) Peek(key uint64) []uint64 {
-	m.lookups++
+	m.stats.Peeks++
 	if !m.touched[key%m.domain] {
 		return nil
 	}
@@ -92,7 +124,7 @@ func (m *ArrayMap) Peek(key uint64) []uint64 {
 
 // Fill sets the field on n consecutive keys starting at key.
 func (m *ArrayMap) Fill(key, n uint64, off, width uint, v uint64) {
-	m.lookups++
+	m.stats.Fills++
 	for i := uint64(0); i < n; i++ {
 		e := m.Entry(key + i)
 		StoreField(e, off, width, v)
@@ -101,7 +133,7 @@ func (m *ArrayMap) Fill(key, n uint64, off, width uint, v uint64) {
 
 // RangeOr ORs the field over n consecutive keys starting at key.
 func (m *ArrayMap) RangeOr(key, n uint64, off, width uint) uint64 {
-	m.lookups++
+	m.stats.Ranges++
 	var acc uint64
 	for i := uint64(0); i < n; i++ {
 		acc |= LoadField(m.Entry(key+i), off, width)
@@ -111,6 +143,7 @@ func (m *ArrayMap) RangeOr(key, n uint64, off, width uint) uint64 {
 
 // Remove resets the entry to the template.
 func (m *ArrayMap) Remove(key uint64) {
+	m.stats.Removes++
 	i := m.slot(key)
 	e := m.words[i : i+m.ew]
 	if m.template != nil {
@@ -125,6 +158,7 @@ func (m *ArrayMap) Remove(key uint64) {
 
 // ForEach visits every touched entry.
 func (m *ArrayMap) ForEach(fn func(key uint64, entry []uint64)) {
+	m.stats.Iters++
 	for k := uint64(0); k < m.domain; k++ {
 		if m.touched[k] {
 			i := int(k) * m.ew
@@ -134,7 +168,10 @@ func (m *ArrayMap) ForEach(fn func(key uint64, entry []uint64)) {
 }
 
 // Lookups returns the lookup counter.
-func (m *ArrayMap) Lookups() uint64 { return m.lookups }
+func (m *ArrayMap) Lookups() uint64 { return m.stats.lookups() }
+
+// Stats returns the operation counters.
+func (m *ArrayMap) Stats() Stats { return m.stats }
 
 // Bytes returns the backing storage size.
 func (m *ArrayMap) Bytes() uint64 { return uint64(len(m.words))*8 + uint64(len(m.touched)) }
@@ -156,7 +193,6 @@ type ShadowMap struct {
 	chunks   [][]uint64
 	ew       int
 	keyMask  uint64
-	lookups  uint64
 	template []uint64
 	zeroTmpl bool
 
@@ -165,6 +201,8 @@ type ShadowMap struct {
 	// never move once materialized, so the cache never goes stale.
 	lastCI    uint64
 	lastChunk []uint64
+
+	stats Stats // cold relative to the fields above; keep it last
 }
 
 // NewShadowMap returns a shadow map covering maxKeys granule indices
@@ -187,8 +225,10 @@ func NewShadowMap(maxKeys uint64, entryWords int, template []uint64) *ShadowMap 
 
 func (m *ShadowMap) chunk(ci uint64) []uint64 {
 	if ci == m.lastCI {
+		m.stats.CacheHits++
 		return m.lastChunk
 	}
+	m.stats.CacheMisses++
 	c := m.chunks[ci]
 	if c == nil {
 		c = make([]uint64, shadowChunkSize*m.ew)
@@ -206,8 +246,10 @@ func (m *ShadowMap) chunk(ci uint64) []uint64 {
 // peekChunk is chunk() without materialization (nil when absent).
 func (m *ShadowMap) peekChunk(ci uint64) []uint64 {
 	if ci == m.lastCI {
+		m.stats.CacheHits++
 		return m.lastChunk
 	}
+	m.stats.CacheMisses++
 	c := m.chunks[ci]
 	if c != nil {
 		m.lastCI, m.lastChunk = ci, c
@@ -217,7 +259,7 @@ func (m *ShadowMap) peekChunk(ci uint64) []uint64 {
 
 // Entry returns the entry words for key.
 func (m *ShadowMap) Entry(key uint64) []uint64 {
-	m.lookups++
+	m.stats.Entries++
 	key &= m.keyMask
 	c := m.chunk(key >> shadowChunkBits)
 	i := int(key&shadowChunkMask) * m.ew
@@ -226,7 +268,7 @@ func (m *ShadowMap) Entry(key uint64) []uint64 {
 
 // Peek returns the entry words if the chunk is materialized.
 func (m *ShadowMap) Peek(key uint64) []uint64 {
-	m.lookups++
+	m.stats.Peeks++
 	key &= m.keyMask
 	c := m.peekChunk(key >> shadowChunkBits)
 	if c == nil {
@@ -240,7 +282,7 @@ func (m *ShadowMap) Peek(key uint64) []uint64 {
 // chunks directly. The single-key case — a word-or-smaller program
 // access at default granularity — takes a fast path.
 func (m *ShadowMap) Fill(key, n uint64, off, width uint, v uint64) {
-	m.lookups++
+	m.stats.Fills++
 	if n == 1 {
 		key &= m.keyMask
 		c := m.chunk(key >> shadowChunkBits)
@@ -268,7 +310,7 @@ func (m *ShadowMap) Fill(key, n uint64, off, width uint, v uint64) {
 
 // RangeOr ORs the field over n consecutive keys.
 func (m *ShadowMap) RangeOr(key, n uint64, off, width uint) uint64 {
-	m.lookups++
+	m.stats.Ranges++
 	if n == 1 {
 		key &= m.keyMask
 		c := m.peekChunk(key >> shadowChunkBits)
@@ -310,6 +352,7 @@ func (m *ShadowMap) RangeOr(key, n uint64, off, width uint) uint64 {
 
 // Remove resets the entry to the template.
 func (m *ShadowMap) Remove(key uint64) {
+	m.stats.Removes++
 	key &= m.keyMask
 	c := m.chunks[key>>shadowChunkBits]
 	if c == nil {
@@ -328,6 +371,7 @@ func (m *ShadowMap) Remove(key uint64) {
 
 // ForEach visits every entry in materialized chunks.
 func (m *ShadowMap) ForEach(fn func(key uint64, entry []uint64)) {
+	m.stats.Iters++
 	for ci, c := range m.chunks {
 		if c == nil {
 			continue
@@ -340,7 +384,10 @@ func (m *ShadowMap) ForEach(fn func(key uint64, entry []uint64)) {
 }
 
 // Lookups returns the lookup counter.
-func (m *ShadowMap) Lookups() uint64 { return m.lookups }
+func (m *ShadowMap) Lookups() uint64 { return m.stats.lookups() }
+
+// Stats returns the operation counters.
+func (m *ShadowMap) Stats() Stats { return m.stats }
 
 // Bytes returns the size of materialized chunks.
 func (m *ShadowMap) Bytes() uint64 {
@@ -369,7 +416,6 @@ const (
 type PageTableMap struct {
 	dir      map[uint64][]uint64
 	ew       int
-	lookups  uint64
 	template []uint64
 	zeroTmpl bool
 
@@ -378,6 +424,8 @@ type PageTableMap struct {
 	// page table competitive on sequential access.
 	lastPI   uint64
 	lastPage []uint64
+
+	stats Stats // cold relative to the fields above; keep it last
 }
 
 // NewPageTableMap returns an empty page-table map.
@@ -393,8 +441,10 @@ func NewPageTableMap(entryWords int, template []uint64) *PageTableMap {
 
 func (m *PageTableMap) page(pi uint64) []uint64 {
 	if pi == m.lastPI {
+		m.stats.CacheHits++
 		return m.lastPage
 	}
+	m.stats.CacheMisses++
 	p, ok := m.dir[pi]
 	if !ok {
 		p = make([]uint64, pageSize*m.ew)
@@ -411,7 +461,7 @@ func (m *PageTableMap) page(pi uint64) []uint64 {
 
 // Entry returns the entry words for key.
 func (m *PageTableMap) Entry(key uint64) []uint64 {
-	m.lookups++
+	m.stats.Entries++
 	p := m.page(key >> pageBits)
 	i := int(key&pageMask) * m.ew
 	return p[i : i+m.ew : i+m.ew]
@@ -419,12 +469,14 @@ func (m *PageTableMap) Entry(key uint64) []uint64 {
 
 // Peek returns the entry words if the page exists.
 func (m *PageTableMap) Peek(key uint64) []uint64 {
-	m.lookups++
+	m.stats.Peeks++
 	pi := key >> pageBits
 	var p []uint64
 	if pi == m.lastPI {
+		m.stats.CacheHits++
 		p = m.lastPage
 	} else {
+		m.stats.CacheMisses++
 		p = m.dir[pi]
 	}
 	if p == nil {
@@ -436,7 +488,7 @@ func (m *PageTableMap) Peek(key uint64) []uint64 {
 
 // Fill sets the field on n consecutive keys starting at key.
 func (m *PageTableMap) Fill(key, n uint64, off, width uint, v uint64) {
-	m.lookups++
+	m.stats.Fills++
 	if n == 1 {
 		p := m.page(key >> pageBits)
 		i := int(key&pageMask) * m.ew
@@ -462,13 +514,15 @@ func (m *PageTableMap) Fill(key, n uint64, off, width uint, v uint64) {
 
 // RangeOr ORs the field over n consecutive keys.
 func (m *PageTableMap) RangeOr(key, n uint64, off, width uint) uint64 {
-	m.lookups++
+	m.stats.Ranges++
 	if n == 1 {
 		pi := key >> pageBits
 		var p []uint64
 		if pi == m.lastPI {
+			m.stats.CacheHits++
 			p = m.lastPage
 		} else {
+			m.stats.CacheMisses++
 			p = m.dir[pi]
 		}
 		if p == nil {
@@ -513,6 +567,7 @@ func (m *PageTableMap) RangeOr(key, n uint64, off, width uint) uint64 {
 
 // Remove resets the entry to the template.
 func (m *PageTableMap) Remove(key uint64) {
+	m.stats.Removes++
 	pi := key >> pageBits
 	p := m.dir[pi]
 	if p == nil {
@@ -531,6 +586,7 @@ func (m *PageTableMap) Remove(key uint64) {
 
 // ForEach visits every entry in materialized pages.
 func (m *PageTableMap) ForEach(fn func(key uint64, entry []uint64)) {
+	m.stats.Iters++
 	for pi, p := range m.dir {
 		for i := 0; i < pageSize; i++ {
 			base := i * m.ew
@@ -540,7 +596,10 @@ func (m *PageTableMap) ForEach(fn func(key uint64, entry []uint64)) {
 }
 
 // Lookups returns the lookup counter.
-func (m *PageTableMap) Lookups() uint64 { return m.lookups }
+func (m *PageTableMap) Lookups() uint64 { return m.stats.lookups() }
+
+// Stats returns the operation counters.
+func (m *PageTableMap) Stats() Stats { return m.stats }
 
 // Bytes returns the size of materialized pages plus directory overhead.
 func (m *PageTableMap) Bytes() uint64 {
@@ -581,10 +640,10 @@ type HashMap struct {
 	growAt   uint64 // rehash threshold (7/8 load)
 	ew       int
 	stride   int
-	lookups  uint64
 	gen      uint64
 	template []uint64
 	zeroTmpl bool
+	stats    Stats // cold relative to the fields above; keep it last
 }
 
 const hashMinSlots = 8
@@ -603,6 +662,9 @@ func NewHashMap(entryWords int, template []uint64) *HashMap {
 
 func (m *HashMap) resize(nslots uint64) {
 	old := m.arena
+	if old != nil {
+		m.stats.Rehashes++
+	}
 	oldUsed := m.used
 	oldMask := m.mask
 	m.arena = make([]uint64, nslots*uint64(m.stride))
@@ -680,7 +742,7 @@ func (m *HashMap) insert(i, key uint64) []uint64 {
 
 // Entry returns the entry words for key, creating from template.
 func (m *HashMap) Entry(key uint64) []uint64 {
-	m.lookups++
+	m.stats.Entries++
 	i, ok := m.find(key)
 	if !ok {
 		return m.insert(i, key)
@@ -691,7 +753,7 @@ func (m *HashMap) Entry(key uint64) []uint64 {
 
 // Peek returns the entry words or nil, never materializing.
 func (m *HashMap) Peek(key uint64) []uint64 {
-	m.lookups++
+	m.stats.Peeks++
 	i, ok := m.find(key)
 	if !ok {
 		return nil
@@ -702,7 +764,7 @@ func (m *HashMap) Peek(key uint64) []uint64 {
 
 // Fill sets the field on n consecutive keys.
 func (m *HashMap) Fill(key, n uint64, off, width uint, v uint64) {
-	m.lookups++
+	m.stats.Fills++
 	for i := uint64(0); i < n; i++ {
 		StoreField(m.Entry(key+i), off, width, v)
 	}
@@ -710,7 +772,7 @@ func (m *HashMap) Fill(key, n uint64, off, width uint, v uint64) {
 
 // RangeOr ORs the field over n consecutive keys.
 func (m *HashMap) RangeOr(key, n uint64, off, width uint) uint64 {
-	m.lookups++
+	m.stats.Ranges++
 	var acc uint64
 	tmplV := uint64(0)
 	if !m.zeroTmpl {
@@ -730,6 +792,7 @@ func (m *HashMap) RangeOr(key, n uint64, off, width uint) uint64 {
 // Remove deletes the entry, back-shifting the probe chain so no
 // tombstones accumulate (Knuth 6.4 algorithm R).
 func (m *HashMap) Remove(key uint64) {
+	m.stats.Removes++
 	i, ok := m.find(key)
 	if !ok {
 		return
@@ -757,6 +820,7 @@ func (m *HashMap) Remove(key uint64) {
 // ForEach visits every entry in slot order (deterministic, unlike the
 // former Go-map backing; callers must stay order-insensitive anyway).
 func (m *HashMap) ForEach(fn func(key uint64, entry []uint64)) {
+	m.stats.Iters++
 	stride := uint64(m.stride)
 	for i := uint64(0); i <= m.mask; i++ {
 		if m.isUsed(i) {
@@ -767,7 +831,10 @@ func (m *HashMap) ForEach(fn func(key uint64, entry []uint64)) {
 }
 
 // Lookups returns the lookup counter.
-func (m *HashMap) Lookups() uint64 { return m.lookups }
+func (m *HashMap) Lookups() uint64 { return m.stats.lookups() }
+
+// Stats returns the operation counters.
+func (m *HashMap) Stats() Stats { return m.stats }
 
 // Len returns the number of live entries.
 func (m *HashMap) Len() int { return int(m.count) }
@@ -796,10 +863,10 @@ type HashMap2 struct {
 	growAt   uint64
 	ew       int
 	stride   int
-	lookups  uint64
 	gen      uint64
 	template []uint64
 	zeroTmpl bool
+	stats    Stats // cold relative to the fields above; keep it last
 }
 
 // NewHashMap2 returns an empty two-key hash map.
@@ -826,6 +893,9 @@ func hash2(k1, k2 uint64) uint64 {
 
 func (m *HashMap2) resize(nslots uint64) {
 	old := m.arena
+	if old != nil {
+		m.stats.Rehashes++
+	}
 	oldUsed := m.used
 	oldMask := m.mask
 	m.arena = make([]uint64, nslots*uint64(m.stride))
@@ -870,7 +940,7 @@ func (m *HashMap2) find(k1, k2 uint64) (uint64, bool) {
 
 // Entry returns the entry words for (k1, k2), creating from template.
 func (m *HashMap2) Entry(k1, k2 uint64) []uint64 {
-	m.lookups++
+	m.stats.Entries++
 	i, ok := m.find(k1, k2)
 	if !ok {
 		if m.count >= m.growAt {
@@ -898,7 +968,7 @@ func (m *HashMap2) Entry(k1, k2 uint64) []uint64 {
 
 // Peek returns the entry words or nil, never materializing.
 func (m *HashMap2) Peek(k1, k2 uint64) []uint64 {
-	m.lookups++
+	m.stats.Peeks++
 	i, ok := m.find(k1, k2)
 	if !ok {
 		return nil
@@ -909,6 +979,7 @@ func (m *HashMap2) Peek(k1, k2 uint64) []uint64 {
 
 // ForEach visits every entry in slot order.
 func (m *HashMap2) ForEach(fn func(k1, k2 uint64, entry []uint64)) {
+	m.stats.Iters++
 	stride := uint64(m.stride)
 	for i := uint64(0); i <= m.mask; i++ {
 		if m.isUsed(i) {
@@ -919,7 +990,10 @@ func (m *HashMap2) ForEach(fn func(k1, k2 uint64, entry []uint64)) {
 }
 
 // Lookups returns the lookup counter.
-func (m *HashMap2) Lookups() uint64 { return m.lookups }
+func (m *HashMap2) Lookups() uint64 { return m.stats.lookups() }
+
+// Stats returns the operation counters.
+func (m *HashMap2) Stats() Stats { return m.stats }
 
 // Len returns the number of live entries.
 func (m *HashMap2) Len() int { return int(m.count) }

@@ -68,6 +68,9 @@ const (
 	OpHook // inserted analysis event call (see HookRef)
 )
 
+// NumOps sizes per-opcode tables (OpHook is the last opcode).
+const NumOps = int(OpHook) + 1
+
 var opNames = [...]string{
 	OpNop: "nop", OpConst: "const", OpMov: "mov",
 	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",

@@ -1,0 +1,217 @@
+// Package obs is the runtime observability layer: a metrics registry
+// of counters and histograms fed by the VM dispatch loop, the metadata
+// containers, the compiler and the benchmark harness, plus a Chrome
+// trace_event emitter (trace.go).
+//
+// Two collection disciplines keep the hot path honest:
+//
+//   - The VM and the containers count unconditionally into plain struct
+//     fields (no branches, no atomics, no allocation — a Machine and a
+//     Container are single-goroutine by construction). Those fields are
+//     flattened into a Shard once, after the run.
+//   - Anything that reads the wall clock or writes bytes (per-hook
+//     timing, trace spans) hides behind a nil-guarded pointer or flag,
+//     so the disabled path stays allocation-free — the
+//     testing.AllocsPerRun proofs in internal/perf pin this.
+//
+// Counters are split into a deterministic section and a volatile one.
+// Deterministic counters are pure functions of (program, analysis,
+// seed): opcode counts, hook dispatches, container traffic. Under the
+// harness's -virtual mode their merged JSON export is byte-identical
+// across serial, parallel and resumed sweeps, so it can be
+// golden-pinned. Volatile counters (nanosecond timings, retry counts,
+// cache hit totals subject to process-level memoization) are exported
+// separately and never pinned.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math/bits"
+	"sync"
+)
+
+// Shard accumulates one run's (or one harness cell's) counters before
+// they are merged into a Registry. A Shard is single-goroutine — each
+// cell owns its own — which is what makes the merged totals
+// order-independent: merging is commutative addition, so serial and
+// parallel sweeps produce identical registries.
+type Shard struct {
+	Counts   map[string]uint64
+	Volatile map[string]uint64
+}
+
+// NewShard returns an empty shard.
+func NewShard() *Shard {
+	return &Shard{Counts: map[string]uint64{}, Volatile: map[string]uint64{}}
+}
+
+// Add increments a deterministic counter.
+func (s *Shard) Add(name string, v uint64) { s.Counts[name] += v }
+
+// AddVolatile increments a volatile (timing-like) counter.
+func (s *Shard) AddVolatile(name string, v uint64) { s.Volatile[name] += v }
+
+// Reset clears the shard for a retry attempt, so a cell that fails and
+// re-runs contributes exactly one attempt's counters. Nil-safe.
+func (s *Shard) Reset() {
+	if s == nil {
+		return
+	}
+	clear(s.Counts)
+	clear(s.Volatile)
+}
+
+// hist is a power-of-two-bucket histogram: bucket i counts values v
+// with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i (bucket 0 holds
+// zeros). Coarse, allocation-free, and deterministic for deterministic
+// inputs.
+type hist struct {
+	buckets [65]uint64
+	count   uint64
+	sum     uint64
+}
+
+// Registry is the merge target for shards plus a home for
+// harness-level counters and histograms. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counts   map[string]uint64
+	volatile map[string]uint64
+	hists    map[string]*hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts:   map[string]uint64{},
+		volatile: map[string]uint64{},
+		hists:    map[string]*hist{},
+	}
+}
+
+// Add increments a deterministic counter.
+func (r *Registry) Add(name string, v uint64) {
+	r.mu.Lock()
+	r.counts[name] += v
+	r.mu.Unlock()
+}
+
+// AddVolatile increments a volatile counter.
+func (r *Registry) AddVolatile(name string, v uint64) {
+	r.mu.Lock()
+	r.volatile[name] += v
+	r.mu.Unlock()
+}
+
+// Observe records a value into a deterministic histogram.
+func (r *Registry) Observe(name string, v uint64) {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &hist{}
+		r.hists[name] = h
+	}
+	h.buckets[bits.Len64(v)]++
+	h.count++
+	h.sum += v
+	r.mu.Unlock()
+}
+
+// MergeShard folds a completed shard into the registry.
+func (r *Registry) MergeShard(s *Shard) {
+	if s == nil {
+		return
+	}
+	r.mu.Lock()
+	for k, v := range s.Counts {
+		r.counts[k] += v
+	}
+	for k, v := range s.Volatile {
+		r.volatile[k] += v
+	}
+	r.mu.Unlock()
+}
+
+// MergeCounts folds a checkpointed deterministic-counter map into the
+// registry — the resume path's replacement for re-running the cell.
+func (r *Registry) MergeCounts(m map[string]uint64) {
+	r.mu.Lock()
+	for k, v := range m {
+		r.counts[k] += v
+	}
+	r.mu.Unlock()
+}
+
+// Counter returns a deterministic counter's current value.
+func (r *Registry) Counter(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[name]
+}
+
+// HistExport is a histogram's JSON shape. Bucket keys are "le_2^NN"
+// with a fixed-width exponent so lexicographic key order (what
+// encoding/json emits for maps) is numeric order.
+type HistExport struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
+// Export is the registry's JSON shape. encoding/json sorts map keys,
+// so marshaling an Export is deterministic for deterministic contents.
+type Export struct {
+	Counters   map[string]uint64     `json:"counters"`
+	Histograms map[string]HistExport `json:"histograms,omitempty"`
+	Volatile   map[string]uint64     `json:"volatile,omitempty"`
+}
+
+// bucketLabel renders bucket index i (0..64) as its upper-bound label.
+func bucketLabel(i int) string {
+	return "le_2^" + string([]byte{'0' + byte(i/10), '0' + byte(i%10)})
+}
+
+// Export snapshots the registry. With includeVolatile false only the
+// deterministic counters and histograms are present — the form the
+// golden tests pin.
+func (r *Registry) Export(includeVolatile bool) Export {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := Export{Counters: make(map[string]uint64, len(r.counts))}
+	for k, v := range r.counts {
+		e.Counters[k] = v
+	}
+	if len(r.hists) > 0 {
+		e.Histograms = make(map[string]HistExport, len(r.hists))
+		for k, h := range r.hists {
+			he := HistExport{Count: h.count, Sum: h.sum, Buckets: map[string]uint64{}}
+			for i, c := range h.buckets {
+				if c != 0 {
+					he.Buckets[bucketLabel(i)] = c
+				}
+			}
+			e.Histograms[k] = he
+		}
+	}
+	if includeVolatile && len(r.volatile) > 0 {
+		e.Volatile = make(map[string]uint64, len(r.volatile))
+		for k, v := range r.volatile {
+			e.Volatile[k] = v
+		}
+	}
+	return e
+}
+
+// WriteJSON writes the registry as indented JSON with sorted keys —
+// byte-identical for identical deterministic contents when
+// includeVolatile is false.
+func (r *Registry) WriteJSON(w io.Writer, includeVolatile bool) error {
+	b, err := json.MarshalIndent(r.Export(includeVolatile), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,12 +1,14 @@
 package perf
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/analyses"
 	"repro/internal/compiler"
 	"repro/internal/instrument"
 	"repro/internal/mir"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -31,11 +33,11 @@ func quickstartUAFProgram() *mir.Program {
 	return p
 }
 
-// TestQuantumAllocFree asserts a full instrumented vm.Machine quantum —
-// interpreter dispatch, hook argument marshalling and the compiled UAF
-// handler bodies — allocates nothing once warm. This is the end-to-end
-// version of the per-container guarantees in internal/meta.
-func TestQuantumAllocFree(t *testing.T) {
+// startUAFMachine compiles the UAF analysis, instruments the quickstart
+// workload, starts a machine with the given extra config, and warms it
+// up so steady-state quanta can be measured.
+func startUAFMachine(t *testing.T, tweak func(*vm.Config)) *vm.Machine {
+	t.Helper()
 	a, err := analyses.Compile("uaf", compiler.DefaultOptions())
 	if err != nil {
 		t.Fatalf("compile: %v", err)
@@ -48,7 +50,11 @@ func TestQuantumAllocFree(t *testing.T) {
 	if err != nil {
 		t.Fatalf("runtime: %v", err)
 	}
-	m, err := vm.New(inst, vm.Config{TrackShadow: a.NeedShadow})
+	cfg := vm.Config{TrackShadow: a.NeedShadow}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	m, err := vm.New(inst, cfg)
 	if err != nil {
 		t.Fatalf("vm: %v", err)
 	}
@@ -62,6 +68,18 @@ func TestQuantumAllocFree(t *testing.T) {
 			t.Fatal("workload finished during warmup")
 		}
 	}
+	return m
+}
+
+// TestQuantumAllocFree asserts a full instrumented vm.Machine quantum —
+// interpreter dispatch, hook argument marshalling and the compiled UAF
+// handler bodies — allocates nothing once warm. This is the end-to-end
+// version of the per-container guarantees in internal/meta, and it is
+// also the observability-disabled proof: the opcode, per-hook and
+// scheduler counters are unconditional plain fields that increment on
+// this path, so "compiled in but switched off" costs zero allocations.
+func TestQuantumAllocFree(t *testing.T) {
+	m := startUAFMachine(t, nil)
 	if avg := testing.AllocsPerRun(100, func() {
 		if !m.RunQuantum() {
 			t.Fatal("workload finished during measurement")
@@ -78,5 +96,28 @@ func TestQuantumAllocFree(t *testing.T) {
 	}
 	if len(res.Reports) == 0 {
 		t.Fatal("instrumented run lost the use-after-free finding")
+	}
+}
+
+// TestQuantumAllocObservabilityEnabled bounds the other side of the
+// bargain: with the volatile collectors on — per-hook wall timing and a
+// live Chrome-trace sink — a quantum may allocate, but only O(1): the
+// span's kv slice and number formatting, independent of how many
+// instructions or hook dispatches the quantum retires. The trace line
+// itself is built in a reused buffer under the Trace lock.
+func TestQuantumAllocObservabilityEnabled(t *testing.T) {
+	trace := obs.NewTrace(io.Discard)
+	defer trace.Close()
+	m := startUAFMachine(t, func(c *vm.Config) {
+		c.TimeHooks = true
+		c.Trace = trace
+	})
+	avg := testing.AllocsPerRun(100, func() {
+		if !m.RunQuantum() {
+			t.Fatal("workload finished during measurement")
+		}
+	})
+	if avg > 8 {
+		t.Fatalf("%v allocs per quantum with observability enabled, want O(1) (<= 8)", avg)
 	}
 }

@@ -1,6 +1,9 @@
 package vm
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // ErrKind classifies a RunError. The harness keys retry and degraded
 // -rendering decisions off the kind, never off message substrings, so
@@ -41,6 +44,25 @@ func (k ErrKind) String() string {
 	return fmt.Sprintf("ErrKind(%d)", uint8(k))
 }
 
+// MarshalJSON encodes the kind as its stable label ("Trap",
+// "StepLimit", ...), not its numeric value: harness checkpoint records
+// and metrics labels must survive kinds being added or reordered.
+func (k ErrKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes a kind label written by MarshalJSON.
+func (k *ErrKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	p, ok := ParseKind(s)
+	if !ok {
+		return fmt.Errorf("vm: unknown error kind %q", s)
+	}
+	*k = p
+	return nil
+}
+
 // ParseKind maps a kind name (as produced by ErrKind.String) back to
 // the kind; used when rehydrating checkpointed cell errors.
 func ParseKind(s string) (ErrKind, bool) {
@@ -62,6 +84,11 @@ type RunError struct {
 }
 
 func (e *RunError) Error() string { return "vm: " + e.Msg }
+
+// KindLabel returns the stable string label of the error's kind — the
+// identifier used in harness JSONL checkpoint records and metrics
+// labels, decodable with ParseKind regardless of enum evolution.
+func (e *RunError) KindLabel() string { return e.Kind.String() }
 
 // Retryable reports whether re-running the machine could plausibly
 // succeed. The VM is deterministic, so only the wall-clock deadline —

@@ -1,0 +1,45 @@
+package vm
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestErrKindJSONRoundTrip pins the checkpoint/metrics contract: kinds
+// serialize as stable labels, every label parses back, and an unknown
+// label is a loud error instead of a silently-wrong kind.
+func TestErrKindJSONRoundTrip(t *testing.T) {
+	for k := KindTrap; k <= KindLibFault; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if string(b) != `"`+k.String()+`"` {
+			t.Fatalf("kind %v marshals as %s, want its label", k, b)
+		}
+		var back ErrKind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%v: unmarshal: %v", k, err)
+		}
+		if back != k {
+			t.Fatalf("round trip %v -> %v", k, back)
+		}
+	}
+	var k ErrKind
+	if err := json.Unmarshal([]byte(`"NoSuchKind"`), &k); err == nil {
+		t.Fatal("unknown kind label unmarshaled without error")
+	}
+}
+
+func TestRunErrorKindLabel(t *testing.T) {
+	e := &RunError{Kind: KindHeapLimit, Msg: "boom"}
+	if e.KindLabel() != "HeapLimit" {
+		t.Fatalf("KindLabel = %q", e.KindLabel())
+	}
+	b, err := json.Marshal(struct {
+		Kind ErrKind `json:"kind"`
+	}{e.Kind})
+	if err != nil || string(b) != `{"kind":"HeapLimit"}` {
+		t.Fatalf("embedded kind marshals as %s (err %v)", b, err)
+	}
+}

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/mir"
@@ -151,6 +152,11 @@ func (m *Machine) Start() error {
 	m.runStart = time.Now()
 	m.rr = 0
 	m.dlTick = 0
+	m.lastRun = -1
+	m.hookPer = make([]uint64, len(m.Handlers))
+	if m.cfg.TimeHooks {
+		m.hookNS = make([]uint64, len(m.Handlers))
+	}
 	return nil
 }
 
@@ -196,8 +202,22 @@ func (m *Machine) RunQuantum() bool {
 		return false
 	}
 	m.rr = picked + 1
+	m.quanta++
+	if picked != m.lastRun {
+		m.ctxSwitches++
+		m.lastRun = picked
+	}
 	q := m.cfg.Quantum/2 + int(m.Rand()%uint64(m.cfg.Quantum)) + 1
-	m.runThread(m.threads[picked], q)
+	if tr := m.cfg.Trace; tr != nil {
+		q0 := time.Now()
+		steps0 := m.steps
+		m.runThread(m.threads[picked], q)
+		tr.Span("vm", "quantum", m.cfg.TraceTID, q0, time.Since(q0),
+			"tid", strconv.Itoa(picked),
+			"steps", strconv.FormatUint(m.steps-steps0, 10))
+	} else {
+		m.runThread(m.threads[picked], q)
+	}
 	return m.err == nil && main.state != tDone
 }
 
@@ -240,6 +260,7 @@ frameLoop:
 		for quantum > 0 {
 			ins := &code[fr.block][fr.pc]
 			m.steps++
+			m.opCounts[ins.Op]++
 			quantum--
 
 			switch ins.Op {
@@ -530,10 +551,20 @@ frameLoop:
 					}
 				}
 				m.hookCalls++
+				m.hookPer[h.HandlerID]++
 				if f := m.cfg.Faults.HandlerPanicNth; f != 0 && m.hookCalls == f {
+					m.faultsFired++
+					m.cfg.Trace.Instant("vm", "fault.handler_panic", m.cfg.TraceTID)
 					panic(fmt.Sprintf("injected fault: handler panic at hook dispatch #%d (%s)", f, h.Name))
 				}
-				r := m.Handlers[h.HandlerID](m, tid, args)
+				var r uint64
+				if m.hookNS != nil {
+					t0 := time.Now()
+					r = m.Handlers[h.HandlerID](m, tid, args)
+					m.hookNS[h.HandlerID] += uint64(time.Since(t0))
+				} else {
+					r = m.Handlers[h.HandlerID](m, tid, args)
+				}
 				if h.MetaDst != mir.NoReg && track {
 					shadow[h.MetaDst] = r
 				}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/mir"
+	"repro/internal/obs"
 )
 
 // Config controls a Machine.
@@ -52,6 +53,18 @@ type Config struct {
 	Faults FaultSpec
 	// Stdout receives modeled print output; nil discards it.
 	Stdout io.Writer
+	// TimeHooks accumulates per-handler cumulative wall-clock ns,
+	// surfaced by Metrics. Off (the default), the dispatch loop never
+	// reads the clock around handlers; virtual-timing runs leave it off
+	// so their metrics stay deterministic.
+	TimeHooks bool
+	// Trace, when non-nil, receives Chrome trace_event spans for
+	// scheduler quanta and instant events for injected faults. Nil
+	// emits nothing and costs one pointer test per quantum.
+	Trace *obs.Trace
+	// TraceTID tags this machine's trace events (the harness uses the
+	// measurement-cell index).
+	TraceTID int64
 }
 
 // FaultSpec requests deterministic fault injection. The injection
@@ -143,6 +156,20 @@ type Machine struct {
 	steps      uint64
 	hookCalls  uint64
 	allocCount uint64 // heap allocations performed (fault-injection clock)
+
+	// Observability counters. Always on: plain field increments on
+	// paths the loop already executes, so the disabled-observability
+	// path stays branch- and allocation-free (internal/perf pins this
+	// with AllocsPerRun), and the counts are deterministic for a given
+	// program and seed. Only hookNS — the one clock-reading collector —
+	// is gated, behind Config.TimeHooks.
+	opCounts    [mir.NumOps]uint64
+	hookPer     []uint64 // per-HandlerID dispatch counts, sized at Start
+	hookNS      []uint64 // per-HandlerID cumulative handler ns (TimeHooks)
+	ctxSwitches uint64   // quantum grants that changed the running thread
+	quanta      uint64   // scheduler slices executed
+	faultsFired uint64   // injected fault-plan firings
+	lastRun     int      // last thread granted a quantum
 
 	// Interpret-loop scheduler state, split out of Run so that
 	// Start/RunQuantum/Finish can drive the loop one slice at a time.
@@ -284,6 +311,8 @@ func (m *Machine) failf(kind ErrKind, format string, args ...any) {
 func (m *Machine) heapAlloc(n uint64, what string) uint64 {
 	m.allocCount++
 	if f := m.cfg.Faults.MallocFailNth; f != 0 && m.allocCount == f {
+		m.faultsFired++
+		m.cfg.Trace.Instant("vm", "fault.malloc_null", m.cfg.TraceTID)
 		m.failf(KindLibFault, "injected fault: allocation #%d (%s, %d bytes) returns NULL", f, what, n)
 		return 0
 	}
@@ -326,6 +355,31 @@ func (m *Machine) ExtState(key string, init func() any) any {
 		m.ext[key] = s
 	}
 	return s
+}
+
+// MachineMetrics is the observability snapshot of one run: the
+// dispatch loop's always-on counters. The slices alias the machine's
+// internal state — read them after the run, don't hold them across one.
+type MachineMetrics struct {
+	Ops         []uint64 // per-opcode retired counts, indexed by mir.Op
+	HookCalls   []uint64 // per-HandlerID dispatch counts
+	HookNS      []uint64 // per-HandlerID cumulative handler wall ns (nil unless Config.TimeHooks)
+	CtxSwitches uint64   // quantum grants that changed the running thread
+	Quanta      uint64   // scheduler slices executed
+	FaultsFired uint64   // injected fault-plan firings
+}
+
+// Metrics returns the run's observability counters. Everything except
+// HookNS is deterministic for a given program, seed and fault plan.
+func (m *Machine) Metrics() MachineMetrics {
+	return MachineMetrics{
+		Ops:         m.opCounts[:],
+		HookCalls:   m.hookPer,
+		HookNS:      m.hookNS,
+		CtxSwitches: m.ctxSwitches,
+		Quanta:      m.quanta,
+		FaultsFired: m.faultsFired,
+	}
 }
 
 // CurrentTID returns the id of the thread being executed (valid during
