@@ -23,6 +23,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/vm"
 	"repro/internal/workloads"
 )
 
@@ -38,7 +39,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	compare := fs.Bool("compare", false, "also show the ds-only and naive plans")
 	stats := fs.Bool("stats", false, "run -workload (size tiny) under the analysis and print its observability counters")
 	workload := fs.String("workload", "fft", "workload for -stats")
+	engineFlag := fs.String("engine", "interp", "VM execution tier the plan targets: interp|threaded")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	eng, err := vm.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "aldaexplain:", err)
 		return 2
 	}
 
@@ -78,9 +85,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		title string
 		opts  compiler.Options
 	}{
-		{"ALDAcc-full", compiler.DefaultOptions()},
-		{"ALDAcc-ds-only (no coalescing, no CSE)", compiler.DSOnlyOptions()},
-		{"naive (hash maps and tree sets everywhere)", compiler.NaiveOptions()},
+		{"ALDAcc-full", compiler.DefaultOptions().WithEngine(eng)},
+		{"ALDAcc-ds-only (no coalescing, no CSE)", compiler.DSOnlyOptions().WithEngine(eng)},
+		{"naive (hash maps and tree sets everywhere)", compiler.NaiveOptions().WithEngine(eng)},
 	}
 	if !*compare {
 		titles = titles[:1]
@@ -92,7 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *stats {
-		if err := showStats(stdout, src, *workload); err != nil {
+		if err := showStats(stdout, src, *workload, eng); err != nil {
 			fmt.Fprintln(stderr, "aldaexplain:", err)
 			return 1
 		}
@@ -104,8 +111,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 // collection on and prints the counters the obs registry would hold:
 // hook dispatch counts (with the event category the attribution report
 // uses), per-container traffic, and per-member access counts.
-func showStats(stdout io.Writer, src, workload string) error {
-	opts := compiler.DefaultOptions()
+func showStats(stdout io.Writer, src, workload string, eng vm.Engine) error {
+	opts := compiler.DefaultOptions().WithEngine(eng)
 	opts.ProfileCollect = true
 	a, err := compiler.Compile(src, opts)
 	if err != nil {

@@ -25,10 +25,10 @@ import (
 // fingerprints compile identically.
 func (o Options) Fingerprint() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "co%t,cse%t,sel%t,fuse%t,pc%t,g%d,sft%g,bits%d,arr%d,as%d",
+	fmt.Fprintf(&b, "co%t,cse%t,sel%t,fuse%t,pc%t,g%d,sft%g,bits%d,arr%d,as%d,eng%s",
 		o.Coalesce, o.CSE, o.SmartSelect, o.FuseHandlers, o.ProfileCollect,
 		o.Granularity, o.ShadowFactorThreshold, o.BitSetMaxBytes,
-		o.ArrayMapMaxKeys, o.AddrSpace)
+		o.ArrayMapMaxKeys, o.AddrSpace, o.Engine)
 	if o.Profile != nil {
 		names := make([]string, 0, len(o.Profile.Counts))
 		for n := range o.Profile.Counts {

@@ -429,8 +429,8 @@ func CountLOC(src string) int {
 // slots.
 func (a *Analysis) Plan() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "ALDAcc plan (coalesce=%v cse=%v select=%v granularity=%dB)\n",
-		a.Opts.Coalesce, a.Opts.CSE, a.Opts.SmartSelect, a.Opts.Granularity)
+	fmt.Fprintf(&b, "ALDAcc plan (coalesce=%v cse=%v select=%v granularity=%dB engine=%s)\n",
+		a.Opts.Coalesce, a.Opts.CSE, a.Opts.SmartSelect, a.Opts.Granularity, a.Opts.Engine)
 	for _, g := range a.Layout.Groups {
 		key := "<none>"
 		if g.KeyType != nil {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/compiler"
+	"repro/internal/vm"
 )
 
 // fuzzRunner is shared across fuzz iterations: compilation is the
@@ -20,11 +21,14 @@ func fuzzR() *Runner {
 }
 
 // fuzzConfigs is a trimmed ablation matrix for fuzzing throughput: the
-// two extremes plus the layout-only middle. The full matrix (including
-// granularity sweeps and fusion) runs in TestConform; the fuzzer's job
-// is to explore generator seeds, not configurations.
+// two extremes, the layout-only middle, and the closure-threaded
+// execution tier of the full configuration (the engine differential —
+// same compiled analysis, different dispatch). The full matrix
+// (including granularity sweeps and fusion) runs in TestConform; the
+// fuzzer's job is to explore generator seeds, not configurations.
 var fuzzConfigs = []compiler.NamedOptions{
 	{Name: "full", Opts: compiler.DefaultOptions()},
+	{Name: "full-thr", Opts: compiler.DefaultOptions().WithEngine(vm.EngineThreaded)},
 	{Name: "dsonly", Opts: compiler.DSOnlyOptions()},
 	{Name: "naive", Opts: compiler.NaiveOptions()},
 }
@@ -44,6 +48,13 @@ func FuzzConformance(f *testing.F) {
 	f.Add(uint64(1))
 	f.Add(uint64(22))   // shape that exposed the fasttrack join bug
 	f.Add(uint64(1337)) // threaded + uniform
+	// Engine-differential shapes: the threaded tier fuses pure runs and
+	// superinstruction chains, so the corpus pins workloads that branch
+	// into fused blocks, report from a hook mid-chain, and expire the
+	// scheduler quantum inside a fused run.
+	f.Add(uint64(38))  // single-threaded, bug report mid-chain — chain replay must match exactly
+	f.Add(uint64(62))  // multi-threaded + uniform: branchy fused blocks under the granularity sweep
+	f.Add(uint64(179)) // largest multi-threaded reporter: quantum expiry inside chains at every switch
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		w := Generate(seed)
 		r := fuzzR()

@@ -28,6 +28,11 @@ type RunOptions struct {
 	Deadline     time.Duration
 	// Faults is forwarded to the VM for deterministic fault injection.
 	Faults vm.FaultSpec
+	// Engine selects the VM execution tier. The zero value defers to
+	// the analysis' compiled configuration (Options.Engine), so matrix
+	// sweeps carry the tier in their NamedOptions while explicit
+	// callers (CLI -engine flags) override per run.
+	Engine vm.Engine
 
 	// Metrics, when non-nil, receives the run's observability counters
 	// after a successful run (VM op/hook/scheduler counts, container
@@ -44,12 +49,23 @@ type RunOptions struct {
 	TraceTID int64
 }
 
+// resolveEngine picks the execution tier for a run: an explicit
+// RunOptions.Engine wins, otherwise the tier compiled into the
+// analysis configuration applies (EngineInterp for plain runs).
+func (o RunOptions) resolveEngine(a *compiler.Analysis) vm.Engine {
+	if o.Engine != vm.EngineInterp || a == nil {
+		return o.Engine
+	}
+	return a.Opts.Engine
+}
+
 func (o RunOptions) vmConfig(track bool) vm.Config {
 	return vm.Config{
 		Seed:         o.Seed,
 		MaxSteps:     o.MaxSteps,
 		Quantum:      o.Quantum,
 		TrackShadow:  track,
+		Engine:       o.Engine,
 		MaxHeapBytes: o.MaxHeapBytes,
 		Deadline:     o.Deadline,
 		Faults:       o.Faults,
@@ -156,6 +172,7 @@ func RunInstrumented(inst *mir.Program, a *compiler.Analysis, opt RunOptions) (*
 	if err != nil {
 		return nil, err
 	}
+	opt.Engine = opt.resolveEngine(a)
 	m, err := vm.New(inst, opt.vmConfig(a.NeedShadow))
 	if err != nil {
 		return nil, err

@@ -40,8 +40,8 @@ func (c Config) fingerprint() string {
 	// metrics participates because it changes what a record must carry:
 	// a checkpoint written without counters cannot resume a metrics
 	// sweep (the resumed cells would silently contribute nothing).
-	return fmt.Sprintf("size=%s reps=%d seed=%d virtual=%v metrics=%v",
-		c.Size, c.Reps, c.Opt.Seed, c.Virtual, c.Metrics != nil)
+	return fmt.Sprintf("size=%s reps=%d seed=%d virtual=%v metrics=%v engine=%s",
+		c.Size, c.Reps, c.Opt.Seed, c.Virtual, c.Metrics != nil, c.Opt.Engine)
 }
 
 // checkpointWriter appends records to the checkpoint file; safe for the

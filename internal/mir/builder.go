@@ -83,6 +83,21 @@ func (b *FuncBuilder) Bin(op Op, a, c Operand) Reg {
 	return r
 }
 
+// BinTo emits dst = a op b into an existing register, for loop-carried
+// values that live in a register across iterations instead of the
+// memory cell Loop uses.
+func (b *FuncBuilder) BinTo(dst Reg, op Op, a, c Operand) {
+	if !op.IsBinOp() && !op.IsCmp() {
+		panic(fmt.Sprintf("mir: BinTo with non-binary op %s", op))
+	}
+	b.emit(Instr{Op: op, Dst: dst, A: a, B: c})
+}
+
+// MovTo emits dst = a into an existing register.
+func (b *FuncBuilder) MovTo(dst Reg, a Operand) {
+	b.emit(Instr{Op: OpMov, Dst: dst, A: a})
+}
+
 // Add emits dst = a + b.
 func (b *FuncBuilder) Add(a, c Operand) Reg { return b.Bin(OpAdd, a, c) }
 

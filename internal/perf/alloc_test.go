@@ -72,30 +72,37 @@ func startUAFMachine(t *testing.T, tweak func(*vm.Config)) *vm.Machine {
 }
 
 // TestQuantumAllocFree asserts a full instrumented vm.Machine quantum —
-// interpreter dispatch, hook argument marshalling and the compiled UAF
-// handler bodies — allocates nothing once warm. This is the end-to-end
-// version of the per-container guarantees in internal/meta, and it is
-// also the observability-disabled proof: the opcode, per-hook and
-// scheduler counters are unconditional plain fields that increment on
-// this path, so "compiled in but switched off" costs zero allocations.
+// dispatch, hook argument marshalling and the compiled UAF handler
+// bodies — allocates nothing once warm, in both execution tiers: the
+// interpreter's switch loop and the closure-threaded tier's fused runs
+// and superinstruction chains (which pre-bind everything at Start and
+// must not allocate per quantum either). This is the end-to-end version
+// of the per-container guarantees in internal/meta, and it is also the
+// observability-disabled proof: the opcode, per-hook and scheduler
+// counters are unconditional plain fields that increment on this path,
+// so "compiled in but switched off" costs zero allocations.
 func TestQuantumAllocFree(t *testing.T) {
-	m := startUAFMachine(t, nil)
-	if avg := testing.AllocsPerRun(100, func() {
-		if !m.RunQuantum() {
-			t.Fatal("workload finished during measurement")
-		}
-	}); avg != 0 {
-		t.Fatalf("%v allocs per instrumented quantum, want 0", avg)
-	}
-	// Drain to completion: the run must still find the planted UAF.
-	for m.RunQuantum() {
-	}
-	res, err := m.Finish()
-	if err != nil {
-		t.Fatalf("finish: %v", err)
-	}
-	if len(res.Reports) == 0 {
-		t.Fatal("instrumented run lost the use-after-free finding")
+	for _, eng := range []vm.Engine{vm.EngineInterp, vm.EngineThreaded} {
+		t.Run(eng.String(), func(t *testing.T) {
+			m := startUAFMachine(t, func(c *vm.Config) { c.Engine = eng })
+			if avg := testing.AllocsPerRun(100, func() {
+				if !m.RunQuantum() {
+					t.Fatal("workload finished during measurement")
+				}
+			}); avg != 0 {
+				t.Fatalf("%v allocs per instrumented quantum, want 0", avg)
+			}
+			// Drain to completion: the run must still find the planted UAF.
+			for m.RunQuantum() {
+			}
+			res, err := m.Finish()
+			if err != nil {
+				t.Fatalf("finish: %v", err)
+			}
+			if len(res.Reports) == 0 {
+				t.Fatal("instrumented run lost the use-after-free finding")
+			}
+		})
 	}
 }
 
@@ -106,18 +113,23 @@ func TestQuantumAllocFree(t *testing.T) {
 // instructions or hook dispatches the quantum retires. The trace line
 // itself is built in a reused buffer under the Trace lock.
 func TestQuantumAllocObservabilityEnabled(t *testing.T) {
-	trace := obs.NewTrace(io.Discard)
-	defer trace.Close()
-	m := startUAFMachine(t, func(c *vm.Config) {
-		c.TimeHooks = true
-		c.Trace = trace
-	})
-	avg := testing.AllocsPerRun(100, func() {
-		if !m.RunQuantum() {
-			t.Fatal("workload finished during measurement")
-		}
-	})
-	if avg > 8 {
-		t.Fatalf("%v allocs per quantum with observability enabled, want O(1) (<= 8)", avg)
+	for _, eng := range []vm.Engine{vm.EngineInterp, vm.EngineThreaded} {
+		t.Run(eng.String(), func(t *testing.T) {
+			trace := obs.NewTrace(io.Discard)
+			defer trace.Close()
+			m := startUAFMachine(t, func(c *vm.Config) {
+				c.TimeHooks = true
+				c.Trace = trace
+				c.Engine = eng
+			})
+			avg := testing.AllocsPerRun(100, func() {
+				if !m.RunQuantum() {
+					t.Fatal("workload finished during measurement")
+				}
+			})
+			if avg > 8 {
+				t.Fatalf("%v allocs per quantum with observability enabled, want O(1) (<= 8)", avg)
+			}
+		})
 	}
 }

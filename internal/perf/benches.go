@@ -230,17 +230,87 @@ func dispatchProgram(withLocks bool) *mir.Program {
 	return p
 }
 
-// dispatchBench compiles the named analysis, instruments the loop
-// program and measures RunQuantum throughput — handler dispatch plus
-// compiled-handler bodies, end to end.
-func dispatchBench(analysis string, withLocks bool) Bench {
-	return Bench{"dispatch/" + analysis, func() func(int) {
+// arithProgram builds the instrumented-quantum dispatch stress for the
+// execution-tier comparison: a loop whose body is dominated by pure
+// register arithmetic — eight independent xorshift-style mixer lanes,
+// interleaved so the hardware always has ready work — with one
+// store/load pair per iteration keeping the per-access analysis hooked
+// in. The lanes matter: a single serial mixer is latency-bound on its
+// own dependency chain and out-of-order execution hides any dispatch
+// cost inside the stalls, making every engine measure the same. With
+// eight parallel chains the per-instruction overhead (switch dispatch,
+// per-op step and opcode accounting) is the bottleneck, which is
+// precisely what a dispatch benchmark must expose — and same-kind
+// lanes emit adjacent same-opcode instructions, the run shape the
+// threaded tier's fused pure loops retire cheapest.
+func arithProgram() *mir.Program {
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+	buf := b.Call("malloc", mir.C(512))
+	// Register-carried loop state: Loop's memory-carried induction
+	// variable would add hooked load/store traffic every iteration,
+	// drowning the dispatch signal under handler time.
+	i := b.Const(0)
+	lanes := [8]mir.Reg{
+		b.Const(0x9E3779B9),
+		b.Const(0x1CE4E5B9),
+		b.Const(0x133111EB),
+		b.Const(0x6659FD93),
+		b.Const(0x7F4A7C15),
+		b.Const(0x2545F491),
+		b.Const(0x4F6CDD1D),
+		b.Const(0x5851F42D),
+	}
+	var s [8]mir.Reg
+	for l := range s {
+		s[l] = b.NewReg()
+	}
+	x := b.NewReg()
+	body := b.NewBlock()
+	exit := b.NewBlock()
+	b.Br(body)
+	b.SetBlock(body)
+	for k := 0; k < 8; k++ {
+		for l := range lanes {
+			b.BinTo(s[l], mir.OpShr, mir.R(lanes[l]), mir.C(13))
+		}
+		for l := range lanes {
+			b.BinTo(lanes[l], mir.OpXor, mir.R(lanes[l]), mir.R(s[l]))
+		}
+		for l := range lanes {
+			b.BinTo(s[l], mir.OpShl, mir.R(lanes[l]), mir.C(17))
+		}
+		for l := range lanes {
+			b.BinTo(lanes[l], mir.OpAdd, mir.R(lanes[l]), mir.R(s[l]))
+		}
+	}
+	b.BinTo(x, mir.OpXor, mir.R(lanes[0]), mir.R(lanes[1]))
+	b.BinTo(x, mir.OpXor, mir.R(x), mir.R(lanes[2]))
+	b.BinTo(x, mir.OpXor, mir.R(x), mir.R(lanes[4]))
+	b.BinTo(x, mir.OpAnd, mir.R(x), mir.C(63))
+	b.BinTo(x, mir.OpMul, mir.R(x), mir.C(8))
+	b.BinTo(x, mir.OpAdd, mir.R(buf), mir.R(x))
+	b.Store(mir.R(x), mir.R(lanes[3]), 8)
+	b.Load(mir.R(x), 8)
+	b.BinTo(i, mir.OpAdd, mir.R(i), mir.C(1))
+	cond := b.Bin(mir.OpLt, mir.R(i), mir.C(1<<40))
+	b.CondBr(mir.R(cond), body, exit)
+	b.SetBlock(exit)
+	b.RetVal(mir.C(0))
+	return p
+}
+
+// dispatchBench compiles the named analysis, instruments the program
+// built by prog and measures RunQuantum throughput on the given
+// execution tier — dispatch plus compiled-handler bodies, end to end.
+func dispatchBench(name, analysis string, prog func() *mir.Program, eng vm.Engine) Bench {
+	return Bench{name, func() func(int) {
 		a, err := analyses.Compile(analysis, compiler.DefaultOptions())
 		if err != nil {
 			panic(fmt.Sprintf("perf: compile %s: %v", analysis, err))
 		}
 		analyses.RegisterExternals(a)
-		inst, err := instrument.Apply(dispatchProgram(withLocks), a)
+		inst, err := instrument.Apply(prog(), a)
 		if err != nil {
 			panic(fmt.Sprintf("perf: instrument %s: %v", analysis, err))
 		}
@@ -248,7 +318,7 @@ func dispatchBench(analysis string, withLocks bool) Bench {
 		if err != nil {
 			panic(fmt.Sprintf("perf: runtime %s: %v", analysis, err))
 		}
-		m, err := vm.New(inst, vm.Config{TrackShadow: a.NeedShadow, MaxSteps: 1 << 62})
+		m, err := vm.New(inst, vm.Config{Engine: eng, TrackShadow: a.NeedShadow, MaxSteps: 1 << 62})
 		if err != nil {
 			panic(fmt.Sprintf("perf: vm %s: %v", analysis, err))
 		}
@@ -266,14 +336,26 @@ func dispatchBench(analysis string, withLocks bool) Bench {
 	}}
 }
 
+// dispatchBenches is the execution-tier half of the suite: every
+// analysis-dispatch workload on both engines. The interp entries keep
+// their historical names so BENCH_baseline comparisons stay valid.
+func dispatchBenches() []Bench {
+	accesses := func() *mir.Program { return dispatchProgram(false) }
+	withLocks := func() *mir.Program { return dispatchProgram(true) }
+	return []Bench{
+		dispatchBench("dispatch/uaf", "uaf", accesses, vm.EngineInterp),
+		dispatchBench("dispatch/uaf/threaded", "uaf", accesses, vm.EngineThreaded),
+		dispatchBench("dispatch/msan", "msan", accesses, vm.EngineInterp),
+		dispatchBench("dispatch/msan/threaded", "msan", accesses, vm.EngineThreaded),
+		dispatchBench("dispatch/eraser", "eraser", withLocks, vm.EngineInterp),
+		dispatchBench("dispatch/eraser/threaded", "eraser", withLocks, vm.EngineThreaded),
+		dispatchBench("dispatch/uaf/arith", "uaf", arithProgram, vm.EngineInterp),
+		dispatchBench("dispatch/uaf/arith/threaded", "uaf", arithProgram, vm.EngineThreaded),
+	}
+}
+
 // HotPathBenches is the BenchHotPath suite: per-container Get/Set/
-// Iterate plus per-analysis handler dispatch.
+// Iterate plus per-analysis handler dispatch on both execution tiers.
 func HotPathBenches() []Bench {
-	out := containerBenches()
-	out = append(out,
-		dispatchBench("uaf", false),
-		dispatchBench("msan", false),
-		dispatchBench("eraser", true),
-	)
-	return out
+	return append(containerBenches(), dispatchBenches()...)
 }

@@ -157,6 +157,12 @@ func (m *Machine) Start() error {
 	if m.cfg.TimeHooks {
 		m.hookNS = make([]uint64, len(m.Handlers))
 	}
+	if m.cfg.Engine == EngineThreaded {
+		// Handlers must be installed before Start: hook closures bind
+		// their handler function here, once, instead of per dispatch.
+		m.buildThreaded()
+		m.tx = &texec{m: m}
+	}
 	return nil
 }
 
@@ -211,12 +217,12 @@ func (m *Machine) RunQuantum() bool {
 	if tr := m.cfg.Trace; tr != nil {
 		q0 := time.Now()
 		steps0 := m.steps
-		m.runThread(m.threads[picked], q)
+		m.exec(m.threads[picked], q)
 		tr.Span("vm", "quantum", m.cfg.TraceTID, q0, time.Since(q0),
 			"tid", strconv.Itoa(picked),
 			"steps", strconv.FormatUint(m.steps-steps0, 10))
 	} else {
-		m.runThread(m.threads[picked], q)
+		m.exec(m.threads[picked], q)
 	}
 	return m.err == nil && main.state != tDone
 }
@@ -240,6 +246,15 @@ func (m *Machine) Finish() (*Result, error) {
 		Reports:   m.reports,
 		Threads:   len(m.threads),
 	}, nil
+}
+
+// exec runs one scheduler slice on the machine's execution tier.
+func (m *Machine) exec(t *thread, quantum int) {
+	if m.tx != nil {
+		m.runThreaded(t, quantum)
+		return
+	}
+	m.runThread(t, quantum)
 }
 
 func (m *Machine) runThread(t *thread, quantum int) {

@@ -21,6 +21,11 @@ import (
 
 // Config controls a Machine.
 type Config struct {
+	// Engine selects the execution tier. The zero value is the
+	// switch-dispatch interpreter; EngineThreaded builds closure-threaded
+	// code at Start. Both tiers are observably identical — verdicts,
+	// exit codes, counters, schedules — which conformance enforces.
+	Engine Engine
 	// AddrSpace is the simulated byte address-space size (rounded up to a
 	// power of two). Default 1<<28 (256 MiB).
 	AddrSpace uint64
@@ -178,6 +183,11 @@ type Machine struct {
 	rr       int // round-robin cursor
 	dlTick   int // slices until the next wall-clock check
 
+	// tx is the threaded tier's reusable execution context; non-nil iff
+	// the machine started with EngineThreaded (it doubles as the engine
+	// dispatch flag on the quantum path).
+	tx *texec
+
 	// Handlers is the analysis handler table indexed by HookRef.HandlerID.
 	Handlers []HandlerFn
 	// AtExit callbacks run after main returns (analysis finalization).
@@ -209,10 +219,11 @@ type linkedInstr struct {
 }
 
 type linkedFunc struct {
-	name    string
-	nparams int
-	nregs   int
-	blocks  [][]linkedInstr
+	name     string
+	nparams  int
+	nregs    int
+	blocks   [][]linkedInstr
+	threaded []tBlock // closure-threaded code, built at Start for EngineThreaded
 }
 
 // New links a program into a machine. The program must already Verify.

@@ -1,0 +1,570 @@
+package vm
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/mir"
+)
+
+// runEngines runs the same program under both execution tiers and
+// asserts that everything observable — result counters, exit value,
+// reports (including their step-of-first-occurrence and backtraces),
+// run-error kind/message/backtrace, per-opcode and scheduler metrics —
+// is identical. It returns the interpreter's outcome.
+func runEngines(t *testing.T, p *mir.Program, cfg Config, handlers func(m *Machine) []HandlerFn) (*Result, error) {
+	t.Helper()
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	var results [2]*Result
+	var errs [2]error
+	var metrics [2]MachineMetrics
+	for i, eng := range []Engine{EngineInterp, EngineThreaded} {
+		c := cfg
+		c.Engine = eng
+		m, err := New(p, c)
+		if err != nil {
+			t.Fatalf("new (%s): %v", eng, err)
+		}
+		if handlers != nil {
+			m.Handlers = handlers(m)
+		}
+		results[i], errs[i] = m.Run()
+		metrics[i] = m.Metrics()
+	}
+	if (errs[0] == nil) != (errs[1] == nil) {
+		t.Fatalf("engine error divergence: interp=%v threaded=%v", errs[0], errs[1])
+	}
+	if errs[0] != nil {
+		var re0, re1 *RunError
+		if !errors.As(errs[0], &re0) || !errors.As(errs[1], &re1) {
+			t.Fatalf("non-RunError failure: interp=%v threaded=%v", errs[0], errs[1])
+		}
+		if re0.Kind != re1.Kind || re0.Msg != re1.Msg {
+			t.Fatalf("RunError divergence:\n interp:   %s: %s\n threaded: %s: %s", re0.Kind, re0.Msg, re1.Kind, re1.Msg)
+		}
+		if !reflect.DeepEqual(re0.Backtrace, re1.Backtrace) {
+			t.Fatalf("backtrace divergence:\n interp:   %v\n threaded: %v", re0.Backtrace, re1.Backtrace)
+		}
+	} else {
+		r0, r1 := results[0], results[1]
+		if r0.Steps != r1.Steps || r0.HookCalls != r1.HookCalls || r0.Exit != r1.Exit || r0.Threads != r1.Threads {
+			t.Fatalf("result divergence:\n interp:   steps=%d hooks=%d exit=%d threads=%d\n threaded: steps=%d hooks=%d exit=%d threads=%d",
+				r0.Steps, r0.HookCalls, r0.Exit, r0.Threads, r1.Steps, r1.HookCalls, r1.Exit, r1.Threads)
+		}
+		if len(r0.Reports) != len(r1.Reports) {
+			t.Fatalf("report count divergence: interp=%d threaded=%d", len(r0.Reports), len(r1.Reports))
+		}
+		for i := range r0.Reports {
+			if !reflect.DeepEqual(*r0.Reports[i], *r1.Reports[i]) {
+				t.Fatalf("report %d divergence:\n interp:   %+v\n threaded: %+v", i, *r0.Reports[i], *r1.Reports[i])
+			}
+		}
+	}
+	m0, m1 := metrics[0], metrics[1]
+	if !reflect.DeepEqual(m0.Ops, m1.Ops) {
+		t.Fatalf("per-opcode count divergence:\n interp:   %v\n threaded: %v", m0.Ops, m1.Ops)
+	}
+	if !reflect.DeepEqual(m0.HookCalls, m1.HookCalls) {
+		t.Fatalf("per-hook count divergence: interp=%v threaded=%v", m0.HookCalls, m1.HookCalls)
+	}
+	if m0.CtxSwitches != m1.CtxSwitches || m0.Quanta != m1.Quanta || m0.FaultsFired != m1.FaultsFired {
+		t.Fatalf("scheduler metric divergence:\n interp:   ctx=%d quanta=%d faults=%d\n threaded: ctx=%d quanta=%d faults=%d",
+			m0.CtxSwitches, m0.Quanta, m0.FaultsFired, m1.CtxSwitches, m1.Quanta, m1.FaultsFired)
+	}
+	return results[0], errs[0]
+}
+
+// mixProg builds a loop whose body is a long run of pure arithmetic in
+// every operand shape the micro-op decoder specializes — reg-reg,
+// reg-const, commuted const-reg, flipped const-reg compares, generic
+// const-reg, full const folds, division by a maybe-zero register —
+// feeding a store/load pair and a memory-carried accumulator. This is
+// the canonical superinstruction fodder.
+func mixProg(iters int64) *mir.Program {
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+	buf := b.Call("malloc", mir.C(512))
+	accAddr := b.Add(mir.R(buf), mir.C(256))
+	b.Store(mir.R(accAddr), mir.C(0), 8)
+	b.Loop(mir.C(iters), func(i mir.Reg) {
+		x := b.Mul(mir.R(i), mir.C(0x9E37))          // RI
+		y := b.Add(mir.C(7), mir.R(x))               // IR, commutes
+		z := b.Bin(mir.OpSub, mir.C(1000), mir.R(y)) // IR, generic
+		s := b.Bin(mir.OpShl, mir.R(x), mir.C(3))    // RI shift
+		q := b.Bin(mir.OpShr, mir.C(-1), mir.R(i))   // IR, generic shift
+		c1 := b.Bin(mir.OpLt, mir.C(5), mir.R(i))    // IR, flips to Gt
+		c2 := b.Bin(mir.OpGe, mir.R(i), mir.C(3))    // RI compare
+		d := b.Bin(mir.OpDiv, mir.R(z), mir.R(c2))   // RR div, divisor may be 0
+		r := b.Bin(mir.OpRem, mir.R(q), mir.C(0))    // RI rem by zero
+		f := b.Bin(mir.OpXor, mir.C(3), mir.C(5))    // const fold
+		sum := b.Add(mir.R(c1), mir.R(d))
+		sum = b.Add(mir.R(sum), mir.R(r))
+		sum = b.Add(mir.R(sum), mir.R(f))
+		sum = b.Add(mir.R(sum), mir.R(s))
+		idx := b.Bin(mir.OpAnd, mir.R(i), mir.C(31))
+		off := b.Mul(mir.R(idx), mir.C(8))
+		addr := b.Add(mir.R(buf), mir.R(off))
+		b.Store(mir.R(addr), mir.R(sum), 8)
+		l := b.Load(mir.R(addr), 8)
+		acc := b.Load(mir.R(accAddr), 8)
+		acc2 := b.Add(mir.R(acc), mir.R(l))
+		b.Store(mir.R(accAddr), mir.R(acc2), 8)
+	})
+	ret := b.Load(mir.R(accAddr), 8)
+	b.CallVoid("free", mir.R(buf))
+	b.RetVal(mir.R(ret))
+	return p
+}
+
+func TestEngineDifferentialMix(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", Config{}},
+		{"shadow", Config{TrackShadow: true}},
+		{"seed7", Config{Seed: 7}},
+		{"quantum3", Config{Quantum: 3}}, // chains never fit: single-step fallback
+		{"quantum17", Config{Quantum: 17}},
+		{"quantum1024", Config{Quantum: 1024}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := runEngines(t, mixProg(20000), tc.cfg, nil)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Steps == 0 {
+				t.Fatal("no steps retired")
+			}
+		})
+	}
+}
+
+// TestEngineDifferentialBranchIntoChain drives a branch whose target
+// block starts with a fused chain, from both the fallthrough and the
+// taken edge, with data-dependent direction.
+func TestEngineDifferentialBranchIntoChain(t *testing.T) {
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+	buf := b.Call("malloc", mir.C(64))
+	b.Loop(mir.C(5000), func(i mir.Reg) {
+		odd := b.Bin(mir.OpAnd, mir.R(i), mir.C(1))
+		b.If(mir.R(odd), func() {
+			// Long pure run: fuses into a chain entered by the taken edge.
+			v := b.Mul(mir.R(i), mir.C(3))
+			v = b.Add(mir.R(v), mir.C(11))
+			v = b.Bin(mir.OpXor, mir.R(v), mir.C(0x5555))
+			v = b.Bin(mir.OpShl, mir.R(v), mir.C(1))
+			v = b.Bin(mir.OpShr, mir.R(v), mir.C(2))
+			b.Store(mir.R(buf), mir.R(v), 8)
+		}, func() {
+			w := b.Add(mir.R(i), mir.C(1))
+			b.Store(mir.R(buf), mir.R(w), 8)
+		})
+	})
+	r := b.Load(mir.R(buf), 8)
+	b.RetVal(mir.R(r))
+	if _, err := runEngines(t, p, Config{}, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestEngineDifferentialTraps plants traps in the middle of would-be
+// superinstructions: the trap step, message, backtrace pc and every
+// counter up to the fault must match across tiers.
+func TestEngineDifferentialTraps(t *testing.T) {
+	cases := []struct {
+		name string
+		prog func() *mir.Program
+		kind ErrKind
+	}{
+		{"load-out-of-range-mid-chain", func() *mir.Program {
+			p := mir.NewProgram()
+			b := p.NewFunc("main", 0)
+			x := b.Const(3)
+			y := b.Add(mir.R(x), mir.C(4))
+			z := b.Mul(mir.R(y), mir.C(5))
+			bad := b.Load(mir.C(1<<40), 8) // trap mid-chain
+			w := b.Add(mir.R(z), mir.R(bad))
+			b.RetVal(mir.R(w))
+			return p
+		}, KindTrap},
+		{"straddling-load", func() *mir.Program {
+			p := mir.NewProgram()
+			b := p.NewFunc("main", 0)
+			buf := b.Call("malloc", mir.C(64))
+			a := b.Add(mir.R(buf), mir.C(5))
+			v := b.Load(mir.R(a), 4) // 4 bytes at offset 5 straddle a word
+			b.RetVal(mir.R(v))
+			return p
+		}, KindTrap},
+		{"store-out-of-range", func() *mir.Program {
+			p := mir.NewProgram()
+			b := p.NewFunc("main", 0)
+			x := b.Const(1)
+			y := b.Add(mir.R(x), mir.C(2))
+			b.Store(mir.C(1<<40), mir.R(y), 8)
+			b.Ret()
+			return p
+		}, KindTrap},
+		{"recursive-lock", func() *mir.Program {
+			p := mir.NewProgram()
+			b := p.NewFunc("main", 0)
+			l := b.Const(0x1000)
+			b.Lock(mir.R(l))
+			b.Lock(mir.R(l))
+			b.Ret()
+			return p
+		}, KindTrap},
+		{"unlock-not-held", func() *mir.Program {
+			p := mir.NewProgram()
+			b := p.NewFunc("main", 0)
+			l := b.Const(0x1000)
+			b.Unlock(mir.R(l))
+			b.Ret()
+			return p
+		}, KindTrap},
+		{"join-invalid-handle", func() *mir.Program {
+			p := mir.NewProgram()
+			b := p.NewFunc("main", 0)
+			h := b.Const(99)
+			b.Join(mir.R(h))
+			b.Ret()
+			return p
+		}, KindTrap},
+		{"stack-overflow", func() *mir.Program {
+			p := mir.NewProgram()
+			f := p.NewFunc("f", 0)
+			f.Alloca(64)
+			f.CallVoid("f")
+			f.Ret()
+			b := p.NewFunc("main", 0)
+			r := b.Call("f")
+			b.RetVal(mir.R(r))
+			p.Entry = "main"
+			return p
+		}, KindTrap},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := runEngines(t, tc.prog(), Config{}, nil)
+			wantKind(t, err, tc.kind)
+		})
+	}
+}
+
+// TestEngineDifferentialThreads interleaves lock-stepping workers; the
+// shared scheduler stream must produce the identical interleaving (and
+// so identical ctx-switch/quanta counts) on both tiers.
+func TestEngineDifferentialThreads(t *testing.T) {
+	build := func() *mir.Program {
+		p := mir.NewProgram()
+		w := p.NewFunc("worker", 2)
+		acc, lock := w.Param(0), w.Param(1)
+		w.Loop(mir.C(500), func(i mir.Reg) {
+			w.Lock(mir.R(lock))
+			v := w.Load(mir.R(acc), 8)
+			v2 := w.Add(mir.R(v), mir.C(1))
+			w.Store(mir.R(acc), mir.R(v2), 8)
+			w.Unlock(mir.R(lock))
+		})
+		w.Ret()
+		b := p.NewFunc("main", 0)
+		buf := b.Call("malloc", mir.C(16))
+		lk := b.Const(0x4000)
+		h1 := b.Spawn("worker", mir.R(buf), mir.R(lk))
+		h2 := b.Spawn("worker", mir.R(buf), mir.R(lk))
+		h3 := b.Spawn("worker", mir.R(buf), mir.R(lk))
+		b.Join(mir.R(h1))
+		b.Join(mir.R(h2))
+		b.Join(mir.R(h3))
+		v := b.Load(mir.R(buf), 8)
+		b.RetVal(mir.R(v))
+		p.Entry = "main"
+		return p
+	}
+	for _, seed := range []int64{1, 7, 1337} {
+		res, err := runEngines(t, build(), Config{Seed: seed}, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Exit != 1500 {
+			t.Fatalf("seed %d: exit = %d, want 1500", seed, res.Exit)
+		}
+	}
+}
+
+func TestEngineDifferentialDeadlock(t *testing.T) {
+	p := mir.NewProgram()
+	w := p.NewFunc("worker", 1)
+	w.Lock(mir.R(w.Param(0)))
+	w.Loop(mir.C(1<<20), func(i mir.Reg) {})
+	w.Ret()
+	b := p.NewFunc("main", 0)
+	l := b.Const(0x2000)
+	b.Spawn("worker", mir.R(l))
+	b.Loop(mir.C(200), func(i mir.Reg) {})
+	b.Lock(mir.R(l)) // blocks forever: worker never unlocks
+	b.Ret()
+	p.Entry = "main"
+	_, err := runEngines(t, p, Config{MaxSteps: 1 << 22}, nil)
+	if err == nil {
+		t.Fatal("expected a failure")
+	}
+}
+
+// TestEngineDifferentialHooks plants hooks inside a fused block: arg
+// marshalling (reg, shadow, tid, const), MetaDst shadow writes and the
+// handler-visible Steps() clock must all match.
+func TestEngineDifferentialHooks(t *testing.T) {
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+	x := b.Const(5)
+	y := b.Const(6)
+	sum := b.Add(mir.R(x), mir.R(y))
+	f := b.Func()
+	f.Blocks[0].Instrs = append(f.Blocks[0].Instrs, mir.Instr{
+		Op: mir.OpHook, Dst: mir.NoReg,
+		Hook: &mir.HookRef{
+			HandlerID: 0,
+			Args: []mir.HookArg{
+				{Kind: mir.HookReg, Reg: sum},
+				{Kind: mir.HookThread},
+				{Kind: mir.HookConst, Const: 9},
+			},
+			MetaDst: sum,
+			Name:    "testHook",
+		},
+	})
+	z := b.Add(mir.R(sum), mir.C(1))
+	f.Blocks[0].Instrs = append(f.Blocks[0].Instrs, mir.Instr{
+		Op: mir.OpHook, Dst: mir.NoReg,
+		Hook: &mir.HookRef{
+			HandlerID: 1,
+			Args:      []mir.HookArg{{Kind: mir.HookRegMeta, Reg: z}},
+			MetaDst:   mir.NoReg,
+			Name:      "checkHook",
+		},
+	})
+	b.RetVal(mir.R(z))
+
+	type seen struct {
+		args   []uint64
+		steps  []uint64
+		shadow uint64
+	}
+	var per [2]seen
+	idx := 0
+	handlers := func(m *Machine) []HandlerFn {
+		s := &per[idx]
+		idx++
+		return []HandlerFn{
+			func(m *Machine, tid uint64, args []uint64) uint64 {
+				s.args = append(s.args, args...)
+				s.steps = append(s.steps, m.Steps())
+				return 0xAB
+			},
+			func(m *Machine, tid uint64, args []uint64) uint64 {
+				s.shadow = args[0]
+				s.steps = append(s.steps, m.Steps())
+				return 0
+			},
+		}
+	}
+	if _, err := runEngines(t, p, Config{TrackShadow: true}, handlers); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !reflect.DeepEqual(per[0], per[1]) {
+		t.Fatalf("handler-visible state divergence:\n interp:   %+v\n threaded: %+v", per[0], per[1])
+	}
+	if per[0].shadow != 0xAB {
+		t.Fatalf("shadow did not propagate: %#x", per[0].shadow)
+	}
+}
+
+// TestEngineDifferentialFaults exercises the deterministic fault
+// clocks: nth-allocation NULL, nth-hook handler panic (recovered by Run
+// into a trap) and scheduler perturbation.
+func TestEngineDifferentialFaults(t *testing.T) {
+	hooked := func() *mir.Program {
+		p := mir.NewProgram()
+		b := p.NewFunc("main", 0)
+		b.Loop(mir.C(64), func(i mir.Reg) {
+			v := b.Add(mir.R(i), mir.C(1))
+			f := b.Func()
+			f.Blocks[b.CurBlock()].Instrs = append(f.Blocks[b.CurBlock()].Instrs, mir.Instr{
+				Op: mir.OpHook, Dst: mir.NoReg,
+				Hook: &mir.HookRef{
+					HandlerID: 0,
+					Args:      []mir.HookArg{{Kind: mir.HookReg, Reg: v}},
+					MetaDst:   mir.NoReg,
+					Name:      "ev",
+				},
+			})
+		})
+		b.Ret()
+		return p
+	}
+	countHandler := func(m *Machine) []HandlerFn {
+		return []HandlerFn{func(m *Machine, tid uint64, args []uint64) uint64 { return 0 }}
+	}
+	t.Run("handler-panic", func(t *testing.T) {
+		for _, nth := range []uint64{1, 20, 23} {
+			_, err := runEngines(t, hooked(), Config{Faults: FaultSpec{HandlerPanicNth: nth}}, countHandler)
+			wantKind(t, err, KindTrap)
+		}
+	})
+	t.Run("malloc-null", func(t *testing.T) {
+		p := mir.NewProgram()
+		b := p.NewFunc("main", 0)
+		b.Loop(mir.C(8), func(i mir.Reg) {
+			buf := b.Call("malloc", mir.C(64))
+			b.Store(mir.R(buf), mir.R(i), 8)
+			b.CallVoid("free", mir.R(buf))
+		})
+		b.Ret()
+		_, err := runEngines(t, p, Config{Faults: FaultSpec{MallocFailNth: 3}}, nil)
+		wantKind(t, err, KindLibFault)
+	})
+	t.Run("sched-perturb", func(t *testing.T) {
+		if _, err := runEngines(t, mixProg(3000), Config{Faults: FaultSpec{SchedPerturb: 0xDEADBEEF}}, nil); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+}
+
+// TestEngineDifferentialBudgets trips each resource budget: the step
+// limit, the heap budget and the (first-check) deadline — degraded
+// outcomes must carry the same kind, message and step count.
+func TestEngineDifferentialBudgets(t *testing.T) {
+	t.Run("step-limit", func(t *testing.T) {
+		_, err := runEngines(t, mixProg(1<<30), Config{MaxSteps: 1 << 16}, nil)
+		wantKind(t, err, KindStepLimit)
+	})
+	t.Run("heap-budget", func(t *testing.T) {
+		p := mir.NewProgram()
+		b := p.NewFunc("main", 0)
+		b.Loop(mir.C(1024), func(i mir.Reg) {
+			buf := b.Call("malloc", mir.C(1024))
+			b.Store(mir.R(buf), mir.R(i), 8)
+		})
+		b.Ret()
+		_, err := runEngines(t, p, Config{MaxHeapBytes: 1 << 14}, nil)
+		wantKind(t, err, KindHeapLimit)
+	})
+	t.Run("deadline-first-check", func(t *testing.T) {
+		// A 1ns deadline trips at the first wall-clock check (slice 128)
+		// on any machine, so the failing step count is deterministic and
+		// must agree across tiers.
+		_, err := runEngines(t, mixProg(1<<30), Config{Deadline: time.Nanosecond}, nil)
+		wantKind(t, err, KindDeadline)
+	})
+}
+
+// TestEngineDifferentialCalls covers user calls and returns terminating
+// chains: deep call trees, return values, and argument shadow plumbing.
+func TestEngineDifferentialCalls(t *testing.T) {
+	p := mir.NewProgram()
+	fib := p.NewFunc("fib", 1)
+	n := fib.Param(0)
+	isSmall := fib.Bin(mir.OpLt, mir.R(n), mir.C(2))
+	small := fib.NewBlock()
+	big := fib.NewBlock()
+	fib.CondBr(mir.R(isSmall), small, big)
+	fib.SetBlock(small)
+	fib.RetVal(mir.R(n))
+	fib.SetBlock(big)
+	a := fib.Sub(mir.R(n), mir.C(1))
+	c := fib.Sub(mir.R(n), mir.C(2))
+	ra := fib.Call("fib", mir.R(a))
+	rb := fib.Call("fib", mir.R(c))
+	s := fib.Add(mir.R(ra), mir.R(rb))
+	fib.RetVal(mir.R(s))
+	b := p.NewFunc("main", 0)
+	r := b.Call("fib", mir.C(17))
+	b.RetVal(mir.R(r))
+	p.Entry = "main"
+	res, err := runEngines(t, p, Config{}, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Exit != 1597 {
+		t.Fatalf("fib(17) = %d, want 1597", res.Exit)
+	}
+}
+
+// TestThreadedChainLayout sanity-checks the fuser itself: chains cover
+// fusable runs, never exceed maxChain, only end with control transfers,
+// and every mid-chain entry keeps a single-op fallback closure.
+func TestThreadedChainLayout(t *testing.T) {
+	p := mixProg(4)
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, Config{Engine: EngineThreaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	chains, pureRuns := 0, 0
+	for _, fn := range m.funcs {
+		if fn.threaded == nil {
+			t.Fatalf("function %s has no threaded code", fn.name)
+		}
+		for bi, tb := range fn.threaded {
+			entries := tb.entries
+			if len(entries) != len(fn.blocks[bi]) {
+				t.Fatalf("%s block %d: %d entries for %d instructions", fn.name, bi, len(entries), len(fn.blocks[bi]))
+			}
+			for pc, e := range entries {
+				if e.fn == nil {
+					t.Fatalf("%s b%d:%d has no single-op closure", fn.name, bi, pc)
+				}
+				if pureIns(&fn.blocks[bi][pc]) {
+					if len(e.pure) == 0 {
+						t.Fatalf("%s b%d:%d pure instruction without a pure run", fn.name, bi, pc)
+					}
+					pureRuns++
+					for k := pc; k < pc+len(e.pure); k++ {
+						if !pureIns(&fn.blocks[bi][k]) {
+							t.Fatalf("%s b%d:%d impure instruction inside pure run", fn.name, bi, k)
+						}
+					}
+					// Prefix sums must account the full run exactly.
+					var got uint64
+					for oi := range tb.pureOps {
+						got += uint64(tb.cum[oi][pc+len(e.pure)] - tb.cum[oi][pc])
+					}
+					if got != uint64(len(e.pure)) {
+						t.Fatalf("%s b%d:%d prefix sums cover %d of %d run ops", fn.name, bi, pc, got, len(e.pure))
+					}
+					continue
+				}
+				if e.chain == nil {
+					continue
+				}
+				chains++
+				if e.n < 2 || e.n > maxChain {
+					t.Fatalf("%s b%d:%d chain length %d out of range", fn.name, bi, pc, e.n)
+				}
+				for k := pc; k < pc+int(e.n)-1; k++ {
+					if chainFinal(&fn.blocks[bi][k]) {
+						t.Fatalf("%s b%d:%d control transfer mid-chain", fn.name, bi, k)
+					}
+				}
+			}
+		}
+	}
+	if chains == 0 {
+		t.Fatal("fuser built no superinstruction chains")
+	}
+	if pureRuns == 0 {
+		t.Fatal("builder formed no inline pure runs")
+	}
+}
