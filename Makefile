@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only,
 # no external dependencies).
 
-.PHONY: all build test race vet bench benchgate benchbaseline experiments examples fmt cover fuzz faults conform metrics
+.PHONY: all build test race vet bench benchgate benchbaseline experiments examples fmt cover fuzz faults conform metrics serve-smoke
 
 all: build vet test
 
@@ -76,6 +76,14 @@ metrics:
 	go run ./cmd/aldabench -exp fig4 -size tiny -reps 1 -virtual -parallel 4 \
 		-metrics-json metrics.json -trace trace.json
 	go run ./cmd/aldabench -attrib uaf -size tiny -reps 1 -virtual
+
+# End-to-end drill of the aldaserve job server: chaos burst via
+# aldaload (seeded VM faults), SIGTERM drain with zero lost jobs
+# (journal accepts == dones), restart-on-journal recovery, and
+# journal-fault degradation surfacing on /readyz. Dumps the server log
+# and journal on failure.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 examples:
 	go run ./examples/quickstart

@@ -249,9 +249,10 @@ func main() {
 			}
 		}
 		if reg != nil {
-			hits, misses := compiler.CompileCacheStats()
+			hits, misses, evictions := compiler.CompileCacheStats()
 			reg.AddVolatile("compiler.cache.hits", hits)
 			reg.AddVolatile("compiler.cache.misses", misses)
+			reg.AddVolatile("compiler.cache.evictions", evictions)
 			f, err := os.Create(*metricsJSON)
 			if err == nil {
 				// Volatile counters (hook ns, cache hits, retries) are

@@ -1,0 +1,105 @@
+// Command aldaserve runs the analysis-as-a-service daemon: the one-shot
+// aldabench machinery behind a long-lived HTTP/JSON job API.
+//
+// Usage:
+//
+//	aldaserve -addr :8080 -journal jobs.jsonl
+//	aldaserve -addr :8080 -shards 4 -workers 2 -queue-depth 64
+//	aldaserve -addr :8080 -journal jobs.jsonl -chaos-journal-write-nth 50
+//
+// API:
+//
+//	POST /v1/jobs        submit a job ({workload|mir, analysis, options});
+//	                     202 + status, or typed 400/429/503. ?wait=1 blocks.
+//	GET  /v1/jobs/{id}   job status/result; ?wait=1 blocks until terminal
+//	GET  /healthz        liveness
+//	GET  /readyz         readiness (503 while draining; notes journal degradation)
+//	GET  /metrics        obs registry JSON
+//
+// Jobs are deterministic in their request (virtual-time results), so the
+// write-ahead journal (-journal) makes the service crash-safe: kill -9,
+// restart with the same journal, and exactly the unfinished jobs re-run
+// with byte-identical results. SIGTERM/SIGINT drains gracefully: no new
+// admissions, queued and running jobs finish, journal is flushed.
+//
+// The -chaos-* flags inject deterministic journal I/O faults (the serve
+// half of the fault-injection testbed); VM-level chaos arrives per job
+// via options.fault_seed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 4, "worker-pool shards (jobs colocate by compile fingerprint)")
+	workers := flag.Int("workers", 1, "workers per shard")
+	queueDepth := flag.Int("queue-depth", 64, "bounded queue depth per shard (overflow is 429)")
+	tenantCap := flag.Int("tenant-inflight", 16, "per-tenant in-flight job cap (<0 disables)")
+	journal := flag.String("journal", "", "write-ahead job journal path (empty = no durability)")
+	syncEvery := flag.Int("journal-sync-every", 1, "fsync the journal every N records")
+	chaosWrite := flag.Uint64("chaos-journal-write-nth", 0, "inject a failure on the Nth journal write")
+	chaosSync := flag.Uint64("chaos-journal-sync-nth", 0, "inject a failure on the Nth journal fsync")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max time to finish in-flight jobs on SIGTERM")
+	maxSteps := flag.Uint64("max-steps", 0, "per-job step-budget cap (0 = default limits)")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Shards:           *shards,
+		WorkersPerShard:  *workers,
+		QueueDepth:       *queueDepth,
+		TenantInflight:   *tenantCap,
+		JournalPath:      *journal,
+		JournalSyncEvery: *syncEvery,
+		JournalFaults:    serve.JournalFaults{FailWriteNth: *chaosWrite, FailSyncNth: *chaosSync},
+		Metrics:          obs.NewRegistry(),
+	}
+	if *maxSteps > 0 {
+		cfg.Limits = serve.DefaultLimits()
+		cfg.Limits.MaxMaxSteps = *maxSteps
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aldaserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "aldaserve: listening on %s (shards=%d workers/shard=%d queue=%d journal=%q)\n",
+		*addr, *shards, *workers, *queueDepth, *journal)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "aldaserve: %v\n", err)
+		os.Exit(1)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "aldaserve: %v: draining (timeout %s)\n", got, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop admissions first (readyz flips, jobs drain), then close the
+	// listener; in-flight HTTP waits get their responses.
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "aldaserve: drain: %v (unfinished jobs stay journaled)\n", err)
+		srv.Close()
+		os.Exit(1)
+	}
+	srv.Shutdown(ctx)
+	fmt.Fprintln(os.Stderr, "aldaserve: drained cleanly")
+}

@@ -44,11 +44,21 @@ func (c Config) fingerprint() string {
 		c.Size, c.Reps, c.Opt.Seed, c.Virtual, c.Metrics != nil, c.Opt.Engine)
 }
 
+// checkpointSyncEvery batches fsync: every Nth appended record forces
+// the file to stable storage. Between syncs a power loss can drop at
+// most the unsynced tail — each record is still a single write, so the
+// surviving prefix plus at most one torn line is all a reader ever
+// sees, and loadCheckpoint tolerates the torn line.
+const checkpointSyncEvery = 8
+
 // checkpointWriter appends records to the checkpoint file; safe for the
-// concurrent cell workers.
+// concurrent cell workers. Writes are durable: appended records are
+// fsynced in small batches and on close, so a machine crash (not just a
+// process kill) loses at most the last few cells.
 type checkpointWriter struct {
-	mu sync.Mutex
-	f  *os.File
+	mu      sync.Mutex
+	f       *os.File
+	pending int // records appended since the last sync
 }
 
 func newCheckpointWriter(path string) (*checkpointWriter, error) {
@@ -67,14 +77,80 @@ func (w *checkpointWriter) append(rec checkpointRecord) error {
 	b = append(b, '\n')
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	_, err = w.f.Write(b) // one line per write: a kill never tears a record
-	return err
+	if _, err := w.f.Write(b); err != nil { // one line per write: a kill never tears a record
+		return err
+	}
+	w.pending++
+	if w.pending >= checkpointSyncEvery {
+		w.pending = 0
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// sync flushes any unsynced records to stable storage.
+func (w *checkpointWriter) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.pending == 0 {
+		return nil
+	}
+	w.pending = 0
+	return w.f.Sync()
 }
 
 func (w *checkpointWriter) close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.pending > 0 {
+		w.pending = 0
+		w.f.Sync()
+	}
 	return w.f.Close()
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory, fsyncs it, and renames it into place — a crash leaves
+// either the old file or the complete new one, never a torn prefix.
+// The harness uses it for whole-file artifacts (metrics exports,
+// journal headers) whose readers cannot tolerate partial contents the
+// way the JSONL record streams can.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := "."
+	if i := lastSlash(path); i >= 0 {
+		dir = path[:i+1]
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-ckpt-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
 }
 
 // loadCheckpoint reads the records of path that match the grid and

@@ -67,9 +67,19 @@ type Config struct {
 	// Retries re-measures a cell up to this many extra times when its
 	// failure is retryable (vm.KindDeadline — the one load-dependent
 	// kind). The wait between attempts starts at RetryBackoff (default
-	// 100ms) and doubles.
-	Retries      int
-	RetryBackoff time.Duration
+	// 100ms) and doubles, capped per-wait at RetryMaxBackoff (default
+	// 2s) with deterministic equal-jitter decorrelation, and capped in
+	// total at RetryBudget (default 30s) so a flapping cell cannot
+	// stall a sweep — or a server drain — indefinitely.
+	Retries         int
+	RetryBackoff    time.Duration
+	RetryMaxBackoff time.Duration
+	RetryBudget     time.Duration
+	// SweepDeadline, when non-zero, is the absolute instant the sweep
+	// must wind down by: a retry whose backoff wait would cross it is
+	// abandoned and the cell degrades with its last error. Set by
+	// drain paths that need the sweep to finish promptly.
+	SweepDeadline time.Time
 	// CheckpointPath appends one JSONL record per completed cell
 	// (degraded cells included) to this file. Empty disables
 	// checkpointing.
@@ -113,6 +123,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.RetryMaxBackoff <= 0 {
+		c.RetryMaxBackoff = 2 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 30 * time.Second
 	}
 	return c
 }

@@ -149,7 +149,13 @@ func (c Config) measureCell(g *gridSpec, program string, col int, sh *obs.Shard)
 		w, _, err = c.measure(fn)
 		return w, err
 	}
-	backoff := c.RetryBackoff
+	policy := retryPolicy{
+		Base:   c.RetryBackoff,
+		Max:    c.RetryMaxBackoff,
+		Budget: c.RetryBudget,
+		Seed:   cellRetrySeed(g.name, program+"/"+g.colName(col)),
+	}
+	var spent time.Duration
 	for try := 0; ; try++ {
 		wall, err = attempt()
 		if err == nil {
@@ -159,8 +165,17 @@ func (c Config) measureCell(g *gridSpec, program string, col int, sh *obs.Shard)
 		if try >= c.Retries || !errors.As(err, &re) || !re.Retryable() {
 			return 0, try, err
 		}
-		time.Sleep(backoff)
-		backoff *= 2
+		d, ok := policy.delay(try, spent)
+		if !ok {
+			// Retry budget exhausted: degrade with the last error rather
+			// than wait out an unbounded schedule.
+			return 0, try, err
+		}
+		if !c.SweepDeadline.IsZero() && retryNow().Add(d).After(c.SweepDeadline) {
+			return 0, try, err
+		}
+		retrySleep(d)
+		spent += d
 	}
 }
 

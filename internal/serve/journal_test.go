@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testReq(workload string) *JobRequest {
+	return &JobRequest{Tenant: "t0", Workload: workload, Analysis: "uaf"}
+}
+
+// TestJournalRoundTrip: accepts and dones written before a close are
+// all recovered, unfinished = accepts lacking a done, and MaxSeq is the
+// high-water mark new IDs must clear.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, rec, err := OpenJournal(path, "fp1", 1, JournalFaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Done) != 0 || len(rec.Unfinished) != 0 || rec.MaxSeq != 0 {
+		t.Fatalf("fresh journal recovered state: %+v", rec)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := j.AppendAccept(seq, jobID(seq), testReq("sort")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.AppendDone(&JobStatus{ID: "j2", State: StateDone, Result: &JobResult{Exit: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err = OpenJournal(path, "fp1", 1, JournalFaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Done); got != 1 || rec.Done["j2"].Result.Exit != 7 {
+		t.Fatalf("done recovered wrong: %d entries, %+v", got, rec.Done["j2"])
+	}
+	if len(rec.Unfinished) != 2 || rec.Unfinished[0].ID != "j1" || rec.Unfinished[1].ID != "j3" {
+		t.Fatalf("unfinished recovered wrong: %+v", rec.Unfinished)
+	}
+	if rec.MaxSeq != 3 {
+		t.Fatalf("MaxSeq = %d, want 3", rec.MaxSeq)
+	}
+}
+
+func jobID(seq uint64) string { return "j" + string(rune('0'+seq)) }
+
+// TestJournalTornTrailingLine: a partial final line — the kill -9
+// arrived mid-write — must not poison recovery of the complete records
+// before it.
+func TestJournalTornTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, _, err := OpenJournal(path, "fp1", 1, JournalFaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendAccept(1, "j1", testReq("sort")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"type":"done","status":{"id":"j1","sta`) // torn
+	f.Close()
+
+	_, rec, err := OpenJournal(path, "fp1", 1, JournalFaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Unfinished) != 1 || rec.Unfinished[0].ID != "j1" {
+		t.Fatalf("torn line broke recovery: %+v", rec)
+	}
+}
+
+// TestJournalFingerprintMismatch: a journal written under different
+// server limits must refuse to replay — the results would not be
+// comparable.
+func TestJournalFingerprintMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, _, err := OpenJournal(path, "fp1", 1, JournalFaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, _, err := OpenJournal(path, "fp2", 1, JournalFaults{}); err == nil ||
+		!strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Fatalf("err = %v, want fingerprint mismatch", err)
+	}
+}
+
+// TestJournalInjectedFaultsDegrade: the Nth write / Nth sync failing
+// flips the journal to degraded and counts an error, but later appends
+// keep working — availability over durability.
+func TestJournalInjectedFaultsDegrade(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		faults JournalFaults
+	}{
+		{"write", JournalFaults{FailWriteNth: 2}},
+		{"sync", JournalFaults{FailSyncNth: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "jobs.jsonl")
+			j, _, err := OpenJournal(path, "fp1", 1, tc.faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := j.AppendAccept(1, "j1", testReq("sort")); err != nil {
+				t.Fatalf("append 1: %v", err)
+			}
+			if j.Degraded() {
+				t.Fatal("degraded before the injected ordinal")
+			}
+			if err := j.AppendAccept(2, "j2", testReq("sort")); !errors.Is(err, errInjected) {
+				t.Fatalf("append 2: err = %v, want injected fault", err)
+			}
+			if !j.Degraded() {
+				t.Fatal("injected fault did not flip degraded")
+			}
+			if err := j.AppendAccept(3, "j3", testReq("sort")); err != nil {
+				t.Fatalf("append after fault: %v (faults must fire once)", err)
+			}
+			_, errs := j.Stats()
+			if errs != 1 {
+				t.Fatalf("errs = %d, want 1", errs)
+			}
+			j.Close()
+		})
+	}
+}
+
+// TestJournalBatchedSync: SyncEvery > 1 batches fsyncs but records are
+// still recoverable after Close (which flushes the tail).
+func TestJournalBatchedSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, _, err := OpenJournal(path, "fp1", 8, JournalFaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := j.AppendAccept(seq, jobID(seq), testReq("sort")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.syncs != 0 {
+		t.Fatalf("syncs = %d before the batch filled, want 0", j.syncs)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := OpenJournal(path, "fp1", 8, JournalFaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Unfinished) != 5 {
+		t.Fatalf("recovered %d unfinished, want 5", len(rec.Unfinished))
+	}
+}

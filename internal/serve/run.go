@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analyses"
+	"repro/internal/compiler"
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/mir"
+	"repro/internal/obs"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// compileOptions returns the compilation configuration jobs run under:
+// full optimization with the requested execution tier. The engine
+// participates in Options.Fingerprint, so interp and threaded jobs
+// cache — and shard — separately.
+func compileOptions(eng vm.Engine) compiler.Options {
+	o := compiler.DefaultOptions()
+	o.Engine = eng
+	return o
+}
+
+// compileAnalysis resolves "uaf" or "uaf+msan" through the bounded
+// process-wide compile cache.
+func compileAnalysis(spec string, opts compiler.Options) (*compiler.Analysis, error) {
+	names := strings.Split(spec, "+")
+	if len(names) == 1 {
+		return analyses.Compile(names[0], opts)
+	}
+	return analyses.CompileCombined(opts, names...)
+}
+
+// buildProgram materializes the job's program: a named workload (with
+// optional injected bug) or inline MIR.
+func buildProgram(req *JobRequest) (*mir.Program, error) {
+	if req.MIR != "" {
+		p, err := mir.ParseText(req.MIR)
+		if err != nil {
+			return nil, fmt.Errorf("mir: %v", err)
+		}
+		if err := p.Verify(); err != nil {
+			return nil, fmt.Errorf("mir: %v", err)
+		}
+		return p, nil
+	}
+	size, err := parseSize(req.Size)
+	if err != nil {
+		return nil, err
+	}
+	bug, err := parseBug(req.Bug)
+	if err != nil {
+		return nil, err
+	}
+	return workloads.BuildBug(req.Workload, size, bug)
+}
+
+// jobError maps an execution failure to its typed wire form. VM
+// failures keep their taxonomy kind; anything else degrades to "fail".
+func jobError(err error) *JobError {
+	var re *vm.RunError
+	if errors.As(err, &re) {
+		return &JobError{Kind: re.KindLabel(), Message: re.Msg, Retryable: re.Retryable()}
+	}
+	return &JobError{Kind: "fail", Message: err.Error()}
+}
+
+// Execute runs one job to completion under the server's limits,
+// returning either a deterministic result or a typed error — never
+// both, and never a panic: workload builders, the compiler, the
+// instrumenter and analysis handlers all run behind recover(), so a
+// hostile tenant degrades to a JobError{Kind:"panic"} response while
+// the worker survives. The shard, when non-nil, receives the run's
+// deterministic observability counters.
+func Execute(req *JobRequest, lim Limits, shard *obs.Shard) (res *JobResult, jerr *JobError) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, jerr = nil, &JobError{Kind: "panic", Message: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+
+	eng, err := vm.ParseEngine(req.Options.Engine)
+	if err != nil {
+		return nil, &JobError{Kind: "fail", Message: err.Error()}
+	}
+	prog, err := buildProgram(req)
+	if err != nil {
+		return nil, jobError(err)
+	}
+	a, err := compileAnalysis(req.Analysis, compileOptions(eng))
+	if err != nil {
+		return nil, jobError(err)
+	}
+
+	seed := req.Options.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	opt := core.RunOptions{
+		Seed:         seed,
+		MaxSteps:     clamp(req.Options.MaxSteps, lim.DefaultMaxSteps, lim.MaxMaxSteps),
+		MaxHeapBytes: clamp(req.Options.MaxHeapBytes, lim.DefaultMaxHeap, lim.MaxMaxHeap),
+		Deadline:     clamp(millis(req.Options.DeadlineMS), lim.DefaultDeadline, lim.MaxDeadline),
+		Faults:       req.Options.faultSpec(),
+		Engine:       eng,
+		Metrics:      shard,
+	}
+	vres, err := core.RunAnalysis(prog, a, opt)
+	if err != nil {
+		return nil, jobError(err)
+	}
+	out := &JobResult{
+		Exit:      vres.Exit,
+		Steps:     vres.Steps,
+		HookCalls: vres.HookCalls,
+		Virtual:   vres.Steps + 16*vres.HookCalls,
+	}
+	if canon := conformance.Canon(vres.Reports); canon != "" {
+		out.Reports = strings.Split(canon, "\n")
+	}
+	return out, nil
+}
+
+func millis(ms int64) time.Duration {
+	return time.Duration(ms) * time.Millisecond
+}

@@ -1,0 +1,552 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/obs"
+)
+
+// Config sizes the server. Zero fields take the documented defaults.
+type Config struct {
+	// Shards is the number of worker-pool shards. Jobs are placed by
+	// compile fingerprint (analysis × options), so jobs sharing a
+	// cached compiled analysis colocate on one shard and keep its
+	// caches warm. Default 4.
+	Shards int
+	// WorkersPerShard is the goroutine count per shard. Default 1.
+	WorkersPerShard int
+	// QueueDepth bounds each shard's admission queue: a burst beyond
+	// workers+queue is rejected with 429 + Retry-After instead of
+	// growing an unbounded backlog. Default 64.
+	QueueDepth int
+	// TenantInflight caps one tenant's queued+running jobs; excess is
+	// 429'd so a single hot tenant cannot starve the rest. 0 means the
+	// default (16); negative disables the cap.
+	TenantInflight int
+	// JournalPath enables the write-ahead job journal (empty = no
+	// durability).
+	JournalPath string
+	// JournalSyncEvery batches journal fsyncs (default 1 = every
+	// record, the full-durability setting).
+	JournalSyncEvery int
+	// JournalFaults injects deterministic journal I/O failures (chaos
+	// testing).
+	JournalFaults JournalFaults
+	// Limits are the per-job resource budgets; zero fields take
+	// DefaultLimits.
+	Limits Limits
+	// Metrics receives service counters and per-job deterministic VM
+	// counters (nil = a private registry, still served on /metrics).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.WorkersPerShard <= 0 {
+		c.WorkersPerShard = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.TenantInflight == 0 {
+		c.TenantInflight = 16
+	}
+	if c.JournalSyncEvery <= 0 {
+		c.JournalSyncEvery = 1
+	}
+	def := DefaultLimits()
+	if c.Limits.DefaultMaxSteps == 0 {
+		c.Limits.DefaultMaxSteps = def.DefaultMaxSteps
+	}
+	if c.Limits.MaxMaxSteps == 0 {
+		c.Limits.MaxMaxSteps = def.MaxMaxSteps
+	}
+	if c.Limits.DefaultMaxHeap == 0 {
+		c.Limits.DefaultMaxHeap = def.DefaultMaxHeap
+	}
+	if c.Limits.MaxMaxHeap == 0 {
+		c.Limits.MaxMaxHeap = def.MaxMaxHeap
+	}
+	if c.Limits.DefaultDeadline == 0 {
+		c.Limits.DefaultDeadline = def.DefaultDeadline
+	}
+	if c.Limits.MaxDeadline == 0 {
+		c.Limits.MaxDeadline = def.MaxDeadline
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// fingerprint guards the journal: results are a function of the
+// journal version and the budget limits (a job that failed HeapLimit
+// under one cap might succeed under another), so a journal written
+// under different limits must not be replayed.
+func (c Config) fingerprint() string {
+	l := c.Limits
+	return fmt.Sprintf("serve-v%d steps=%d/%d heap=%d/%d deadline=%s/%s",
+		journalVersion, l.DefaultMaxSteps, l.MaxMaxSteps,
+		l.DefaultMaxHeap, l.MaxMaxHeap, l.DefaultDeadline, l.MaxDeadline)
+}
+
+// job is one accepted job's server-side state.
+type job struct {
+	id   string
+	seq  uint64
+	req  JobRequest
+	mu   sync.Mutex
+	stat JobStatus
+	done chan struct{} // closed at terminal state
+}
+
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stat
+}
+
+func (j *job) setState(state string) {
+	j.mu.Lock()
+	j.stat.State = state
+	j.mu.Unlock()
+}
+
+// finish records the terminal status and wakes waiters.
+func (j *job) finish(res *JobResult, jerr *JobError) JobStatus {
+	j.mu.Lock()
+	if jerr != nil {
+		j.stat.State = StateFailed
+		j.stat.Error = jerr
+	} else {
+		j.stat.State = StateDone
+		j.stat.Result = res
+	}
+	out := j.stat
+	j.mu.Unlock()
+	close(j.done)
+	return out
+}
+
+// shard is one slice of the worker pool: a bounded queue plus a
+// semaphore bounding queued+running occupancy, sized so that a job
+// holding a token always has a queue slot — admission that wins a
+// token never blocks on the send.
+type shard struct {
+	queue  chan *job
+	tokens chan struct{}
+}
+
+// Server is the aldaserve core: admission, sharded execution,
+// journaling, drain. Construct with New, mount Handler, stop with
+// Shutdown.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	journal *Journal
+
+	mu      sync.Mutex // jobs, seq, tenants
+	jobs    map[string]*job
+	seq     uint64
+	tenants map[string]int
+
+	sendMu   sync.RWMutex // guards draining + queue sends
+	draining bool
+	drainCh  chan struct{}
+	drainOne sync.Once
+
+	shards []*shard
+	wg     sync.WaitGroup
+
+	cacheMu                             sync.Mutex // counter delta export for /metrics
+	lastHits, lastMisses, lastEvictions uint64
+	lastJournalAppends, lastJournalErrs uint64
+}
+
+// New builds a server, replays its journal (if configured), starts the
+// worker pool, and re-enqueues every journaled-but-unfinished job.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		jobs:    map[string]*job{},
+		tenants: map[string]int{},
+		drainCh: make(chan struct{}),
+	}
+	var recovered *Recovered
+	if cfg.JournalPath != "" {
+		var err error
+		s.journal, recovered, err = OpenJournal(cfg.JournalPath, cfg.fingerprint(), cfg.JournalSyncEvery, cfg.JournalFaults)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cap := cfg.QueueDepth + cfg.WorkersPerShard
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{queue: make(chan *job, cap), tokens: make(chan struct{}, cap)}
+		s.shards = append(s.shards, sh)
+		for w := 0; w < cfg.WorkersPerShard; w++ {
+			s.wg.Add(1)
+			go s.worker(sh)
+		}
+	}
+	if recovered != nil {
+		s.replay(recovered)
+	}
+	return s, nil
+}
+
+// replay restores journaled terminal jobs and re-enqueues unfinished
+// accepts. Unfinished jobs were admitted before the crash, so they
+// bypass admission control (blocking token acquisition in a background
+// goroutine) — a restart must never 429 work it already promised.
+func (s *Server) replay(rec *Recovered) {
+	s.mu.Lock()
+	s.seq = rec.MaxSeq
+	for id, st := range rec.Done {
+		j := &job{id: id, stat: *st, done: make(chan struct{})}
+		close(j.done)
+		s.jobs[id] = j
+	}
+	var pending []*job
+	for _, a := range rec.Unfinished {
+		j := &job{
+			id: a.ID, seq: a.Seq, req: *a.Req,
+			stat: JobStatus{ID: a.ID, Tenant: a.Req.Tenant, State: StateQueued},
+			done: make(chan struct{}),
+		}
+		s.jobs[a.ID] = j
+		s.tenants[a.Req.Tenant]++
+		pending = append(pending, j)
+	}
+	s.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	s.reg.Add("serve.jobs.recovered", uint64(len(pending)))
+	go func() {
+		for _, j := range pending {
+			sh := s.shards[s.shardOf(&j.req)]
+			select {
+			case sh.tokens <- struct{}{}:
+			case <-s.drainCh:
+				return // still journaled as unfinished; the next restart gets it
+			}
+			s.sendMu.RLock()
+			if s.draining {
+				s.sendMu.RUnlock()
+				return
+			}
+			sh.queue <- j
+			s.sendMu.RUnlock()
+		}
+	}()
+}
+
+// shardOf places a job by compile fingerprint so cache-affine jobs
+// colocate.
+func (s *Server) shardOf(req *JobRequest) int {
+	h := fnv.New32a()
+	h.Write([]byte(req.fingerprintKey()))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// worker drains one shard's queue until Shutdown closes it.
+func (s *Server) worker(sh *shard) {
+	defer s.wg.Done()
+	for j := range sh.queue {
+		s.runJob(j)
+		<-sh.tokens
+	}
+}
+
+// runJob executes one job, journals the terminal status, and folds the
+// run's counters into the registry.
+func (s *Server) runJob(j *job) {
+	j.setState(StateRunning)
+	var shard *obs.Shard
+	if s.reg != nil {
+		shard = obs.NewShard()
+	}
+	start := time.Now()
+	res, jerr := Execute(&j.req, s.cfg.Limits, shard)
+	wall := time.Since(start)
+
+	status := j.finish(res, jerr)
+	if s.journal != nil {
+		if err := s.journal.AppendDone(&status); err != nil {
+			s.reg.AddVolatile("serve.journal.errors", 1)
+		}
+	}
+	s.mu.Lock()
+	s.tenants[j.req.Tenant]--
+	if s.tenants[j.req.Tenant] <= 0 {
+		delete(s.tenants, j.req.Tenant)
+	}
+	s.mu.Unlock()
+
+	if jerr != nil {
+		s.reg.Add("serve.jobs.failed."+jerr.Kind, 1)
+	} else {
+		s.reg.Add("serve.jobs.completed", 1)
+		s.reg.MergeShard(shard)
+	}
+	s.reg.AddVolatile("serve.job_wall_ns", uint64(wall))
+}
+
+// accept admits one validated request: tenant cap, shard token,
+// journal, enqueue. Returns the queued job or a typed rejection.
+func (s *Server) accept(req *JobRequest) (*job, int, *JobError) {
+	shIdx := s.shardOf(req)
+	sh := s.shards[shIdx]
+
+	// Per-tenant in-flight cap first: a busy tenant must not consume
+	// queue tokens other tenants could use.
+	if s.cfg.TenantInflight > 0 {
+		s.mu.Lock()
+		busy := s.tenants[req.Tenant] >= s.cfg.TenantInflight
+		s.mu.Unlock()
+		if busy {
+			s.reg.AddVolatile("serve.rejected.tenant_cap", 1)
+			return nil, http.StatusTooManyRequests,
+				&JobError{Kind: "TenantBusy", Message: fmt.Sprintf("tenant %q at in-flight cap %d", req.Tenant, s.cfg.TenantInflight), Retryable: true}
+		}
+	}
+	// Bounded queue: win a shard token or be backpressured.
+	select {
+	case sh.tokens <- struct{}{}:
+	default:
+		s.reg.AddVolatile("serve.rejected.queue_full", 1)
+		return nil, http.StatusTooManyRequests,
+			&JobError{Kind: "QueueFull", Message: fmt.Sprintf("shard %d queue full", shIdx), Retryable: true}
+	}
+
+	s.mu.Lock()
+	s.seq++
+	j := &job{
+		id: fmt.Sprintf("j%d", s.seq), seq: s.seq, req: *req,
+		done: make(chan struct{}),
+	}
+	j.stat = JobStatus{ID: j.id, Tenant: req.Tenant, State: StateQueued}
+	s.jobs[j.id] = j
+	s.tenants[req.Tenant]++
+	s.mu.Unlock()
+
+	// Write-ahead: the accept record reaches the journal (fsynced)
+	// before the client sees 202. A journal failure degrades
+	// durability, not availability.
+	if s.journal != nil {
+		if err := s.journal.AppendAccept(j.seq, j.id, &j.req); err != nil {
+			s.reg.AddVolatile("serve.journal.errors", 1)
+		}
+	}
+
+	s.sendMu.RLock()
+	if s.draining {
+		// Lost the race with Shutdown: undo the admission.
+		s.sendMu.RUnlock()
+		<-sh.tokens
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.tenants[req.Tenant]--
+		if s.tenants[req.Tenant] <= 0 {
+			delete(s.tenants, req.Tenant)
+		}
+		s.mu.Unlock()
+		return nil, http.StatusServiceUnavailable,
+			&JobError{Kind: "Draining", Message: "server is draining", Retryable: true}
+	}
+	sh.queue <- j // token held ⇒ never blocks
+	s.sendMu.RUnlock()
+
+	s.reg.Add("serve.jobs.accepted", 1)
+	return j, http.StatusAccepted, nil
+}
+
+// lookup returns a job by ID.
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.sendMu.RLock()
+	defer s.sendMu.RUnlock()
+	return s.draining
+}
+
+// Shutdown gracefully drains the server: stop accepting, finish every
+// queued and running job, flush and close the journal. If ctx expires
+// first, the remaining jobs stay journaled as unfinished — a restart
+// with the same journal picks them up (that is the "checkpoint
+// in-flight" half of the drain contract) — and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOne.Do(func() {
+		s.sendMu.Lock()
+		s.draining = true
+		close(s.drainCh)
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+		s.sendMu.Unlock()
+	})
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		if s.journal != nil {
+			if err := s.journal.Close(); err != nil {
+				return fmt.Errorf("closing journal: %w", err)
+			}
+		}
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain interrupted: %w", ctx.Err())
+	}
+}
+
+// writeJSON writes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// errorBody is the non-job error envelope (bad request, not found,
+// draining, backpressure).
+type errorBody struct {
+	Error *JobError `json:"error"`
+}
+
+// Handler mounts the service API:
+//
+//	POST /v1/jobs        submit (202, or 400/429/503 typed errors);
+//	                     ?wait=1 blocks until terminal and returns 200
+//	GET  /v1/jobs/{id}   status/result; ?wait=1 blocks until terminal
+//	GET  /healthz        process liveness
+//	GET  /readyz         accepting? 200 ("ok" or "degraded: journal") / 503 draining
+//	GET  /metrics        obs registry JSON (volatile included)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{&JobError{Kind: "Draining", Message: "server is draining", Retryable: true}})
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.reg.AddVolatile("serve.rejected.invalid", 1)
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{&JobError{Kind: "BadRequest", Message: err.Error()}})
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.reg.AddVolatile("serve.rejected.invalid", 1)
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{&JobError{Kind: "BadRequest", Message: err.Error()}})
+		return
+	}
+	j, code, jerr := s.accept(&req)
+	if jerr != nil {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, code, errorBody{jerr})
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		s.waitAndReply(w, r, j)
+		return
+	}
+	writeJSON(w, code, j.snapshot())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{&JobError{Kind: "NotFound", Message: "no such job"}})
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		s.waitAndReply(w, r, j)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// waitAndReply blocks until the job is terminal (or the client goes
+// away) and replies with the final status.
+func (s *Server) waitAndReply(w http.ResponseWriter, r *http.Request, j *job) {
+	select {
+	case <-j.done:
+		writeJSON(w, http.StatusOK, j.snapshot())
+	case <-r.Context().Done():
+		writeJSON(w, http.StatusOK, j.snapshot()) // best effort: current state
+	}
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	if s.journal != nil && s.journal.Degraded() {
+		w.Write([]byte("degraded: journal\n"))
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Fold the process-wide compile-cache deltas in as volatile
+	// counters (they are shared across servers in one process, hence
+	// not deterministic per server).
+	hits, misses, evicts := compiler.CompileCacheStats()
+	s.cacheMu.Lock()
+	dh, dm, de := hits-s.lastHits, misses-s.lastMisses, evicts-s.lastEvictions
+	s.lastHits, s.lastMisses, s.lastEvictions = hits, misses, evicts
+	s.cacheMu.Unlock()
+	s.reg.AddVolatile("compiler.cache.hits", dh)
+	s.reg.AddVolatile("compiler.cache.misses", dm)
+	s.reg.AddVolatile("compiler.cache.evictions", de)
+	if s.journal != nil {
+		appends, errs := s.journal.Stats()
+		s.cacheMu.Lock()
+		da, de2 := appends-s.lastJournalAppends, errs-s.lastJournalErrs
+		s.lastJournalAppends, s.lastJournalErrs = appends, errs
+		s.cacheMu.Unlock()
+		s.reg.AddVolatile("serve.journal.appends", da)
+		s.reg.AddVolatile("serve.journal.append_errors", de2)
+	}
+	s.reg.WriteJSON(w, true)
+}
