@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only,
 # no external dependencies).
 
-.PHONY: all build test race vet bench benchgate benchbaseline experiments examples fmt cover fuzz faults conform metrics serve-smoke
+.PHONY: all build test race vet bench benchgate benchbaseline experiments examples fmt cover fuzz faults conform replay-conform metrics serve-smoke
 
 all: build vet test
 
@@ -33,6 +33,14 @@ faults:
 # generator seed range; raise -conform-seeds for a nightly-scale sweep.
 conform:
 	go test ./internal/conformance -run 'TestConform' -count=1 -conform-seeds 200
+
+# Replay conformance sweep: every generated workload recorded once
+# plain, the trace fanned across the ablation matrix (schedule-invariant
+# verdict comparison) plus the byte-identical same-configuration
+# record/replay leg, the shared-trace concurrency proof, and the
+# trace-corruption shrinker.
+replay-conform:
+	go test ./internal/conformance -run 'TestReplayConform|TestConcurrentReplay|TestShrinkReplayDivergence' -count=1 -conform-seeds 200
 
 # Short fuzz passes over the parser, the set containers, and the
 # conformance harness (all three seed from checked-in testdata/fuzz

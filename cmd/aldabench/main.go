@@ -13,6 +13,8 @@
 //	aldabench -exp all -checkpoint sweep.jsonl # stream completed cells to JSONL
 //	aldabench -exp all -checkpoint sweep.jsonl -resume   # continue a killed sweep
 //	aldabench -exp fig4 -virtual -fault-seed 20          # inject a deterministic fault
+//	aldabench -exp replay -trace-out traces/   # record plain traces, replay per analysis
+//	aldabench -exp replay -trace-in traces/    # reuse previously recorded traces
 //
 // Measurement cells (one workload × one configuration) are independent;
 // -parallel N fans them out over N worker goroutines (0 = GOMAXPROCS).
@@ -108,7 +110,7 @@ func runBench(emitJSON bool, gate bool, baseline string, benchtime time.Duration
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3|fig4|fig5|table3|table4|libsan|ablate|pgo|mem|gran|all")
+	exp := flag.String("exp", "all", "experiment: fig3|fig4|fig5|table3|table4|libsan|ablate|pgo|mem|gran|replay|all")
 	sizeFlag := flag.String("size", "small", "workload size: tiny|small|medium|large")
 	reps := flag.Int("reps", 3, "measured repetitions per configuration (one warm-up run is added)")
 	seed := flag.Int64("seed", 1, "deterministic scheduler seed")
@@ -139,6 +141,8 @@ func main() {
 	profileIn := flag.String("profile-in", "", "load a profile written by -profile-out; the pgo experiment uses it instead of training inline")
 	profileAnalysis := flag.String("profile-analysis", "msan", "analysis -profile-out trains")
 	profileTrain := flag.String("profile-train", "libquantum", "workload -profile-out trains on (at size tiny, matching the pgo experiment)")
+	traceOut := flag.String("trace-out", "", "directory for recorded replay traces; missing workload traces are recorded there (enables -exp replay)")
+	traceIn := flag.String("trace-in", "", "directory of previously recorded replay traces; a missing trace is an error (enables -exp replay)")
 	flag.Parse()
 
 	if *benchJSON || *benchGate {
@@ -186,6 +190,19 @@ func main() {
 
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *traceOut != "" && *traceIn != "" {
+		fmt.Fprintln(os.Stderr, "-trace-out and -trace-in are mutually exclusive")
+		os.Exit(2)
+	}
+	cfg.TraceDir = *traceIn
+	if *traceOut != "" {
+		cfg.TraceDir = *traceOut
+		cfg.TraceRecord = true
+	}
+	if *exp == "replay" && cfg.TraceDir == "" {
+		fmt.Fprintln(os.Stderr, "-exp replay needs -trace-out (record) or -trace-in (reuse)")
 		os.Exit(2)
 	}
 
@@ -321,8 +338,15 @@ func main() {
 	run("pgo", func(c harness.Config) error { _, err := harness.PGO(c); return err })
 	run("mem", func(c harness.Config) error { _, err := harness.Mem(c); return err })
 	run("gran", func(c harness.Config) error { _, err := harness.Granularity(c); return err })
+	run("replay", func(c harness.Config) error {
+		if c.TraceDir == "" {
+			return nil // -exp all without a trace dir skips the replay grid
+		}
+		_, err := harness.Replay(c)
+		return err
+	})
 
-	if !strings.Contains("fig3 fig4 fig5 table3 table4 libsan ablate pgo mem gran all", *exp) {
+	if !strings.Contains("fig3 fig4 fig5 table3 table4 libsan ablate pgo mem gran replay all", *exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}

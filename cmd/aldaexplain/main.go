@@ -9,6 +9,7 @@
 //	aldaexplain -analysis eraser
 //	aldaexplain -analysis eraser,fasttrack,uaf,tainttrack -compare
 //	aldaexplain -file my.alda
+//	aldaexplain -trace traces/fft.trc          # recorded replay-trace statistics
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -40,8 +42,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stats := fs.Bool("stats", false, "run -workload (size tiny) under the analysis and print its observability counters")
 	workload := fs.String("workload", "fft", "workload for -stats")
 	engineFlag := fs.String("engine", "interp", "VM execution tier the plan targets: interp|threaded")
+	traceFile := fs.String("trace", "", "print the event and compression statistics of a recorded replay trace (.trc) and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *traceFile != "" {
+		if err := showTraceStats(stdout, *traceFile); err != nil {
+			fmt.Fprintln(stderr, "aldaexplain:", err)
+			return 1
+		}
+		return 0
 	}
 	eng, err := vm.ParseEngine(*engineFlag)
 	if err != nil {
@@ -105,6 +115,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// showTraceStats decodes a recorded replay trace and prints what the
+// stream holds: recording identity, per-kind event counts, and the
+// compression the stride/varint encoding achieved over a fixed-width
+// layout of the same events.
+func showTraceStats(stdout io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Decode(data)
+	if err != nil {
+		return err
+	}
+	s := tr.Stats()
+	fmt.Fprintf(stdout, "=== trace %s ===\n", path)
+	fmt.Fprintf(stdout, "program fingerprint: %#016x\n", s.ProgFP)
+	fmt.Fprintf(stdout, "recorded with: seed=%d quantum=%d\n", s.Seed, s.Quantum)
+	fmt.Fprintf(stdout, "scheduler quanta: %d\n", s.Batches)
+	fmt.Fprintf(stdout, "events: %d\n", s.Events)
+	for _, row := range []struct {
+		name string
+		n    uint64
+	}{
+		{"load", s.Loads}, {"store", s.Stores}, {"lib", s.Libs},
+		{"lock", s.Locks}, {"unlock", s.Unlocks},
+		{"spawn", s.Spawns}, {"join", s.Joins},
+		{"alloc", s.Allocs}, {"free", s.Frees},
+	} {
+		if row.n > 0 {
+			fmt.Fprintf(stdout, "  %-8s %12d\n", row.name, row.n)
+		}
+	}
+	fmt.Fprintf(stdout, "run-length records: %d\n", s.RepRuns)
+	fmt.Fprintf(stdout, "encoded: %d bytes (%d fixed-width) — %.2fx compression, %.2f bytes/event\n",
+		s.Bytes, s.RawBytes, s.Ratio(), float64(s.Bytes)/float64(max(1, s.Events)))
+	return nil
 }
 
 // showStats runs one tiny workload under the analysis with metrics

@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"repro/internal/analyses"
+	"repro/internal/core"
+	"repro/internal/workloads"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -79,6 +81,45 @@ func TestGoldenFiles(t *testing.T) {
 			}
 			checkGolden(t, name, stdout.Bytes())
 		})
+	}
+}
+
+// TestTraceStats: the -trace mode decodes a freshly recorded replay
+// trace and reports its event counts and compression ratio.
+func TestTraceStats(t *testing.T) {
+	prog, err := workloads.Build("fft", workloads.SizeTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := core.RecordTrace(prog, core.RunOptions{Seed: 1, MaxSteps: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fft.trc")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-trace", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	for _, want := range []string{"program fingerprint:", "scheduler quanta:", "load", "compression"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, stdout.String())
+		}
+	}
+
+	stderr.Reset()
+	if code := run([]string{"-trace", filepath.Join(t.TempDir(), "missing.trc")}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing trace: exit %d, want 1", code)
+	}
+	corrupt := filepath.Join(t.TempDir(), "bad.trc")
+	if err := os.WriteFile(corrupt, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := run([]string{"-trace", corrupt}, &stdout, &stderr); code != 1 {
+		t.Errorf("corrupt trace: exit %d, want 1 (stderr %q)", code, stderr.String())
 	}
 }
 

@@ -39,6 +39,23 @@ func VerdictCanon(reports []*vm.Report) string {
 	return strings.Join(lines, "\n")
 }
 
+// SiteCanon is Canon minus the occurrence count — the projection that
+// survives a schedule change. Replaying the plain program's trace into
+// an instrumented clone is such a change: hook dispatches ride quanta
+// framed without them, an interleaving no live scheduler seed
+// produces, so report sites, messages and values are preserved but
+// occurrence tallies on racy sites are not. Same-configuration replay
+// needs no projection at all — it is byte-identical.
+func SiteCanon(reports []*vm.Report) string {
+	lines := make([]string, len(reports))
+	for i, r := range reports {
+		lines[i] = fmt.Sprintf("%s|%s|%d|%d|%s|b%d",
+			r.Analysis, r.Message, int64(r.Got), int64(r.Expected), r.Fn, r.Block)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
 // mergeCanon unions canonical report sets (the fusion-vs-separate
 // equivalence: a combined analysis must report exactly the union of its
 // parts, and handler names are unique per analysis, so plain line-merge

@@ -1,0 +1,126 @@
+package conformance
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/mir"
+)
+
+// replayAnalyses is the analysis set the replay axis sweeps. A subset
+// of the shipped analyses with distinct hook shapes (per-access,
+// lockset, alloc/free) keeps the default sweep inside tier-1 budget;
+// `make replay-conform` widens the seed count instead.
+var replayAnalyses = []string{"uaf", "eraser", "msan"}
+
+// TestReplayConform is the replay differential sweep: every generated
+// workload, recorded once plain and replayed across every applicable
+// ablation configuration (fanned), plus the byte-identical
+// same-configuration record/replay leg.
+func TestReplayConform(t *testing.T) {
+	r := NewRunner()
+	for seed := uint64(0); seed < uint64(*conformSeeds); seed++ {
+		seed := seed
+		w := Generate(seed)
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, name := range replayAnalyses {
+				ms, err := r.CheckReplay(w, name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, m := range ms {
+					t.Errorf("%s", m)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentReplay is the -race proof for the shared-trace
+// contract: one decoded Trace feeds 8 concurrent replay machines
+// across 4 cached analyses (each Cursor owns its predictor state; the
+// Trace itself is read-only after decode). Every replay of the same
+// analysis must produce the identical outcome.
+func TestConcurrentReplay(t *testing.T) {
+	r := NewRunner()
+	w := Generate(5)
+	tr, err := r.plainTrace(w.Prog, r.SchedSeeds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"uaf", "eraser", "msan", "tainttrack"}
+	const goroutines = 8
+	outs := make([]siteOutcome, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, aerr := r.analysis(names[i%len(names)], compiler.DefaultOptions())
+			if aerr != nil {
+				errs[i] = aerr
+				return
+			}
+			outs[i], errs[i] = siteOutcomeOf(core.RunAnalysis(w.Prog, a,
+				core.RunOptions{Seed: r.SchedSeeds[0], MaxSteps: r.MaxSteps, ReplayTrace: tr}))
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if ref := outs[i%len(names)]; outs[i] != ref {
+			t.Errorf("goroutine %d (%s) disagrees with first replay of same analysis:\n--- first:\n%s\n--- got:\n%s",
+				i, names[i%len(names)], ref, outs[i])
+		}
+	}
+}
+
+// TestShrinkReplayDivergence extends the ddmin shrinker to
+// trace-robustness reproducers: find a workload whose corrupted trace
+// surfaces a typed replay error, shrink the program under that
+// predicate, and require the minimized program to still reproduce (and
+// still verify).
+func TestShrinkReplayDivergence(t *testing.T) {
+	r := NewRunner()
+	seed := r.SchedSeeds[0]
+	var prog *mir.Program
+	for ws := uint64(0); ws < 32; ws++ {
+		w := Generate(ws)
+		if r.ReplayCorruptionFails(w.Prog, seed) {
+			prog = w.Prog
+			break
+		}
+	}
+	if prog == nil {
+		t.Fatal("no workload in 32 seeds reproduces a typed replay-corruption error")
+	}
+	shrunk := Shrink(prog, func(p *mir.Program) bool {
+		return r.ReplayCorruptionFails(p, seed)
+	})
+	if err := shrunk.Verify(); err != nil {
+		t.Fatalf("shrunk program fails verification: %v", err)
+	}
+	if !r.ReplayCorruptionFails(shrunk, seed) {
+		t.Fatal("shrunk program no longer reproduces the typed replay error")
+	}
+	if is, was := instrCount(shrunk), instrCount(prog); is > was {
+		t.Errorf("shrink grew the program: %d -> %d instructions", was, is)
+	}
+}
+
+func instrCount(p *mir.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/mir"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -34,7 +35,7 @@ type Mismatch struct {
 	Workload string
 	Seed     uint64
 	Analysis string
-	Property string // "ablation", "oracle", "schedule", "fusion", "union"
+	Property string // "ablation", "oracle", "schedule", "fusion", "union", "replay", "replay-exact"
 	Ref, Got string // configuration (or leg) names
 	Detail   string
 }
@@ -85,6 +86,11 @@ type Runner struct {
 
 	mu       sync.Mutex
 	compiled map[string]*compiler.Analysis
+
+	// traces memoizes each workload program's plain recorded trace (one
+	// record per workload, fanned out across every replay leg).
+	traceMu sync.Mutex
+	traces  map[*mir.Program]*trace.Trace
 }
 
 // NewRunner returns a Runner with the default schedule seeds.
@@ -93,6 +99,7 @@ func NewRunner() *Runner {
 		SchedSeeds: []int64{1, 7, 1337},
 		MaxSteps:   4 << 20,
 		compiled:   make(map[string]*compiler.Analysis),
+		traces:     make(map[*mir.Program]*trace.Trace),
 	}
 }
 

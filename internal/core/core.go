@@ -6,7 +6,10 @@
 package core
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/baselines"
@@ -14,6 +17,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/mir"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -47,6 +51,15 @@ type RunOptions struct {
 	// tagged with TraceTID.
 	Trace    *obs.Trace
 	TraceTID int64
+
+	// TraceSink, when non-nil, records the run as a compressed replay
+	// trace (interpreter-only; see vm.Config.TraceSink). RecordTrace is
+	// the usual entry point.
+	TraceSink io.Writer
+	// ReplayTrace, when non-nil, re-executes a recorded trace instead of
+	// running live (forces the replay tier; see vm.Config.Replay). The
+	// same decoded trace may feed concurrent runs.
+	ReplayTrace *trace.Trace
 }
 
 // resolveEngine picks the execution tier for a run: an explicit
@@ -72,6 +85,8 @@ func (o RunOptions) vmConfig(track bool) vm.Config {
 		TimeHooks:    o.TimeHooks,
 		Trace:        o.Trace,
 		TraceTID:     o.TraceTID,
+		TraceSink:    o.TraceSink,
+		Replay:       o.ReplayTrace,
 	}
 }
 
@@ -139,6 +154,25 @@ func observe(o RunOptions, m *vm.Machine, names []string, rt *compiler.Runtime) 
 	}
 }
 
+// observeTrace exports a recorded run's stream statistics. Separate
+// from observe because recording is the one mode whose interesting
+// numbers survive a failed run (the trace does too).
+func observeTrace(o RunOptions, m *vm.Machine) {
+	s := o.Metrics
+	if s == nil {
+		return
+	}
+	ts := m.TraceStats()
+	if ts.Bytes == 0 {
+		return
+	}
+	s.Add("vm.trace.bytes", ts.Bytes)
+	s.Add("vm.trace.raw_bytes", ts.RawBytes)
+	s.Add("vm.trace.events", ts.Events)
+	s.Add("vm.trace.batches", ts.Batches)
+	s.Add("vm.trace.ratio_milli", uint64(ts.Ratio()*1000))
+}
+
 // RunPlain executes an uninstrumented program.
 func RunPlain(p *mir.Program, opt RunOptions) (*vm.Result, error) {
 	m, err := vm.New(p, opt.vmConfig(false))
@@ -150,7 +184,37 @@ func RunPlain(p *mir.Program, opt RunOptions) (*vm.Result, error) {
 		return nil, err
 	}
 	observe(opt, m, nil, nil)
+	observeTrace(opt, m)
 	return res, nil
+}
+
+// RecordTrace executes the uninstrumented program in record mode and
+// returns the encoded replay trace. The trace is returned even when
+// the run fails with a verdict-grade RunError — the stream's terminal
+// record captures the failure, and replaying it reproduces the same
+// error — so callers can record ERR cells too. Infrastructure errors
+// (a program that does not link) return nil bytes.
+func RecordTrace(p *mir.Program, opt RunOptions) ([]byte, *vm.Result, error) {
+	var buf bytes.Buffer
+	opt.TraceSink = &buf
+	opt.ReplayTrace = nil
+	opt.Engine = vm.EngineInterp
+	m, err := vm.New(p, opt.vmConfig(false))
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		observeTrace(opt, m)
+		var re *vm.RunError
+		if errors.As(err, &re) {
+			return buf.Bytes(), nil, err
+		}
+		return nil, nil, err
+	}
+	observe(opt, m, nil, nil)
+	observeTrace(opt, m)
+	return buf.Bytes(), res, nil
 }
 
 // RunAnalysis instruments p with a compiled ALDA analysis and executes

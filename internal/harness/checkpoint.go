@@ -40,8 +40,15 @@ func (c Config) fingerprint() string {
 	// metrics participates because it changes what a record must carry:
 	// a checkpoint written without counters cannot resume a metrics
 	// sweep (the resumed cells would silently contribute nothing).
-	return fmt.Sprintf("size=%s reps=%d seed=%d virtual=%v metrics=%v engine=%s",
+	fp := fmt.Sprintf("size=%s reps=%d seed=%d virtual=%v metrics=%v engine=%s",
 		c.Size, c.Reps, c.Opt.Seed, c.Virtual, c.Metrics != nil, c.Opt.Engine)
+	if c.TraceDir != "" {
+		// Replay cells measure whatever stream is on disk: bind the
+		// checkpoint to the trace bytes so a regenerated or mutated
+		// trace invalidates cells recorded against the old one.
+		fp += fmt.Sprintf(" trace=%016x", c.traceHash())
+	}
+	return fp
 }
 
 // checkpointSyncEvery batches fsync: every Nth appended record forces

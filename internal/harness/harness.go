@@ -106,6 +106,15 @@ type Config struct {
 	// PGOProfile, when non-nil, replaces the PGO experiment's inline
 	// training run with a previously collected profile (-profile-in).
 	PGOProfile *compiler.Profile
+	// TraceDir is the directory of recorded plain-run traces
+	// (<workload>.trc) the replay experiment measures against. The
+	// checkpoint fingerprint hashes the trace contents, so -resume
+	// rejects checkpoints written against different trace bytes.
+	TraceDir string
+	// TraceRecord permits recording missing traces into TraceDir
+	// (-trace-out); off, a missing trace fails the sweep (-trace-in
+	// expects a complete directory).
+	TraceRecord bool
 }
 
 func (c Config) withDefaults() Config {

@@ -355,7 +355,8 @@ func dispatchBenches() []Bench {
 }
 
 // HotPathBenches is the BenchHotPath suite: per-container Get/Set/
-// Iterate plus per-analysis handler dispatch on both execution tiers.
+// Iterate, per-analysis handler dispatch on both execution tiers, and
+// the trace record/replay tier.
 func HotPathBenches() []Bench {
-	return append(containerBenches(), dispatchBenches()...)
+	return append(append(containerBenches(), dispatchBenches()...), traceBenches()...)
 }

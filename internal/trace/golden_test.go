@@ -1,0 +1,103 @@
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mir"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace pins")
+
+// quickstartUAF mirrors examples/quickstart's analyzed program:
+// allocate, fill, free, store after free. Its recorded trace pins the
+// encoder on the smallest interesting stream — one allocation, a store
+// run, one free.
+func quickstartUAF() (*mir.Program, error) {
+	p := mir.NewProgram()
+	b := p.NewFunc("main", 0)
+	buf := b.Call("malloc", mir.C(64))
+	b.Loop(mir.C(8), func(i mir.Reg) {
+		off := b.Mul(mir.R(i), mir.C(8))
+		addr := b.Add(mir.R(buf), mir.R(off))
+		b.Store(mir.R(addr), mir.R(i), 8)
+	})
+	b.CallVoid("free", mir.R(buf))
+	b.Store(mir.R(buf), mir.C(99), 8)
+	b.RetVal(mir.C(0))
+	return p, nil
+}
+
+// goldenCases are the pinned recordings: the quickstart bug program and
+// one library-sanitizer workload whose stream carries SSL library
+// results and multi-threaded quanta.
+var goldenCases = []struct {
+	name  string
+	build func() (*mir.Program, error)
+}{
+	{"quickstart_uaf", quickstartUAF},
+	{"memcached_sslleak", func() (*mir.Program, error) {
+		return workloads.BuildBug("memcached", workloads.SizeTiny, workloads.BugSSLLeak)
+	}},
+}
+
+// TestGoldenTraces pins the recorded byte streams: for each case the
+// trace must re-record byte-identically within a run (the VM and the
+// encoder are deterministic) and match the checked-in pin across
+// commits — any encoding or VM-event change shows up as a golden diff
+// here, regenerated deliberately with -update.
+func TestGoldenTraces(t *testing.T) {
+	opt := core.RunOptions{Seed: 1, MaxSteps: 4 << 20}
+	for _, c := range goldenCases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _, err := core.RecordTrace(p, opt)
+			if err != nil {
+				t.Fatalf("record: %v", err)
+			}
+			again, _, err := core.RecordTrace(p, opt)
+			if err != nil {
+				t.Fatalf("re-record: %v", err)
+			}
+			if !bytes.Equal(data, again) {
+				t.Fatalf("re-recording is not byte-identical: %d vs %d bytes", len(data), len(again))
+			}
+			tr, err := trace.Decode(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if s := tr.Stats(); s.Events == 0 || s.Batches == 0 {
+				t.Fatalf("degenerate recording: %+v", s)
+			}
+
+			golden := filepath.Join("testdata", "golden", c.name+".trc")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(data, want) {
+				t.Errorf("recorded trace differs from golden pin %s: %d bytes recorded, %d pinned (regenerate deliberately with -update)",
+					golden, len(data), len(want))
+			}
+		})
+	}
+}

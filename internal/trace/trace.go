@@ -1,0 +1,805 @@
+// Package trace defines the compressed binary event-stream format the
+// VM's record mode emits and the replay engine consumes (the ROADMAP's
+// SD3-style trace tier). A trace captures everything about one
+// execution that is not recomputable from the program text and the
+// thread interleaving: load values, library-call results, and the
+// scheduler's quantum decisions. Register arithmetic, branches, lock
+// state and stack layout are deterministic given those inputs, so the
+// replay engine re-derives them instead of storing them — that is what
+// makes the stream small.
+//
+// Layout (all integers varint unless noted):
+//
+//	header:  "ALDATRC1" | uvarint version | fixed64 LE program fingerprint
+//	         | svarint scheduler seed | uvarint quantum
+//	records: 0x01 batch  svarint Δtid, uvarint psteps, uvarint thooks,
+//	                     uvarint len(payload), payload
+//	         0x02 end    uvarint exit            (exactly one terminal,
+//	         0x03 fail   string kind, string msg  as the final record)
+//
+// A batch is one scheduler quantum: psteps non-hook instructions retired
+// plus thooks trailing hook dispatches after the last non-hook step —
+// together they pin the quantum boundary exactly without referencing
+// the instrumentation schema, so a trace recorded from the plain
+// program replays into any instrumented clone of it.
+//
+// Payload events use stride predictors à la SD3: each load/store
+// address (and each load value) is encoded as the signed residual
+// against a {last, stride} predictor, and runs of perfectly predicted
+// accesses collapse into a single run-length record. Predictor state
+// persists across batches and is shared by writer and reader.
+//
+//	0x10 load    svarint addr-resid, svarint val-resid
+//	0x11 store   svarint addr-resid
+//	0x12 repload uvarint n   (n loads, all residuals zero)
+//	0x13 repstore uvarint n
+//	0x14 lib     svarint Δret
+//	0x15 lock    svarint Δaddr      0x16 unlock  svarint Δaddr
+//	0x17 join    uvarint target     0x18 spawn   uvarint tid
+//	0x19 alloc   svarint Δaddr, uvarint size
+//	0x1a free    svarint Δaddr
+//
+// The decoder is hardened against adversarial input: every length field
+// is validated against the bytes actually present before use, so a
+// corrupt trace yields a typed *DecodeError, never a panic or an
+// attacker-sized allocation.
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic begins every trace file.
+const Magic = "ALDATRC1"
+
+// Version is the current format version.
+const Version = 1
+
+// Record tags.
+const (
+	recBatch = 0x01
+	recEnd   = 0x02
+	recFail  = 0x03
+)
+
+// EvKind identifies one replayable event.
+type EvKind uint8
+
+// Event kinds as surfaced by Cursor.Next (run-length records are
+// materialized back into their individual loads/stores).
+const (
+	EvLoad EvKind = 0x10 + iota
+	EvStore
+	evRepLoad  // internal: expanded by the cursor
+	evRepStore // internal: expanded by the cursor
+	EvLib
+	EvLock
+	EvUnlock
+	EvJoin
+	EvSpawn
+	EvAlloc
+	EvFree
+)
+
+func (k EvKind) String() string {
+	switch k {
+	case EvLoad:
+		return "load"
+	case EvStore:
+		return "store"
+	case EvLib:
+		return "lib"
+	case EvLock:
+		return "lock"
+	case EvUnlock:
+		return "unlock"
+	case EvJoin:
+		return "join"
+	case EvSpawn:
+		return "spawn"
+	case EvAlloc:
+		return "alloc"
+	case EvFree:
+		return "free"
+	}
+	return fmt.Sprintf("ev(%#x)", uint8(k))
+}
+
+// DecodeError is the typed failure every malformed input maps to.
+type DecodeError struct {
+	Off int    // byte offset the decoder stopped at
+	Msg string // what was wrong
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("trace: corrupt at offset %d: %s", e.Off, e.Msg)
+}
+
+// ErrBatchDrained reports that the current batch has no more events;
+// the replay engine then advances to the next record.
+var ErrBatchDrained = errors.New("trace: batch drained")
+
+// failStringCap bounds the kind/msg strings of a fail record; real
+// RunError messages are far below it, and it stops a crafted length
+// field from forcing a giant allocation.
+const failStringCap = 1 << 16
+
+// pred is one stride predictor. predict() guesses last+stride; observe
+// folds the true value in. Writer and cursor run identical copies.
+type pred struct{ last, stride uint64 }
+
+func (p *pred) predict() uint64  { return p.last + p.stride }
+func (p *pred) observe(x uint64) { p.stride = x - p.last; p.last = x }
+
+// preds is the full predictor state threaded through a stream.
+type preds struct {
+	loadA, loadV pred   // load address / load value
+	storeA       pred   // store address
+	lastSync     uint64 // lock/unlock address delta chain
+	lastRet      uint64 // library return-value delta chain
+	lastAlloc    uint64 // alloc/free address delta chain
+}
+
+// Stats summarizes one trace for the observability surface.
+type Stats struct {
+	ProgFP  uint64
+	Seed    int64
+	Quantum int
+
+	Batches uint64 // scheduler quanta recorded
+	Events  uint64 // individual events (rep runs expanded)
+	Loads   uint64
+	Stores  uint64
+	RepRuns uint64 // run-length records emitted
+	Libs    uint64
+	Locks   uint64
+	Unlocks uint64
+	Joins   uint64
+	Spawns  uint64
+	Allocs  uint64
+	Frees   uint64
+
+	Bytes    uint64 // encoded size including header
+	RawBytes uint64 // fixed-width encoding of the same events (ratio denominator)
+}
+
+// Ratio returns RawBytes/Bytes — the compression the stride/varint
+// encoding achieved over a naive fixed-width event stream.
+func (s Stats) Ratio() float64 {
+	if s.Bytes == 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / float64(s.Bytes)
+}
+
+// rawCost is the fixed-width byte cost an event contributes to
+// RawBytes: 1 tag byte plus 8 bytes per operand.
+func rawCost(kind EvKind) uint64 {
+	switch kind {
+	case EvLoad, EvAlloc:
+		return 17
+	default:
+		return 9
+	}
+}
+
+const rawBatchCost = 1 + 8 + 8 + 8 // tag + tid + psteps + thooks, fixed width
+
+// ---------------------------------------------------------------------------
+// Writer
+
+// Writer encodes a trace onto a sink. Errors are sticky: the first
+// write failure latches and every later call is a no-op, so the VM's
+// hot path records without per-event error plumbing and checks Err
+// once at the end.
+type Writer struct {
+	sink io.Writer
+	err  error
+
+	p       preds
+	payload []byte // current batch, flushed by EndBatch
+	repKind EvKind // evRepLoad/evRepStore while a run is open, else 0
+	repN    uint64
+	lastTid int64
+
+	scratch [8 * binary.MaxVarintLen64]byte // batch header: tag + 4 varints
+	stats   Stats
+	done    bool
+}
+
+// NewWriter starts a trace on sink, writing the header immediately.
+// progFP is the program fingerprint replay validates against; seed and
+// quantum are recorded for provenance and stats.
+func NewWriter(sink io.Writer, progFP uint64, seed int64, quantum int) *Writer {
+	w := &Writer{sink: sink}
+	w.stats.ProgFP = progFP
+	w.stats.Seed = seed
+	w.stats.Quantum = quantum
+	var hdr []byte
+	hdr = append(hdr, Magic...)
+	hdr = binary.AppendUvarint(hdr, Version)
+	hdr = binary.LittleEndian.AppendUint64(hdr, progFP)
+	hdr = binary.AppendVarint(hdr, seed)
+	hdr = binary.AppendUvarint(hdr, uint64(quantum))
+	w.write(hdr)
+	w.stats.RawBytes += uint64(len(hdr))
+	return w
+}
+
+func (w *Writer) write(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.sink.Write(b); err != nil {
+		w.err = err
+	}
+	w.stats.Bytes += uint64(len(b))
+}
+
+// Err returns the sticky write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Stats returns the running statistics of the stream so far.
+func (w *Writer) Stats() Stats { return w.stats }
+
+func (w *Writer) flushRep() {
+	if w.repN == 0 {
+		return
+	}
+	w.payload = append(w.payload, byte(w.repKind))
+	w.payload = binary.AppendUvarint(w.payload, w.repN)
+	w.stats.RepRuns++
+	w.repN, w.repKind = 0, 0
+}
+
+func (w *Writer) event(kind EvKind) {
+	w.flushRep()
+	w.payload = append(w.payload, byte(kind))
+	w.stats.Events++
+	w.stats.RawBytes += rawCost(kind)
+}
+
+// Load records one memory read: its address and the value produced.
+func (w *Writer) Load(addr, val uint64) {
+	pa, pv := w.p.loadA.predict(), w.p.loadV.predict()
+	w.stats.Loads++
+	if addr == pa && val == pv {
+		if w.repKind != evRepLoad {
+			w.flushRep()
+			w.repKind = evRepLoad
+		}
+		w.repN++
+		w.stats.Events++
+		w.stats.RawBytes += rawCost(EvLoad)
+	} else {
+		w.event(EvLoad)
+		w.payload = binary.AppendVarint(w.payload, int64(addr-pa))
+		w.payload = binary.AppendVarint(w.payload, int64(val-pv))
+	}
+	w.p.loadA.observe(addr)
+	w.p.loadV.observe(val)
+}
+
+// Store records one memory write's address (the value is recomputed at
+// replay; only loads need their data).
+func (w *Writer) Store(addr uint64) {
+	pa := w.p.storeA.predict()
+	w.stats.Stores++
+	if addr == pa {
+		if w.repKind != evRepStore {
+			w.flushRep()
+			w.repKind = evRepStore
+		}
+		w.repN++
+		w.stats.Events++
+		w.stats.RawBytes += rawCost(EvStore)
+	} else {
+		w.event(EvStore)
+		w.payload = binary.AppendVarint(w.payload, int64(addr-pa))
+	}
+	w.p.storeA.observe(addr)
+}
+
+// Lib records a library call's return value; replay skips the model
+// body and substitutes this.
+func (w *Writer) Lib(ret uint64) {
+	w.event(EvLib)
+	w.payload = binary.AppendVarint(w.payload, int64(ret-w.p.lastRet))
+	w.p.lastRet = ret
+	w.stats.Libs++
+}
+
+func (w *Writer) sync(kind EvKind, addr uint64) {
+	w.event(kind)
+	w.payload = binary.AppendVarint(w.payload, int64(addr-w.p.lastSync))
+	w.p.lastSync = addr
+}
+
+// Lock records a lock-acquire attempt (including ones that block).
+func (w *Writer) Lock(addr uint64) { w.sync(EvLock, addr); w.stats.Locks++ }
+
+// Unlock records a lock release.
+func (w *Writer) Unlock(addr uint64) { w.sync(EvUnlock, addr); w.stats.Unlocks++ }
+
+// Join records a join attempt on a thread handle.
+func (w *Writer) Join(target uint64) {
+	w.event(EvJoin)
+	w.payload = binary.AppendUvarint(w.payload, target)
+	w.stats.Joins++
+}
+
+// Spawn records a successful thread spawn and the new thread's id.
+func (w *Writer) Spawn(tid uint64) {
+	w.event(EvSpawn)
+	w.payload = binary.AppendUvarint(w.payload, tid)
+	w.stats.Spawns++
+}
+
+// Alloc records a heap allocation (address and requested size).
+func (w *Writer) Alloc(addr, size uint64) {
+	w.event(EvAlloc)
+	w.payload = binary.AppendVarint(w.payload, int64(addr-w.p.lastAlloc))
+	w.payload = binary.AppendUvarint(w.payload, size)
+	w.p.lastAlloc = addr
+	w.stats.Allocs++
+}
+
+// Free records a heap release.
+func (w *Writer) Free(addr uint64) {
+	w.event(EvFree)
+	w.payload = binary.AppendVarint(w.payload, int64(addr-w.p.lastAlloc))
+	w.p.lastAlloc = addr
+	w.stats.Frees++
+}
+
+// EndBatch closes the current scheduler quantum: tid ran psteps
+// non-hook instructions with thooks trailing hook dispatches, emitting
+// the accumulated payload.
+func (w *Writer) EndBatch(tid int, psteps, thooks uint64) {
+	w.flushRep()
+	b := w.scratch[:0]
+	b = append(b, recBatch)
+	b = binary.AppendVarint(b, int64(tid)-w.lastTid)
+	w.lastTid = int64(tid)
+	b = binary.AppendUvarint(b, psteps)
+	b = binary.AppendUvarint(b, thooks)
+	b = binary.AppendUvarint(b, uint64(len(w.payload)))
+	w.write(b)
+	w.write(w.payload)
+	w.payload = w.payload[:0]
+	w.stats.Batches++
+	w.stats.RawBytes += rawBatchCost
+}
+
+// End writes the success terminal (the program's exit value) and
+// returns the sticky error state. A Writer is single-terminal: later
+// terminal calls are no-ops.
+func (w *Writer) End(exit uint64) error {
+	if w.done {
+		return w.err
+	}
+	w.done = true
+	var b []byte
+	b = append(b, recEnd)
+	b = binary.AppendUvarint(b, exit)
+	w.write(b)
+	w.stats.RawBytes += 9
+	return w.err
+}
+
+// Fail writes the failure terminal: the run ended with a typed error of
+// the given kind and message, which replay reproduces verbatim.
+func (w *Writer) Fail(kind, msg string) error {
+	if w.done {
+		return w.err
+	}
+	w.done = true
+	var b []byte
+	b = append(b, recFail)
+	b = binary.AppendUvarint(b, uint64(len(kind)))
+	b = append(b, kind...)
+	b = binary.AppendUvarint(b, uint64(len(msg)))
+	b = append(b, msg...)
+	w.write(b)
+	w.stats.RawBytes += uint64(9 + len(kind) + len(msg))
+	return w.err
+}
+
+// ---------------------------------------------------------------------------
+// Trace + Decode
+
+// Trace is a decoded, validated trace. The underlying bytes are
+// read-only after Decode: any number of Cursors may replay the same
+// Trace concurrently (each cursor carries its own predictor state).
+type Trace struct {
+	data    []byte
+	ProgFP  uint64
+	Seed    int64
+	Quantum int
+	stats   Stats
+	body    int // offset of the first record
+}
+
+// Stats returns the aggregate statistics computed during Decode.
+func (t *Trace) Stats() Stats { return t.stats }
+
+// Len returns the encoded size in bytes.
+func (t *Trace) Len() int { return len(t.data) }
+
+// Decode validates data as a complete trace — header, every record,
+// every event, exactly one terminal — and returns it ready for replay.
+// data is retained (not copied); the caller must not mutate it.
+func Decode(data []byte) (*Trace, error) {
+	t := &Trace{data: data}
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		return nil, &DecodeError{Off: 0, Msg: "bad magic"}
+	}
+	pos := len(Magic)
+	u := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, &DecodeError{Off: pos, Msg: "truncated " + what}
+		}
+		pos += n
+		return v, nil
+	}
+	ver, err := u("version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, &DecodeError{Off: len(Magic), Msg: fmt.Sprintf("unsupported version %d", ver)}
+	}
+	if len(data)-pos < 8 {
+		return nil, &DecodeError{Off: pos, Msg: "truncated fingerprint"}
+	}
+	t.ProgFP = binary.LittleEndian.Uint64(data[pos:])
+	pos += 8
+	seed, n := binary.Varint(data[pos:])
+	if n <= 0 {
+		return nil, &DecodeError{Off: pos, Msg: "truncated seed"}
+	}
+	pos += n
+	t.Seed = seed
+	q, err := u("quantum")
+	if err != nil {
+		return nil, err
+	}
+	if q > 1<<30 {
+		return nil, &DecodeError{Off: pos, Msg: "implausible quantum"}
+	}
+	t.Quantum = int(q)
+	t.body = pos
+
+	// Full validation walk: decode every record and event once, so
+	// replay (and every other consumer) can trust the structure.
+	st := Stats{ProgFP: t.ProgFP, Seed: t.Seed, Quantum: t.Quantum, Bytes: uint64(len(data))}
+	st.RawBytes = uint64(t.body)
+	c := t.Cursor()
+	terminal := false
+walk:
+	for {
+		rec, err := c.NextRecord()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break walk
+			}
+			return nil, err
+		}
+		switch rec.Kind {
+		case RecBatch:
+			st.Batches++
+			st.RawBytes += rawBatchCost
+			for {
+				ev, err := c.Next()
+				if err == ErrBatchDrained {
+					break
+				}
+				if err != nil {
+					return nil, err
+				}
+				st.Events++
+				st.RawBytes += rawCost(ev.Kind)
+				switch ev.Kind {
+				case EvLoad:
+					st.Loads++
+				case EvStore:
+					st.Stores++
+				case EvLib:
+					st.Libs++
+				case EvLock:
+					st.Locks++
+				case EvUnlock:
+					st.Unlocks++
+				case EvJoin:
+					st.Joins++
+				case EvSpawn:
+					st.Spawns++
+				case EvAlloc:
+					st.Allocs++
+				case EvFree:
+					st.Frees++
+				}
+			}
+		case RecEnd, RecFail:
+			terminal = true
+			st.RawBytes += 9
+			if rec.Kind == RecFail {
+				st.RawBytes += uint64(len(rec.FailKind) + len(rec.FailMsg))
+			}
+			// The terminal must be the final record.
+			if _, err := c.NextRecord(); !errors.Is(err, io.EOF) {
+				return nil, &DecodeError{Off: c.pos, Msg: "data after terminal record"}
+			}
+			break walk
+		}
+	}
+	if !terminal {
+		return nil, &DecodeError{Off: pos, Msg: "missing terminal record (torn trace)"}
+	}
+	st.RepRuns = c.repRuns
+	t.stats = st
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// Cursor
+
+// RecKind identifies a record surfaced by Cursor.NextRecord.
+type RecKind uint8
+
+// Record kinds.
+const (
+	RecBatch RecKind = iota
+	RecEnd
+	RecFail
+)
+
+// Rec is one decoded record.
+type Rec struct {
+	Kind     RecKind
+	Tid      int    // RecBatch: thread granted the quantum
+	PSteps   uint64 // RecBatch: non-hook instructions retired
+	THooks   uint64 // RecBatch: trailing hook dispatches
+	Exit     uint64 // RecEnd
+	FailKind string // RecFail
+	FailMsg  string // RecFail
+}
+
+// Event is one decoded batch event. Field use per kind: load
+// {Addr,Val}; store/lock/unlock/free {Addr}; lib {Val=ret}; join
+// {Val=target}; spawn {Val=tid}; alloc {Addr, Val=size}.
+type Event struct {
+	Kind EvKind
+	Addr uint64
+	Val  uint64
+}
+
+// Cursor walks a Trace record by record. Each Cursor owns its predictor
+// state, so concurrent replays of one Trace are safe.
+type Cursor struct {
+	t   *Trace
+	pos int
+	p   preds
+
+	payloadEnd int // absolute end of the current batch payload, -1 outside a batch
+	repKind    EvKind
+	repLeft    uint64
+	lastTid    int64
+	repRuns    uint64
+}
+
+// Cursor returns a fresh cursor positioned at the first record.
+func (t *Trace) Cursor() *Cursor {
+	return &Cursor{t: t, pos: t.body, payloadEnd: -1}
+}
+
+func (c *Cursor) uvarint(limit int, what string) (uint64, error) {
+	v, n := binary.Uvarint(c.t.data[c.pos:limit])
+	if n <= 0 {
+		return 0, &DecodeError{Off: c.pos, Msg: "truncated " + what}
+	}
+	c.pos += n
+	return v, nil
+}
+
+func (c *Cursor) svarint(limit int, what string) (int64, error) {
+	v, n := binary.Varint(c.t.data[c.pos:limit])
+	if n <= 0 {
+		return 0, &DecodeError{Off: c.pos, Msg: "truncated " + what}
+	}
+	c.pos += n
+	return v, nil
+}
+
+// NextRecord advances to the next record. Any unconsumed events of the
+// current batch are decoded and discarded first (keeping predictor
+// state aligned with the writer's). Returns io.EOF at end of data.
+func (c *Cursor) NextRecord() (Rec, error) {
+	if c.payloadEnd >= 0 {
+		for {
+			_, err := c.Next()
+			if err == ErrBatchDrained {
+				break
+			}
+			if err != nil {
+				return Rec{}, err
+			}
+		}
+		c.payloadEnd = -1
+	}
+	data := c.t.data
+	if c.pos >= len(data) {
+		return Rec{}, io.EOF
+	}
+	tag := data[c.pos]
+	c.pos++
+	end := len(data)
+	switch tag {
+	case recBatch:
+		d, err := c.svarint(end, "batch tid")
+		if err != nil {
+			return Rec{}, err
+		}
+		c.lastTid += d
+		if c.lastTid < 0 || c.lastTid > 1<<20 {
+			return Rec{}, &DecodeError{Off: c.pos, Msg: "implausible batch tid"}
+		}
+		psteps, err := c.uvarint(end, "batch psteps")
+		if err != nil {
+			return Rec{}, err
+		}
+		thooks, err := c.uvarint(end, "batch thooks")
+		if err != nil {
+			return Rec{}, err
+		}
+		plen, err := c.uvarint(end, "batch payload length")
+		if err != nil {
+			return Rec{}, err
+		}
+		if plen > uint64(len(data)-c.pos) {
+			return Rec{}, &DecodeError{Off: c.pos, Msg: fmt.Sprintf("batch payload length %d exceeds remaining %d bytes", plen, len(data)-c.pos)}
+		}
+		c.payloadEnd = c.pos + int(plen)
+		return Rec{Kind: RecBatch, Tid: int(c.lastTid), PSteps: psteps, THooks: thooks}, nil
+	case recEnd:
+		exit, err := c.uvarint(end, "exit value")
+		if err != nil {
+			return Rec{}, err
+		}
+		return Rec{Kind: RecEnd, Exit: exit}, nil
+	case recFail:
+		kind, err := c.str(end, "fail kind")
+		if err != nil {
+			return Rec{}, err
+		}
+		msg, err := c.str(end, "fail message")
+		if err != nil {
+			return Rec{}, err
+		}
+		return Rec{Kind: RecFail, FailKind: kind, FailMsg: msg}, nil
+	default:
+		return Rec{}, &DecodeError{Off: c.pos - 1, Msg: fmt.Sprintf("unknown record tag %#x", tag)}
+	}
+}
+
+func (c *Cursor) str(limit int, what string) (string, error) {
+	n, err := c.uvarint(limit, what+" length")
+	if err != nil {
+		return "", err
+	}
+	if n > failStringCap || n > uint64(limit-c.pos) {
+		return "", &DecodeError{Off: c.pos, Msg: fmt.Sprintf("%s length %d exceeds available data", what, n)}
+	}
+	s := string(c.t.data[c.pos : c.pos+int(n)])
+	c.pos += int(n)
+	return s, nil
+}
+
+// Next decodes the next event of the current batch, expanding
+// run-length records into their individual loads/stores. Returns
+// ErrBatchDrained when the batch payload is exhausted.
+func (c *Cursor) Next() (Event, error) {
+	if c.repLeft > 0 {
+		c.repLeft--
+		if c.repKind == evRepLoad {
+			a, v := c.p.loadA.predict(), c.p.loadV.predict()
+			c.p.loadA.observe(a)
+			c.p.loadV.observe(v)
+			return Event{Kind: EvLoad, Addr: a, Val: v}, nil
+		}
+		a := c.p.storeA.predict()
+		c.p.storeA.observe(a)
+		return Event{Kind: EvStore, Addr: a}, nil
+	}
+	if c.payloadEnd < 0 || c.pos >= c.payloadEnd {
+		return Event{}, ErrBatchDrained
+	}
+	limit := c.payloadEnd
+	tag := EvKind(c.t.data[c.pos])
+	c.pos++
+	switch tag {
+	case EvLoad:
+		ar, err := c.svarint(limit, "load address residual")
+		if err != nil {
+			return Event{}, err
+		}
+		vr, err := c.svarint(limit, "load value residual")
+		if err != nil {
+			return Event{}, err
+		}
+		a := c.p.loadA.predict() + uint64(ar)
+		v := c.p.loadV.predict() + uint64(vr)
+		c.p.loadA.observe(a)
+		c.p.loadV.observe(v)
+		return Event{Kind: EvLoad, Addr: a, Val: v}, nil
+	case EvStore:
+		ar, err := c.svarint(limit, "store address residual")
+		if err != nil {
+			return Event{}, err
+		}
+		a := c.p.storeA.predict() + uint64(ar)
+		c.p.storeA.observe(a)
+		return Event{Kind: EvStore, Addr: a}, nil
+	case evRepLoad, evRepStore:
+		n, err := c.uvarint(limit, "rep count")
+		if err != nil {
+			return Event{}, err
+		}
+		if n == 0 {
+			return Event{}, &DecodeError{Off: c.pos, Msg: "empty rep run"}
+		}
+		c.repKind, c.repLeft = tag, n
+		c.repRuns++
+		return c.Next()
+	case EvLib:
+		d, err := c.svarint(limit, "lib return delta")
+		if err != nil {
+			return Event{}, err
+		}
+		c.p.lastRet += uint64(d)
+		return Event{Kind: EvLib, Val: c.p.lastRet}, nil
+	case EvLock, EvUnlock:
+		d, err := c.svarint(limit, "sync address delta")
+		if err != nil {
+			return Event{}, err
+		}
+		c.p.lastSync += uint64(d)
+		return Event{Kind: tag, Addr: c.p.lastSync}, nil
+	case EvJoin:
+		v, err := c.uvarint(limit, "join target")
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: EvJoin, Val: v}, nil
+	case EvSpawn:
+		v, err := c.uvarint(limit, "spawn tid")
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: EvSpawn, Val: v}, nil
+	case EvAlloc:
+		d, err := c.svarint(limit, "alloc address delta")
+		if err != nil {
+			return Event{}, err
+		}
+		sz, err := c.uvarint(limit, "alloc size")
+		if err != nil {
+			return Event{}, err
+		}
+		c.p.lastAlloc += uint64(d)
+		return Event{Kind: EvAlloc, Addr: c.p.lastAlloc, Val: sz}, nil
+	case EvFree:
+		d, err := c.svarint(limit, "free address delta")
+		if err != nil {
+			return Event{}, err
+		}
+		c.p.lastAlloc += uint64(d)
+		return Event{Kind: EvFree, Addr: c.p.lastAlloc}, nil
+	default:
+		return Event{}, &DecodeError{Off: c.pos - 1, Msg: fmt.Sprintf("unknown event tag %#x", uint8(tag))}
+	}
+}

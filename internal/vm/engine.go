@@ -22,9 +22,17 @@ const (
 	// side-effecting instructions become pre-bound closures with their
 	// operands, handler functions and library models resolved once.
 	EngineThreaded
+	// EngineReplay re-executes a run from a recorded trace
+	// (Config.Replay): register arithmetic, control flow, locks and
+	// hook dispatch run live, while load values, library results and
+	// the scheduler's quantum stream come from the trace — the memory
+	// model, library bodies and scheduler RNG are skipped entirely.
+	// Against a same-configuration recording it is step-exact; against
+	// the plain program's recording it drives any instrumented clone.
+	EngineReplay
 )
 
-var engineNames = [...]string{"interp", "threaded"}
+var engineNames = [...]string{"interp", "threaded", "replay"}
 
 func (e Engine) String() string {
 	if int(e) < len(engineNames) {
@@ -41,6 +49,8 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineInterp, nil
 	case "threaded":
 		return EngineThreaded, nil
+	case "replay":
+		return EngineReplay, nil
 	}
-	return 0, fmt.Errorf("unknown engine %q (want interp or threaded)", s)
+	return 0, fmt.Errorf("unknown engine %q (want interp, threaded or replay)", s)
 }

@@ -127,6 +127,10 @@ func (m *Machine) Run() (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			m.failf(KindTrap, "panic in handler or VM: %v", r)
+			// Finalize a recording so the trace replays up to the exact
+			// panicking dispatch (Finish, which normally finalizes, is
+			// skipped on this path).
+			m.finishRecord()
 			res, err = nil, m.err
 		}
 	}()
@@ -192,6 +196,10 @@ func (m *Machine) RunQuantum() bool {
 			}
 		}
 	}
+	if m.rp != nil {
+		// Replay tier: the schedule comes from the trace, not the RNG.
+		return m.replayQuantum()
+	}
 	// Pick the next runnable thread at or after the cursor.
 	n := len(m.threads)
 	picked := -1
@@ -214,6 +222,9 @@ func (m *Machine) RunQuantum() bool {
 		m.lastRun = picked
 	}
 	q := m.cfg.Quantum/2 + int(m.Rand()%uint64(m.cfg.Quantum)) + 1
+	if r := m.rec; r != nil {
+		r.curTid = picked
+	}
 	if tr := m.cfg.Trace; tr != nil {
 		q0 := time.Now()
 		steps0 := m.steps
@@ -224,6 +235,9 @@ func (m *Machine) RunQuantum() bool {
 	} else {
 		m.exec(m.threads[picked], q)
 	}
+	if r := m.rec; r != nil {
+		r.endBatch()
+	}
 	return m.err == nil && main.state != tDone
 }
 
@@ -231,8 +245,17 @@ func (m *Machine) RunQuantum() bool {
 // interpret loop has stopped (RunQuantum returned false).
 func (m *Machine) Finish() (*Result, error) {
 	wall := time.Since(m.runStart)
+	m.finishRecord()
 	if m.err != nil {
 		return nil, m.err
+	}
+	if m.rp != nil {
+		// The stream must end in a matching terminal: leftover quanta or
+		// a recorded failure that replay sailed past are divergence.
+		m.replayCheckTerminal()
+		if m.err != nil {
+			return nil, m.err
+		}
 	}
 	m.cur = m.main
 	for _, fn := range m.AtExit {
@@ -277,6 +300,9 @@ frameLoop:
 			m.steps++
 			m.opCounts[ins.Op]++
 			quantum--
+			if r := m.rec; r != nil {
+				r.step(ins.Op == mir.OpHook)
+			}
 
 			switch ins.Op {
 			case mir.OpConst:
@@ -385,9 +411,13 @@ frameLoop:
 					m.failf(KindTrap, "%d-byte load at %#x straddles a word boundary", ins.Size, a)
 					return
 				}
-				regs[ins.Dst] = m.mem.load(a, ins.Size)
+				v := m.mem.load(a, ins.Size)
+				regs[ins.Dst] = v
 				if track {
 					shadow[ins.Dst] = 0
+				}
+				if r := m.rec; r != nil {
+					r.w.Load(a, v)
 				}
 			case mir.OpStore:
 				a := opVal(regs, ins.A)
@@ -396,6 +426,9 @@ frameLoop:
 					return
 				}
 				m.mem.store(a, opVal(regs, ins.B), ins.Size)
+				if r := m.rec; r != nil {
+					r.w.Store(a)
+				}
 
 			case mir.OpAlloca:
 				sz := (uint64(ins.Imm) + 7) &^ 7
@@ -455,6 +488,12 @@ frameLoop:
 				if m.err != nil {
 					return
 				}
+				if rc := m.rec; rc != nil {
+					// Recorded only on success: a failing library call ends
+					// the trace with its terminal record instead, and replay
+					// reproduces it on the drained stream.
+					rc.w.Lib(r)
+				}
 
 			case mir.OpRet, mir.OpRetVal:
 				if ins.Op == mir.OpRetVal {
@@ -487,6 +526,12 @@ frameLoop:
 
 			case mir.OpLock:
 				v := opVal(regs, ins.A)
+				if r := m.rec; r != nil {
+					// Every attempt is recorded, including ones that block:
+					// the retry after wake re-executes the instruction and
+					// records again, keeping replay's step count aligned.
+					r.w.Lock(v)
+				}
 				l := m.locks[v]
 				if l == nil {
 					l = &lockState{}
@@ -505,6 +550,9 @@ frameLoop:
 				}
 			case mir.OpUnlock:
 				v := opVal(regs, ins.A)
+				if r := m.rec; r != nil {
+					r.w.Unlock(v)
+				}
 				l := m.locks[v]
 				if l == nil || !l.held || l.owner != t.id {
 					m.failf(KindTrap, "unlock of lock %#x not held by thread %d", v, t.id)
@@ -529,6 +577,9 @@ frameLoop:
 				if m.err != nil {
 					return
 				}
+				if r := m.rec; r != nil {
+					r.w.Spawn(uint64(nt.id))
+				}
 				regs[ins.Dst] = uint64(nt.id)
 				if track {
 					shadow[ins.Dst] = 0
@@ -536,6 +587,9 @@ frameLoop:
 				m.cur = t // newThread does not switch execution
 			case mir.OpJoin:
 				target := int(opVal(regs, ins.A))
+				if r := m.rec; r != nil {
+					r.w.Join(uint64(target))
+				}
 				if target < 0 || target >= len(m.threads) {
 					m.failf(KindTrap, "join on invalid thread handle %d", target)
 					return

@@ -52,7 +52,7 @@ func buildStdlibTable() map[string]LibFn {
 			return a
 		},
 		"free": func(m *Machine, t *thread, args []uint64) uint64 {
-			m.heap.release(arg(args, 0))
+			m.heapFree(arg(args, 0))
 			return 0
 		},
 		"memset": func(m *Machine, t *thread, args []uint64) uint64 {

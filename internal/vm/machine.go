@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/mir"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Config controls a Machine.
@@ -70,6 +71,18 @@ type Config struct {
 	// TraceTID tags this machine's trace events (the harness uses the
 	// measurement-cell index).
 	TraceTID int64
+	// TraceSink, when non-nil, records the run as a compressed replay
+	// trace (package trace): load values, library results and scheduler
+	// quanta, batched per quantum and finalized with the run's terminal
+	// state. Record mode is interpreter-only and incompatible with
+	// Replay.
+	TraceSink io.Writer
+	// Replay, when non-nil, re-executes a recorded trace instead of
+	// running live: the machine takes its schedule, load values and
+	// library results from the stream while dispatching hooks into the
+	// installed Handlers. Forces EngineReplay. The Trace may be shared
+	// by concurrent machines — it is read-only during replay.
+	Replay *trace.Trace
 }
 
 // FaultSpec requests deterministic fault injection. The injection
@@ -188,6 +201,13 @@ type Machine struct {
 	// dispatch flag on the quantum path).
 	tx *texec
 
+	// rec is the trace recorder (non-nil iff Config.TraceSink); rp is
+	// the replay state (non-nil iff Config.Replay). Like tx, each
+	// doubles as its mode's dispatch flag.
+	rec        *recorder
+	rp         *replayState
+	traceStats trace.Stats
+
 	// Handlers is the analysis handler table indexed by HookRef.HandlerID.
 	Handlers []HandlerFn
 	// AtExit callbacks run after main returns (analysis finalization).
@@ -240,6 +260,24 @@ func New(prog *mir.Program, cfg Config) (*Machine, error) {
 		// Deterministically shift the scheduler's jitter stream without
 		// losing the |1 non-zero guarantee.
 		m.rng = (m.rng ^ p*0xBF58476D1CE4E5B9) | 1
+	}
+	if m.cfg.Replay != nil {
+		if m.cfg.TraceSink != nil {
+			return nil, fmt.Errorf("vm: TraceSink and Replay are mutually exclusive")
+		}
+		if fp := TraceFingerprint(prog); fp != m.cfg.Replay.ProgFP {
+			return nil, fmt.Errorf("vm: replay trace was recorded against a different program (fingerprint %#x, trace has %#x)", fp, m.cfg.Replay.ProgFP)
+		}
+		m.cfg.Engine = EngineReplay
+		m.rp = &replayState{cur: m.cfg.Replay.Cursor()}
+	} else if m.cfg.Engine == EngineReplay {
+		return nil, fmt.Errorf("vm: EngineReplay requires Config.Replay")
+	}
+	if m.cfg.TraceSink != nil {
+		if m.cfg.Engine == EngineThreaded {
+			return nil, fmt.Errorf("vm: trace recording is interpreter-only (EngineThreaded set)")
+		}
+		m.rec = &recorder{w: trace.NewWriter(m.cfg.TraceSink, TraceFingerprint(prog), m.cfg.Seed, m.cfg.Quantum)}
 	}
 	m.libs = stdlibTable()
 	m.ssl.init()
@@ -334,8 +372,23 @@ func (m *Machine) heapAlloc(n uint64, what string) uint64 {
 	a := m.heap.alloc(n)
 	if a == 0 {
 		m.failf(KindHeapLimit, "out of simulated heap (%s, %d bytes)", what, n)
+	} else if m.rec != nil {
+		// Replay re-drives the (deterministic) allocator from this event
+		// so address reuse and live-byte accounting stay exact without
+		// re-executing the library model that allocated.
+		m.rec.w.Alloc(a, n)
 	}
 	return a
+}
+
+// heapFree is heapAlloc's counterpart: every library model that
+// releases heap memory goes through it so record mode captures the
+// event for replay's allocator mirror.
+func (m *Machine) heapFree(a uint64) {
+	m.heap.release(a)
+	if m.rec != nil {
+		m.rec.w.Free(a)
+	}
 }
 
 // Backtrace renders the current thread's call stack, innermost first.

@@ -1,0 +1,139 @@
+package vm
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"repro/internal/mir"
+	"repro/internal/trace"
+)
+
+// Record mode: when Config.TraceSink is set, the interpreter emits the
+// compressed event stream of package trace while it runs — the external
+// inputs of the execution (load values, library results, scheduler
+// quanta) that replay cannot re-derive. Everything else (arithmetic,
+// addresses, lock state, hook dispatch) is recomputed at replay, so the
+// recorder's hot-path cost is one nil check per instruction plus the
+// per-event emits on loads, stores, sync ops and library calls.
+
+// recorder tracks the in-flight quantum's shape for the trace writer.
+type recorder struct {
+	w *trace.Writer
+	// psteps counts non-hook instructions retired in the current
+	// quantum; trailing counts hook dispatches since the last non-hook
+	// step. Together they pin the quantum boundary exactly (the
+	// [step hook hook] vs [step][hook hook] ambiguity) without
+	// referencing the instrumentation schema.
+	psteps   uint64
+	trailing uint64
+	curTid   int
+	done     bool
+}
+
+// step accounts one retired instruction.
+func (r *recorder) step(isHook bool) {
+	if isHook {
+		r.trailing++
+	} else {
+		r.psteps++
+		r.trailing = 0
+	}
+}
+
+// endBatch closes the current quantum's batch.
+func (r *recorder) endBatch() {
+	r.w.EndBatch(r.curTid, r.psteps, r.trailing)
+	r.psteps, r.trailing = 0, 0
+}
+
+// finish writes the terminal record and flushes. Safe to call more than
+// once (Run's recover path and Finish both reach it); only the first
+// call writes. A partial quantum interrupted by a failure (e.g. a
+// handler panic unwinding past RunQuantum) is flushed first so the
+// trace replays up to the exact failing instruction.
+func (m *Machine) finishRecord() {
+	r := m.rec
+	if r == nil || r.done {
+		return
+	}
+	r.done = true
+	if r.psteps != 0 || r.trailing != 0 {
+		r.endBatch()
+	}
+	if m.err != nil {
+		r.w.Fail(m.err.Kind.String(), m.err.Msg)
+	} else {
+		exit := uint64(0)
+		if m.main != nil {
+			exit = m.main.retVal
+		}
+		r.w.End(exit)
+	}
+	m.traceStats = r.w.Stats()
+	if err := r.w.Err(); err != nil && m.err == nil {
+		m.failf(KindTrap, "trace sink write failed: %v", err)
+	}
+}
+
+// TraceStats returns the recorder's stream statistics after a recorded
+// run (zero value otherwise).
+func (m *Machine) TraceStats() trace.Stats { return m.traceStats }
+
+// TraceFingerprint hashes the replay-relevant structure of a program:
+// every instruction except OpHook, in sorted-function, block, pc order.
+// Instrumentation only splices OpHook instructions into blocks, so a
+// plain program and every instrumented clone of it share a fingerprint
+// — which is exactly the compatibility contract of a recorded trace
+// (record once from the plain run, replay into any analysis).
+func TraceFingerprint(p *mir.Program) uint64 {
+	h := fnv.New64a()
+	var buf [8 * binary.MaxVarintLen64]byte
+	wv := func(vs ...int64) {
+		b := buf[:0]
+		for _, v := range vs {
+			b = binary.AppendVarint(b, v)
+		}
+		h.Write(b)
+	}
+	wop := func(o mir.Operand) {
+		if o.IsConst {
+			wv(1, o.Const)
+		} else {
+			wv(0, int64(o.Reg))
+		}
+	}
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	// Insertion sort: the function count is tiny and this avoids an
+	// import for one call site.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	h.Write([]byte(p.Entry))
+	for _, n := range names {
+		f := p.Funcs[n]
+		h.Write([]byte(n))
+		wv(int64(f.NParams), int64(f.NRegs), int64(len(f.Blocks)))
+		for bi := range f.Blocks {
+			for ii := range f.Blocks[bi].Instrs {
+				ins := &f.Blocks[bi].Instrs[ii]
+				if ins.Op == mir.OpHook {
+					continue
+				}
+				wv(int64(ins.Op), int64(ins.Dst), int64(ins.Size), ins.Imm,
+					int64(ins.Target), int64(ins.Else), int64(len(ins.Args)))
+				wop(ins.A)
+				wop(ins.B)
+				h.Write([]byte(ins.Callee))
+				for _, a := range ins.Args {
+					wop(a)
+				}
+			}
+		}
+	}
+	return h.Sum64()
+}

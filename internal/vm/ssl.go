@@ -36,7 +36,7 @@ func registerSSL(libs map[string]LibFn) {
 	libs["SSL_CTX_free"] = func(m *Machine, t *thread, args []uint64) uint64 {
 		h := arg(args, 0)
 		delete(m.ssl.ctxs, h)
-		m.heap.release(h)
+		m.heapFree(h)
 		return 0
 	}
 	libs["SSL_new"] = func(m *Machine, t *thread, args []uint64) uint64 {
@@ -93,7 +93,7 @@ func registerSSL(libs map[string]LibFn) {
 	libs["SSL_free"] = func(m *Machine, t *thread, args []uint64) uint64 {
 		h := arg(args, 0)
 		delete(m.ssl.conns, h)
-		m.heap.release(h)
+		m.heapFree(h)
 		return 0
 	}
 	libs["SSL_get_error"] = func(m *Machine, t *thread, args []uint64) uint64 { return 0 }
