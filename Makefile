@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only,
 # no external dependencies).
 
-.PHONY: all build test race vet bench benchgate benchbaseline experiments examples fmt cover fuzz faults conform replay-conform metrics serve-smoke
+.PHONY: all build test race vet bench benchgate benchbaseline experiments examples fmt cover fuzz faults conform replay-conform adapt-conform metrics serve-smoke
 
 all: build vet test
 
@@ -41,6 +41,14 @@ conform:
 # trace-corruption shrinker.
 replay-conform:
 	go test ./internal/conformance -run 'TestReplayConform|TestConcurrentReplay|TestShrinkReplayDivergence' -count=1 -conform-seeds 200
+
+# Adaptive-PGO conformance sweep: every generated workload profiled,
+# adapted through AdaptOptions, and the adapted recompile checked
+# byte-identical to the static full configuration on both engines
+# (plus the profiling build itself), with the adapted-divergence
+# shrinker closing the debugging loop.
+adapt-conform:
+	go test ./internal/conformance -run 'TestAdaptConform|TestShrinkAdaptiveDivergence' -count=1 -conform-seeds 200
 
 # Short fuzz passes over the parser, the set containers, and the
 # conformance harness (all three seed from checked-in testdata/fuzz

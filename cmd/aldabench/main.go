@@ -110,7 +110,7 @@ func runBench(emitJSON bool, gate bool, baseline string, benchtime time.Duration
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3|fig4|fig5|table3|table4|libsan|ablate|pgo|mem|gran|replay|all")
+	exp := flag.String("exp", "all", "experiment: fig3|fig4|fig5|table3|table4|libsan|ablate|pgo|adapt|mem|gran|replay|all")
 	sizeFlag := flag.String("size", "small", "workload size: tiny|small|medium|large")
 	reps := flag.Int("reps", 3, "measured repetitions per configuration (one warm-up run is added)")
 	seed := flag.Int64("seed", 1, "deterministic scheduler seed")
@@ -137,6 +137,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto / chrome://tracing)")
 	attrib := flag.String("attrib", "", "run the overhead-attribution report for this analysis (e.g. uaf, msan) instead of -exp")
 	attribPrograms := flag.String("attrib-programs", "", "comma-separated workloads for -attrib (default: a representative set)")
+	adapt := flag.Bool("adapt", false, "enable the adaptive hot swap in -exp adapt (off = no-swap control: the adaptive column stays static)")
+	adaptAfter := flag.Int("adapt-after", 1, "profiling-quantum length for -exp adapt, in programs")
 	profileOut := flag.String("profile-out", "", "collect a per-member access profile (train run) and write it to this file, then exit")
 	profileIn := flag.String("profile-in", "", "load a profile written by -profile-out; the pgo experiment uses it instead of training inline")
 	profileAnalysis := flag.String("profile-analysis", "msan", "analysis -profile-out trains")
@@ -174,6 +176,8 @@ func main() {
 		Retries:        *retries,
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
+		Adapt:          *adapt,
+		AdaptAfter:     *adaptAfter,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
@@ -336,6 +340,7 @@ func main() {
 	run("fig5", func(c harness.Config) error { _, err := harness.Fig5(c); return err })
 	run("ablate", func(c harness.Config) error { _, err := harness.Ablate(c); return err })
 	run("pgo", func(c harness.Config) error { _, err := harness.PGO(c); return err })
+	run("adapt", func(c harness.Config) error { _, err := harness.Adapt(c); return err })
 	run("mem", func(c harness.Config) error { _, err := harness.Mem(c); return err })
 	run("gran", func(c harness.Config) error { _, err := harness.Granularity(c); return err })
 	run("replay", func(c harness.Config) error {
@@ -346,7 +351,7 @@ func main() {
 		return err
 	})
 
-	if !strings.Contains("fig3 fig4 fig5 table3 table4 libsan ablate pgo mem gran replay all", *exp) {
+	if !strings.Contains("fig3 fig4 fig5 table3 table4 libsan ablate pgo adapt mem gran replay all", *exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}

@@ -25,6 +25,11 @@
 // The -chaos-* flags inject deterministic journal I/O faults (the serve
 // half of the fault-injection testbed); VM-level chaos arrives per job
 // via options.fault_seed.
+//
+// -adapt-after N turns on the serving-tier adaptive-PGO loop: the first
+// N jobs per compile fingerprint run a profiling build, then the shard
+// hot-swaps to a profile-adapted recompile. Swaps are journaled, so a
+// restart replays to the same adapted analysis without re-profiling.
 package main
 
 import (
@@ -53,6 +58,7 @@ func main() {
 	chaosSync := flag.Uint64("chaos-journal-sync-nth", 0, "inject a failure on the Nth journal fsync")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max time to finish in-flight jobs on SIGTERM")
 	maxSteps := flag.Uint64("max-steps", 0, "per-job step-budget cap (0 = default limits)")
+	adaptAfter := flag.Int("adapt-after", 0, "profile the first N jobs per compile fingerprint, then hot-swap to a profile-adapted recompile (0 = off)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -63,6 +69,7 @@ func main() {
 		JournalPath:      *journal,
 		JournalSyncEvery: *syncEvery,
 		JournalFaults:    serve.JournalFaults{FailWriteNth: *chaosWrite, FailSyncNth: *chaosSync},
+		AdaptAfter:       *adaptAfter,
 		Metrics:          obs.NewRegistry(),
 	}
 	if *maxSteps > 0 {

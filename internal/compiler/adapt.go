@@ -1,0 +1,158 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Adaptive re-selection — the self-tuning loop over the §3.2.1 profile
+// machinery. The static cost model decides containers once, before the
+// program runs; AdaptOptions folds a measured Profile back into the
+// compilation switches so the next compile re-selects containers with
+// knowledge of the observed traffic (cold members split out of hot
+// groups, cold pointer-keyed groups traded from offset shadow to page
+// table). The pass is pure and deterministic: the same Options and the
+// same canonicalized profile always produce the same adapted Options,
+// the same fingerprint, and the same decision log — which is what makes
+// adapted analyses cacheable, hot-swaps replayable from a journal, and
+// the decision log golden-pinnable.
+//
+// Adaptation changes layout and speed, never meaning. In particular it
+// NEVER changes Granularity: granularity variants alter verdicts on
+// non-word-aligned workloads, so the granularity switch is vetoed here
+// and the veto is logged on every run.
+
+// AdaptDecision is one logged step of the re-selection pass.
+type AdaptDecision struct {
+	Subject string // member name or the aspect decided ("granularity", "layout", ...)
+	Action  string // "keep-hot", "split-cold", "veto", "re-select", "static", "disable"
+	Reason  string
+}
+
+// AdaptResult is the outcome of AdaptOptions: the (possibly) adapted
+// Options plus the full decision trail. Changed reports whether the
+// adapted Options fingerprint differently from running static — when
+// false, callers keep the static compile (and its cache entry).
+type AdaptResult struct {
+	Opts      Options
+	Decisions []AdaptDecision
+	Changed   bool
+}
+
+// DecisionLog renders the decision trail deterministically, one line
+// per decision, for golden pinning and the explain tooling.
+func (r AdaptResult) DecisionLog() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "adaptation: changed=%v\n", r.Changed)
+	for _, d := range r.Decisions {
+		fmt.Fprintf(&b, "  %-10s %-14s %s\n", d.Action, d.Subject, d.Reason)
+	}
+	return b.String()
+}
+
+// coldThresholdDivisor mirrors Profile.hot: members below peak/16 are
+// cold relative to the hottest member.
+const coldThresholdDivisor = 16
+
+// AdaptOptions folds a measured profile into o, producing the adapted
+// compilation switches for the hot-swap recompile. The profile is
+// canonicalized (zero counts dropped) so equivalent profiles adapt to
+// identical fingerprints. Per-member hot/cold decisions are judged
+// against the global peak count; the per-group split in buildLayout
+// uses per-group peaks, which can only keep MORE members hot, so
+// Changed=false is a sound "no layout change" signal. ProfileCollect is
+// always cleared: the adapted analysis runs without counters.
+func (o Options) AdaptOptions(p *Profile) AdaptResult {
+	res := AdaptResult{Opts: o}
+	res.Opts.ProfileCollect = false
+	res.Opts.Profile = nil
+	if o.ProfileCollect {
+		res.Decisions = append(res.Decisions, AdaptDecision{
+			Subject: "counters", Action: "disable",
+			Reason: "adapted analysis runs without profile counters",
+		})
+	}
+	res.Decisions = append(res.Decisions, AdaptDecision{
+		Subject: "granularity", Action: "veto",
+		Reason: fmt.Sprintf("verdict safety: adaptation never changes granularity (stays %dB)", o.Granularity),
+	})
+
+	canon := canonicalProfile(p)
+	if canon == nil {
+		res.Decisions = append(res.Decisions, AdaptDecision{
+			Subject: "layout", Action: "static",
+			Reason: "empty profile: static cost model retained",
+		})
+		return res
+	}
+	if !o.Coalesce {
+		res.Decisions = append(res.Decisions, AdaptDecision{
+			Subject: "layout", Action: "static",
+			Reason: "coalescing disabled: no groups to re-select",
+		})
+		return res
+	}
+
+	names := make([]string, 0, len(canon.Counts))
+	var peak uint64
+	for n, c := range canon.Counts {
+		names = append(names, n)
+		if c > peak {
+			peak = c
+		}
+	}
+	sort.Strings(names)
+	cold := 0
+	for _, n := range names {
+		c := canon.Counts[n]
+		if canon.hot(n, peak) {
+			res.Decisions = append(res.Decisions, AdaptDecision{
+				Subject: n, Action: "keep-hot",
+				Reason: fmt.Sprintf("%d accesses >= peak %d / %d", c, peak, coldThresholdDivisor),
+			})
+		} else {
+			cold++
+			res.Decisions = append(res.Decisions, AdaptDecision{
+				Subject: n, Action: "split-cold",
+				Reason: fmt.Sprintf("%d accesses < peak %d / %d", c, peak, coldThresholdDivisor),
+			})
+		}
+	}
+	if cold == 0 {
+		res.Decisions = append(res.Decisions, AdaptDecision{
+			Subject: "layout", Action: "static",
+			Reason: "observed traffic confirms the static model: no cold member to split",
+		})
+		return res
+	}
+
+	res.Opts.Profile = canon
+	res.Changed = true
+	res.Decisions = append(res.Decisions, AdaptDecision{
+		Subject: "layout", Action: "re-select",
+		Reason: fmt.Sprintf("%d cold member(s): profile-guided cold split and container re-selection enabled", cold),
+	})
+	return res
+}
+
+// canonicalProfile copies p with zero-count entries dropped. Members
+// absent from a profile count as zero, so a profile with explicit zeros
+// selects the identical layout as one without — canonicalizing makes
+// them fingerprint identically too. Returns nil for an effectively
+// empty profile.
+func canonicalProfile(p *Profile) *Profile {
+	if p == nil || len(p.Counts) == 0 {
+		return nil
+	}
+	counts := make(map[string]uint64, len(p.Counts))
+	for n, c := range p.Counts {
+		if c > 0 {
+			counts[n] = c
+		}
+	}
+	if len(counts) == 0 {
+		return nil
+	}
+	return &Profile{Counts: counts}
+}

@@ -1,0 +1,168 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+)
+
+// adaptSrc mirrors the msan shape: a hot shadow map and a cold sidecar
+// sharing the address key — the group the adaptive pass splits.
+const adaptSrc = `
+address := pointer
+size := int64
+v := int8
+label = universe::map(address, v)
+sizes = map(address, size)
+onMalloc(address p, size n) {
+    label.set(p, 0, n);
+    sizes[p] = n;
+}
+onLoad(address p) {
+    alda_assert(label[p], 0, "uninit");
+}
+insert after func malloc call onMalloc($r, $1)
+insert after LoadInst call onLoad($1)
+`
+
+func skewedProfile() *Profile {
+	return &Profile{Counts: map[string]uint64{"label": 1000, "sizes": 2}}
+}
+
+func TestAdaptOptionsColdSplit(t *testing.T) {
+	base := DefaultOptions()
+	res := base.AdaptOptions(skewedProfile())
+	if !res.Changed {
+		t.Fatalf("skewed profile must change the options:\n%s", res.DecisionLog())
+	}
+	if res.Opts.Profile == nil {
+		t.Fatal("adapted options must carry the canonical profile")
+	}
+	if res.Opts.Granularity != base.Granularity {
+		t.Fatalf("adaptation changed granularity %d -> %d", base.Granularity, res.Opts.Granularity)
+	}
+	if res.Opts.ProfileCollect {
+		t.Fatal("adapted options must not keep collecting")
+	}
+	if res.Opts.Fingerprint() == base.Fingerprint() {
+		t.Fatal("adapted options must fingerprint differently from static")
+	}
+
+	// The adapted compile splits the cold sidecar into its own group,
+	// marked Cold and rendered in the plan.
+	a, err := Compile(adaptSrc, res.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Layout.Groups) != 2 {
+		t.Fatalf("adapted groups = %d, want 2:\n%s", len(a.Layout.Groups), a.Plan())
+	}
+	var coldGroups int
+	for _, g := range a.Layout.Groups {
+		if g.Cold {
+			coldGroups++
+			if g.Member("sizes") == nil {
+				t.Errorf("cold group holds %v, want sizes", g.MemberNames())
+			}
+		}
+	}
+	if coldGroups != 1 {
+		t.Fatalf("cold groups = %d, want 1", coldGroups)
+	}
+	if !strings.Contains(a.Plan(), "cold=profile-split") {
+		t.Errorf("plan does not render the cold split:\n%s", a.Plan())
+	}
+}
+
+// TestAdaptOptionsDeterministic: same inputs, same fingerprint, same
+// decision log — the property that makes adapted compiles cacheable and
+// hot-swaps journal-replayable.
+func TestAdaptOptionsDeterministic(t *testing.T) {
+	base := DefaultOptions()
+	r1 := base.AdaptOptions(skewedProfile())
+	r2 := base.AdaptOptions(skewedProfile())
+	if r1.Opts.Fingerprint() != r2.Opts.Fingerprint() {
+		t.Error("fingerprints differ across identical adaptations")
+	}
+	if r1.DecisionLog() != r2.DecisionLog() {
+		t.Errorf("decision logs differ:\n--- 1 ---\n%s--- 2 ---\n%s", r1.DecisionLog(), r2.DecisionLog())
+	}
+	// Equivalent profile with an explicit zero canonicalizes identically.
+	withZero := skewedProfile()
+	withZero.Counts["ghost"] = 0
+	if r3 := base.AdaptOptions(withZero); r3.Opts.Fingerprint() != r1.Opts.Fingerprint() {
+		t.Error("explicit zero count changed the adapted fingerprint")
+	}
+}
+
+func TestAdaptOptionsNoChange(t *testing.T) {
+	base := DefaultOptions()
+	cases := map[string]*Profile{
+		"nil":       nil,
+		"empty":     {Counts: map[string]uint64{}},
+		"all-zero":  {Counts: map[string]uint64{"a": 0, "b": 0}},
+		"all-equal": {Counts: map[string]uint64{"label": 100, "sizes": 100}},
+		"all-hot":   {Counts: map[string]uint64{"label": 100, "sizes": 10}},
+	}
+	for name, p := range cases {
+		res := base.AdaptOptions(p)
+		if res.Changed {
+			t.Errorf("%s: Changed=true, want false:\n%s", name, res.DecisionLog())
+		}
+		if res.Opts.Fingerprint() != base.Fingerprint() {
+			t.Errorf("%s: unchanged adaptation must keep the static fingerprint", name)
+		}
+		if len(res.Decisions) == 0 {
+			t.Errorf("%s: no decisions logged", name)
+		}
+	}
+	// Without coalescing there is nothing to re-select, however skewed
+	// the profile.
+	if res := DSOnlyOptions().AdaptOptions(skewedProfile()); res.Changed {
+		t.Errorf("dsonly adaptation must be a no-op:\n%s", res.DecisionLog())
+	}
+	// A profiling-quantum configuration still clears ProfileCollect.
+	collect := base
+	collect.ProfileCollect = true
+	if res := collect.AdaptOptions(nil); res.Opts.ProfileCollect {
+		t.Error("AdaptOptions must clear ProfileCollect")
+	}
+}
+
+// TestAdaptDecisionLogGolden pins the rendered decision log for a fixed
+// profile; the harness prints this trail after adaptive sweeps, so its
+// exact shape is part of the deterministic output contract.
+func TestAdaptDecisionLogGolden(t *testing.T) {
+	res := DefaultOptions().AdaptOptions(skewedProfile())
+	want := `adaptation: changed=true
+  veto       granularity    verdict safety: adaptation never changes granularity (stays 8B)
+  keep-hot   label          1000 accesses >= peak 1000 / 16
+  split-cold sizes          2 accesses < peak 1000 / 16
+  re-select  layout         1 cold member(s): profile-guided cold split and container re-selection enabled
+`
+	if got := res.DecisionLog(); got != want {
+		t.Errorf("decision log drifted\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestProfileMatchesAnalysis(t *testing.T) {
+	a, err := Compile(adaptSrc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &Profile{Counts: map[string]uint64{"label": 5, "sizes": 1}}
+	if err := good.MatchesAnalysis(a); err != nil {
+		t.Errorf("matching profile rejected: %v", err)
+	}
+	var nilP *Profile
+	if err := nilP.MatchesAnalysis(a); err != nil {
+		t.Errorf("nil profile rejected: %v", err)
+	}
+	stale := &Profile{Counts: map[string]uint64{"label": 5, "lockset": 9, "epoch": 1}}
+	err = stale.MatchesAnalysis(a)
+	if err == nil {
+		t.Fatal("stale profile accepted")
+	}
+	if !strings.Contains(err.Error(), "epoch, lockset") {
+		t.Errorf("stale members not listed sorted: %v", err)
+	}
+}

@@ -3,7 +3,6 @@ package compiler
 import (
 	"container/list"
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,16 +39,11 @@ func (o Options) Fingerprint() string {
 		o.Granularity, o.ShadowFactorThreshold, o.BitSetMaxBytes,
 		o.ArrayMapMaxKeys, o.AddrSpace, o.Engine)
 	if o.Profile != nil {
-		names := make([]string, 0, len(o.Profile.Counts))
-		for n := range o.Profile.Counts {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		b.WriteString(",prof{")
-		for _, n := range names {
-			fmt.Fprintf(&b, "%s=%d;", n, o.Profile.Counts[n])
-		}
-		b.WriteString("}")
+		// Canonical digest, not a dump: profiles are caller data of
+		// unbounded size, and the fingerprint is recomputed on every
+		// cache probe. Zero counts are skipped inside hash(), so
+		// equivalent profiles fingerprint identically.
+		fmt.Fprintf(&b, ",prof{%016x}", o.Profile.Hash())
 	}
 	return b.String()
 }
@@ -108,12 +102,14 @@ func lookupOrInsert(key cacheKey) *cacheEntry {
 }
 
 // CachedCompile memoizes build under (name, opts.Fingerprint()).
-// Concurrent callers with the same key share one compilation. Compiles
-// that carry a profile bypass the cache: profile-guided recompiles are
-// per-training-run one-shots and callers expect a fresh Analysis they
-// may wire up further.
+// Concurrent callers with the same key share one compilation.
+// Profile-carrying compiles are cached too — the profile is
+// canonicalized and hashed into the fingerprint, so the adaptive loop's
+// hot-swap recompiles hit the LRU when N cells (or N served jobs) adapt
+// to the same profile. Only unhashable profiles (pathologically many
+// members) bypass the cache and compile fresh.
 func CachedCompile(name string, opts Options, build func() (*Analysis, error)) (*Analysis, error) {
-	if opts.Profile != nil {
+	if !opts.Profile.Hashable() {
 		return build()
 	}
 	entry := lookupOrInsert(cacheKey{name: name, fp: opts.Fingerprint()})

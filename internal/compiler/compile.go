@@ -443,6 +443,9 @@ func (a *Analysis) Plan() string {
 		if g.Impl == ImplShadow || g.Impl == ImplPageTable {
 			fmt.Fprintf(&b, " shadow-factor=%.2f", g.ShadowFactor)
 		}
+		if g.Cold {
+			b.WriteString(" cold=profile-split")
+		}
 		b.WriteString("\n")
 		for _, m := range g.Members {
 			if m.IsSet == 1 {

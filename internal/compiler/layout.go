@@ -84,7 +84,11 @@ type Group struct {
 	AddrShift    uint // address-keyed groups pre-shift keys by this
 	MaxKeys      uint64
 	ShadowFactor float64
-	Members      []*Member
+	// Cold marks a group split out by profile-guided coalescing: the
+	// profile showed its members rarely accessed, so container
+	// selection trades speed for memory (page table over shadow).
+	Cold    bool
+	Members []*Member
 
 	memberByName map[string]*Member
 }
@@ -170,6 +174,14 @@ func keySig(m *sema.MetaObj) string {
 // Never set outside tests.
 var TestPerturbCoalescedTemplates bool
 
+// TestPerturbAdaptedTemplates is the adaptive counterpart: when set,
+// every keyed group of a profile-carrying compile gets its template low
+// bit flipped, so an adapted analysis deterministically disagrees with
+// its static reference wherever the default metadata state matters.
+// The adaptive conformance axis and its shrinker leg must catch it.
+// Never set outside tests.
+var TestPerturbAdaptedTemplates bool
+
 // buildLayout runs metadata coalescing (§5.2) and data-structure
 // selection (§5.3).
 func buildLayout(info *sema.Info, opts Options) (*Layout, error) {
@@ -237,7 +249,7 @@ func buildLayout(info *sema.Info, opts Options) (*Layout, error) {
 
 	// 2. Lay out each group's entry and pick its container.
 	for _, b := range buckets {
-		g := &Group{ID: len(lay.Groups), memberByName: make(map[string]*Member)}
+		g := &Group{ID: len(lay.Groups), Cold: b.cold, memberByName: make(map[string]*Member)}
 		var bitCursor uint
 
 		for _, mo := range b.metas {
@@ -383,6 +395,9 @@ func buildLayout(info *sema.Info, opts Options) (*Layout, error) {
 			}
 		}
 		if TestPerturbCoalescedTemplates && g.KeyType != nil && len(g.Members) >= 2 {
+			g.Template[0] ^= 1
+		}
+		if TestPerturbAdaptedTemplates && opts.Profile != nil && g.KeyType != nil {
 			g.Template[0] ^= 1
 		}
 		lay.Groups = append(lay.Groups, g)

@@ -1,10 +1,15 @@
 package compiler
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -55,6 +60,62 @@ func (p *Profile) String() string {
 	return b.String()
 }
 
+// MaxHashableProfileMembers bounds the profiles folded into an Options
+// fingerprint. Member counts come from analysis source, so real
+// profiles hold a handful of entries; anything past this bound is
+// adversarial or corrupt and compiles uncached instead of hashing
+// unbounded input on every cache probe.
+const MaxHashableProfileMembers = 4096
+
+// Hashable reports whether the profile can be canonically folded into
+// an Options fingerprint. A nil profile is trivially hashable.
+func (p *Profile) Hashable() bool {
+	return p == nil || len(p.Counts) <= MaxHashableProfileMembers
+}
+
+// Hash is the canonical FNV-64a digest over sorted name=count pairs,
+// skipping zero counts (absent and explicit-zero members select the
+// same layout, so they must hash the same). It is what folds a profile
+// into an Options fingerprint and into checkpoint/journal fingerprints.
+func (p *Profile) Hash() uint64 {
+	names := make([]string, 0, len(p.Counts))
+	for n, c := range p.Counts {
+		if c > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	var num [20]byte
+	for _, n := range names {
+		io.WriteString(h, n)
+		h.Write([]byte{'='})
+		h.Write(strconv.AppendUint(num[:0], p.Counts[n], 10))
+		h.Write([]byte{';'})
+	}
+	return h.Sum64()
+}
+
+// MatchesAnalysis reports whether every member the profile names exists
+// in the analysis — the staleness check for profiles loaded from disk.
+// An empty profile matches trivially (it selects the static layout).
+func (p *Profile) MatchesAnalysis(a *Analysis) error {
+	if p == nil || a == nil {
+		return nil
+	}
+	var unknown []string
+	for name := range p.Counts {
+		if a.Info.Metas[name] == nil {
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	return fmt.Errorf("profile names unknown member(s) %s", strings.Join(unknown, ", "))
+}
+
 // ProfileMetricPrefix prefixes per-member access counts in the obs
 // metrics registry; ProfileFromCounts strips it back off. Keeping the
 // profile inside the ordinary metrics stream is what makes the
@@ -75,20 +136,149 @@ func (p *Profile) WriteFile(path string) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
-// ReadProfileFile loads a profile written by WriteFile.
+// ProfileError is the typed error ReadProfileFile returns for a
+// malformed profile file: truncated input, duplicate keys, counts that
+// overflow uint64 or are negative, or a non-object shape. Callers that
+// want to degrade to static selection match it with errors.As.
+type ProfileError struct {
+	Path   string
+	Reason string
+	Err    error // underlying decode error, may be nil
+}
+
+func (e *ProfileError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("profile %s: %s: %v", e.Path, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("profile %s: %s", e.Path, e.Reason)
+}
+
+func (e *ProfileError) Unwrap() error { return e.Err }
+
+// ReadProfileFile loads a profile written by WriteFile. Malformed input
+// — truncation, duplicate member names, counts outside uint64 — returns
+// a *ProfileError rather than silently last-writer-wins semantics or a
+// panic; profiles are fed back into compilation, so a corrupt one must
+// be rejected loudly at the boundary.
 func ReadProfileFile(path string) (*Profile, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var f profileFile
-	if err := json.Unmarshal(b, &f); err != nil {
-		return nil, fmt.Errorf("profile %s: %w", path, err)
+	p, perr := ParseProfile(b)
+	if perr != nil {
+		perr.Path = path
+		return nil, perr
 	}
-	if f.Counts == nil {
-		f.Counts = make(map[string]uint64)
+	return p, nil
+}
+
+// ParseProfile decodes the WriteFile JSON format with token-level
+// validation (the Path field of a returned error is left for the
+// caller to fill in).
+func ParseProfile(b []byte) (*Profile, *ProfileError) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.UseNumber()
+	fail := func(reason string, err error) (*Profile, *ProfileError) {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			reason, err = "truncated", nil
+		}
+		return nil, &ProfileError{Reason: reason, Err: err}
 	}
-	return &Profile{Counts: f.Counts}, nil
+	tok, err := dec.Token()
+	if err != nil {
+		return fail("not valid JSON", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return fail(fmt.Sprintf("top level is %v, want an object", tok), nil)
+	}
+	counts := make(map[string]uint64)
+	sawCounts := false
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return fail("bad field name", err)
+		}
+		key := keyTok.(string)
+		if key != "counts" {
+			if err := skipJSONValue(dec); err != nil {
+				return fail(fmt.Sprintf("bad value for field %q", key), err)
+			}
+			continue
+		}
+		if sawCounts {
+			return fail(`duplicate "counts" field`, nil)
+		}
+		sawCounts = true
+		tok, err := dec.Token()
+		if err != nil {
+			return fail("bad counts value", err)
+		}
+		if tok == nil { // "counts": null — empty profile
+			continue
+		}
+		if d, ok := tok.(json.Delim); !ok || d != '{' {
+			return fail(fmt.Sprintf("counts is %v, want an object", tok), nil)
+		}
+		for dec.More() {
+			nameTok, err := dec.Token()
+			if err != nil {
+				return fail("bad member name", err)
+			}
+			name := nameTok.(string)
+			if _, dup := counts[name]; dup {
+				return fail(fmt.Sprintf("duplicate member %q", name), nil)
+			}
+			valTok, err := dec.Token()
+			if err != nil {
+				return fail(fmt.Sprintf("bad count for member %q", name), err)
+			}
+			num, ok := valTok.(json.Number)
+			if !ok {
+				return fail(fmt.Sprintf("count for member %q is %v, want an integer", name, valTok), nil)
+			}
+			c, err := strconv.ParseUint(num.String(), 10, 64)
+			if err != nil {
+				return fail(fmt.Sprintf("count for member %q out of range", name), err)
+			}
+			counts[name] = c
+		}
+		if _, err := dec.Token(); err != nil { // closing '}'
+			return fail("truncated counts object", err)
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return fail("truncated", err)
+	}
+	if tok, err := dec.Token(); err != io.EOF {
+		return fail(fmt.Sprintf("trailing data after profile object: %v", tok), nil)
+	}
+	return &Profile{Counts: counts}, nil
+}
+
+// skipJSONValue consumes one JSON value (scalar, object or array) from
+// the decoder, recursing through nesting.
+func skipJSONValue(dec *json.Decoder) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	d, ok := tok.(json.Delim)
+	if !ok || (d != '{' && d != '[') {
+		return nil
+	}
+	for dec.More() {
+		if d == '{' {
+			if _, err := dec.Token(); err != nil { // key
+				return err
+			}
+		}
+		if err := skipJSONValue(dec); err != nil {
+			return err
+		}
+	}
+	_, err = dec.Token() // closing delimiter
+	return err
 }
 
 // ProfileFromCounts extracts the per-member access counts embedded in a

@@ -1,0 +1,115 @@
+package compiler
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestReadProfileFileTypedErrors pins the hardened reader's error
+// taxonomy: every malformed shape returns a *ProfileError naming what
+// went wrong, never a panic and never silent last-writer-wins.
+func TestReadProfileFileTypedErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		body   string
+		reason string // substring of the ProfileError reason, "" = must succeed
+	}{
+		{"valid", `{"counts":{"a":1,"b":2}}`, ""},
+		{"empty-counts", `{"counts":{}}`, ""},
+		{"null-counts", `{"counts":null}`, ""},
+		{"no-counts", `{}`, ""},
+		{"unknown-field", `{"extra":[1,{"x":[]}],"counts":{"m":3}}`, ""},
+		{"truncated", `{"counts":{"a":1`, "truncated"},
+		{"truncated-empty", ``, "truncated"},
+		{"duplicate-member", `{"counts":{"a":1,"a":2}}`, `duplicate member "a"`},
+		{"duplicate-counts", `{"counts":{},"counts":{}}`, `duplicate "counts"`},
+		{"overflow", `{"counts":{"a":18446744073709551616}}`, "out of range"},
+		{"negative", `{"counts":{"a":-5}}`, "out of range"},
+		{"float", `{"counts":{"a":1.5}}`, "out of range"},
+		{"string-count", `{"counts":{"a":"9"}}`, "want an integer"},
+		{"non-object", `[1,2,3]`, "want an object"},
+		{"counts-array", `{"counts":[1]}`, "want an object"},
+		{"trailing", `{"counts":{}} {"counts":{}}`, "trailing data"},
+	}
+	dir := t.TempDir()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".json")
+			if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			p, err := ReadProfileFile(path)
+			if tc.reason == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if p == nil || p.Counts == nil {
+					t.Fatal("success must return a non-nil profile with a usable map")
+				}
+				return
+			}
+			var pe *ProfileError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is %T (%v), want *ProfileError", err, err)
+			}
+			if pe.Path != path {
+				t.Errorf("error path = %q, want %q", pe.Path, path)
+			}
+			if !strings.Contains(pe.Reason, tc.reason) {
+				t.Errorf("reason %q does not mention %q", pe.Reason, tc.reason)
+			}
+		})
+	}
+	if _, err := ReadProfileFile(filepath.Join(dir, "missing.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file: got %v, want fs not-exist error", err)
+	}
+}
+
+// FuzzReadProfile hammers the profile reader with arbitrary bytes: it
+// must never panic, failures must be typed, and anything it accepts
+// must survive a WriteFile/ReadProfileFile round trip unchanged.
+func FuzzReadProfile(f *testing.F) {
+	f.Add([]byte(`{"counts":{"a":1,"b":2}}`))
+	f.Add([]byte(`{"counts":{"a":1`))
+	f.Add([]byte(`{"counts":{"a":18446744073709551616}}`))
+	f.Add([]byte(`{"counts":{"a":1,"a":2}}`))
+	f.Add([]byte(`{"not-a-member":true,"counts":{"ghost":3}}`))
+	f.Add([]byte(`{"counts":{"a":-5}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"counts":null}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "p.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		p, err := ReadProfileFile(path)
+		if err != nil {
+			var pe *ProfileError
+			if !errors.As(err, &pe) {
+				t.Fatalf("untyped error: %T (%v)", err, err)
+			}
+			return
+		}
+		// Accepted profiles must be usable and round-trip clean.
+		_ = p.Hashable()
+		_ = p.Hash()
+		_ = p.String()
+		out := filepath.Join(t.TempDir(), "rt.json")
+		if err := p.WriteFile(out); err != nil {
+			t.Fatalf("round-trip write: %v", err)
+		}
+		rt, err := ReadProfileFile(out)
+		if err != nil {
+			t.Fatalf("round-trip read: %v", err)
+		}
+		if len(p.Counts) != 0 || len(rt.Counts) != 0 {
+			if !reflect.DeepEqual(p.Counts, rt.Counts) {
+				t.Fatalf("round trip changed counts: %v -> %v", p.Counts, rt.Counts)
+			}
+		}
+	})
+}

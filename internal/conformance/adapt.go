@@ -1,0 +1,135 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/analyses"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/mir"
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
+
+// The adaptive axis closes the adaptive-PGO loop as a conformance
+// property: for any workload, profiling it, folding its own profile
+// through compiler.AdaptOptions, and running the adapted recompile
+// must reproduce the static full configuration's outcome byte for
+// byte — reports, exit value and error kind — on both execution
+// engines. The profiling build itself (access counters enabled) is a
+// third leg under the same identity, so neither half of the adaptive
+// loop can perturb verdicts.
+
+// adaptEngineConfigs are the static references the adaptive legs must
+// match, one per execution tier.
+func adaptEngineConfigs() []compiler.NamedOptions {
+	return []compiler.NamedOptions{
+		{Name: "full", Opts: compiler.DefaultOptions()},
+		{Name: "full-thr", Opts: compiler.DefaultOptions().WithEngine(vm.EngineThreaded)},
+	}
+}
+
+// profileOf collects w's per-member access profile for one analysis by
+// running the ProfileCollect build with a private metrics shard. The
+// collecting build is memoized through the Runner's local compile memo
+// (never the process-wide cache: conformance perturbs compilation via
+// test hooks the global fingerprint knows nothing about). A run that
+// dies with a VM verdict (trap, budget) yields the empty profile — the
+// adaptive loop degrades to static selection exactly as the harness
+// does for unusable profiles.
+func (r *Runner) profileOf(w *Workload, name string) (*compiler.Profile, error) {
+	opts := compiler.DefaultOptions()
+	opts.ProfileCollect = true
+	a, err := r.analysis(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	sh := obs.NewShard()
+	_, rerr := core.RunAnalysis(w.Prog, a, core.RunOptions{
+		Seed: r.SchedSeeds[0], MaxSteps: r.MaxSteps, Metrics: sh,
+	})
+	if rerr != nil {
+		var re *vm.RunError
+		if !errors.As(rerr, &re) {
+			return nil, fmt.Errorf("%s/%s profile: %w", w.Name, name, rerr)
+		}
+		return &compiler.Profile{}, nil
+	}
+	return compiler.ProfileFromCounts(sh.Counts), nil
+}
+
+// runAdapted compiles and runs a profile-carrying configuration
+// WITHOUT memoizing it: adapted options embed a per-workload profile
+// hash, so memoizing them would grow the Runner's compile memo without
+// bound across a 200-seed sweep or a long fuzz run. Each adapted
+// compile is used exactly once here; callers that reuse one (the
+// shrinker's fail predicate) compile it themselves.
+func (r *Runner) runAdapted(p *mir.Program, name string, opts compiler.Options, seed int64) (outcome, error) {
+	src, err := analyses.Source(name)
+	if err != nil {
+		return outcome{}, err
+	}
+	a, err := compiler.Compile(src, opts)
+	if err != nil {
+		return outcome{}, fmt.Errorf("conformance: compile adapted %s: %w", name, err)
+	}
+	analyses.RegisterExternals(a)
+	res, rerr := core.RunAnalysis(p, a, core.RunOptions{Seed: seed, MaxSteps: r.MaxSteps})
+	return outcomeOf(res, rerr)
+}
+
+// CheckAdaptive runs the adaptive conformance axis for one workload and
+// one analysis: static reference vs profiling build vs profile-adapted
+// recompile, on both engines.
+func (r *Runner) CheckAdaptive(w *Workload, name string) ([]Mismatch, error) {
+	var ms []Mismatch
+	seed := r.SchedSeeds[0]
+	prof, err := r.profileOf(w, name)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range adaptEngineConfigs() {
+		ref, err := r.runOne(w, name, c.Opts, seed)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			// The profiling build (counters on, layout static) must not
+			// perturb verdicts either — it runs real traffic during the
+			// harness's and server's quantum. Engine-independent, so one
+			// leg suffices.
+			collect := c.Opts
+			collect.ProfileCollect = true
+			got, err := r.runOne(w, name, collect, seed)
+			if err != nil {
+				return nil, err
+			}
+			if !got.equal(ref) {
+				ms = append(ms, Mismatch{
+					Workload: w.Name, Seed: w.Seed, Analysis: name,
+					Property: "adaptive", Ref: c.Name, Got: c.Name + "-collect",
+					Detail: diff(ref, got),
+				})
+			}
+		}
+		ares := c.Opts.AdaptOptions(prof)
+		if !ares.Changed {
+			// No cold member: the adapted options fingerprint-equal the
+			// static ones, so the leg is the reference by construction.
+			continue
+		}
+		got, err := r.runAdapted(w.Prog, name, ares.Opts, seed)
+		if err != nil {
+			return nil, err
+		}
+		if !got.equal(ref) {
+			ms = append(ms, Mismatch{
+				Workload: w.Name, Seed: w.Seed, Analysis: name,
+				Property: "adaptive", Ref: c.Name, Got: c.Name + "-adapted",
+				Detail: diff(ref, got),
+			})
+		}
+	}
+	return ms, nil
+}

@@ -55,6 +55,12 @@ func FuzzConformance(f *testing.F) {
 	f.Add(uint64(38))  // single-threaded, bug report mid-chain — chain replay must match exactly
 	f.Add(uint64(62))  // multi-threaded + uniform: branchy fused blocks under the granularity sweep
 	f.Add(uint64(179)) // largest multi-threaded reporter: quantum expiry inside chains at every switch
+	// Adaptive-leg shapes: msan profiles with a genuinely cold addr2size
+	// member, so AdaptOptions performs a real cold split and the adapted
+	// recompile is a different layout than the static reference.
+	f.Add(uint64(3))  // single-threaded + zlib-uninit bug: adapted layout must reproduce the reports
+	f.Add(uint64(4))  // multi-threaded, sub-word accesses, ssl-misuse bug
+	f.Add(uint64(21)) // multi-threaded with two planted bugs (uaf + zlib-uninit)
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		w := Generate(seed)
 		r := fuzzR()
@@ -73,6 +79,33 @@ func FuzzConformance(f *testing.F) {
 					t.Errorf("%s/%s ablation: %s vs %s:\n%s",
 						w.Name, name, fuzzConfigs[0].Name, c.Name, diff(ref, got))
 				}
+			}
+		}
+		// Adaptive leg (msan only — the profile-guided showcase; one
+		// analysis keeps the adapted compiles, which are never memoized,
+		// from dominating fuzz throughput): the workload's own profile
+		// folds through AdaptOptions and the adapted recompile must
+		// reproduce the static verdict on both engines.
+		prof, err := r.profileOf(w, "msan")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range fuzzConfigs[:2] { // full, full-thr
+			ares := c.Opts.AdaptOptions(prof)
+			if !ares.Changed {
+				continue // fingerprint-identical to the static build
+			}
+			ref, err := r.runOne(w, "msan", c.Opts, vmSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.runAdapted(w.Prog, "msan", ares.Opts, vmSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.equal(ref) {
+				t.Errorf("%s/msan adaptive: %s vs %s-adapted:\n%s",
+					w.Name, c.Name, c.Name, diff(ref, got))
 			}
 		}
 	})

@@ -295,9 +295,27 @@ func CollectProfile(a *compiler.Analysis, train *mir.Program, opt RunOptions) (*
 	popt := opt
 	sh := obs.NewShard()
 	popt.Metrics = sh
-	if _, err := RunInstrumented(inst, pa, popt); err != nil {
+	rt, err := pa.NewRuntime()
+	if err != nil {
 		return nil, err
 	}
+	popt.Engine = popt.resolveEngine(pa)
+	m, err := vm.New(inst, popt.vmConfig(pa.NeedShadow))
+	if err != nil {
+		return nil, err
+	}
+	m.Handlers = rt.Handlers()
+	if _, err := m.Run(); err != nil {
+		// A MaxSteps budget ending the run is the normal way a BOUNDED
+		// profiling quantum finishes (the adaptive loop caps training
+		// with exactly this budget): the counters accumulated up to the
+		// cutoff are the profile. Every other failure aborts.
+		var re *vm.RunError
+		if !errors.As(err, &re) || re.Kind != vm.KindStepLimit {
+			return nil, err
+		}
+	}
+	observe(popt, m, pa.HandlerNames(), rt)
 	if opt.Metrics != nil {
 		for k, v := range sh.Counts {
 			opt.Metrics.Add(k, v)

@@ -48,6 +48,17 @@ func (c Config) fingerprint() string {
 		// trace invalidates cells recorded against the old one.
 		fp += fmt.Sprintf(" trace=%016x", c.traceHash())
 	}
+	if c.Adapt {
+		// Adaptive cells depend on the quantum configuration and, when
+		// a -profile-in file replaces the training run, on the profile
+		// itself; a checkpoint from a different adaptation must not
+		// resume into this sweep. Gated on Adapt so every existing
+		// non-adaptive checkpoint stays valid.
+		fp += fmt.Sprintf(" adapt=%d/%d", c.AdaptAfter, c.AdaptMaxSteps)
+		if c.PGOProfile != nil {
+			fp += fmt.Sprintf(" aprof=%016x", c.PGOProfile.Hash())
+		}
+	}
 	return fp
 }
 

@@ -323,8 +323,17 @@ func PGO(cfg Config) (*Table, error) {
 	// Train on one representative workload, apply everywhere — the
 	// usual PGO deployment shape. A profile loaded from disk
 	// (-profile-in) replaces the inline training run; the deterministic
-	// VM makes the two routes produce the same profile.
+	// VM makes the two routes produce the same profile. A stale profile
+	// (collected against a different analysis) degrades to static
+	// selection with a warning — its counts name members this compile
+	// does not have, so applying it would be layout roulette.
 	prof := cfg.PGOProfile
+	if prof != nil {
+		if err := prof.MatchesAnalysis(static); err != nil {
+			fmt.Fprintf(cfg.Out, "warning: -profile-in %v: degrading to static selection\n", err)
+			prof = &compiler.Profile{}
+		}
+	}
 	if prof == nil {
 		train, err := workloads.Build("libquantum", workloads.SizeTiny)
 		if err != nil {

@@ -103,9 +103,26 @@ type Config struct {
 	// harness cell plus the VM quanta and fault instants inside it,
 	// tagged with the cell index as the trace tid.
 	Trace *obs.Trace
-	// PGOProfile, when non-nil, replaces the PGO experiment's inline
-	// training run with a previously collected profile (-profile-in).
+	// PGOProfile, when non-nil, replaces the PGO and Adapt experiments'
+	// inline training runs with a previously collected profile
+	// (-profile-in). A profile that does not match the measured analysis
+	// degrades to static selection with a warning instead of silently
+	// perturbing layout with stale counts.
 	PGOProfile *compiler.Profile
+	// Adapt enables the adaptive-PGO hot swap (-adapt): the Adapt
+	// experiment's adaptive column runs its first AdaptAfter programs as
+	// a profiling quantum (static layout plus access counters, measured
+	// honestly), then recompiles through the compile cache with the
+	// collected profile folded into the fingerprint and swaps the
+	// adapted analysis in for every remaining cell. Off, the adaptive
+	// column is the no-swap control (static analysis throughout).
+	Adapt bool
+	// AdaptAfter is the profiling-quantum length in programs (default 1).
+	AdaptAfter int
+	// AdaptMaxSteps bounds each training run the swap recomputes from
+	// (default 1<<20 VM steps) — the quantum must stay a bounded
+	// fraction of the sweep regardless of workload size.
+	AdaptMaxSteps uint64
 	// TraceDir is the directory of recorded plain-run traces
 	// (<workload>.trc) the replay experiment measures against. The
 	// checkpoint fingerprint hashes the trace contents, so -resume
@@ -138,6 +155,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBudget <= 0 {
 		c.RetryBudget = 30 * time.Second
+	}
+	if c.AdaptAfter <= 0 {
+		c.AdaptAfter = 1
+	}
+	if c.AdaptMaxSteps == 0 {
+		c.AdaptMaxSteps = 1 << 20
 	}
 	return c
 }

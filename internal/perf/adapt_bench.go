@@ -1,0 +1,65 @@
+package perf
+
+import (
+	"fmt"
+
+	"repro/internal/analyses"
+	"repro/internal/compiler"
+)
+
+// adaptProfile synthesizes the profile shape the adaptive loop's
+// showcase workloads produce: msan's shadow map dominates while the
+// allocation-size sidecar sits far below the cold threshold, so
+// AdaptOptions performs a real cold split and the recompile bench
+// measures a layout that actually changed.
+func adaptProfile() *compiler.Profile {
+	return &compiler.Profile{Counts: map[string]uint64{
+		"addr2label": 1 << 20,
+		"addr2size":  100,
+	}}
+}
+
+// adaptBenches measures both halves of a hot swap: the pure
+// profile-to-decision pass (AdaptOptions) and the profile-carrying
+// recompile it triggers. Together they are the swap cost a profiling
+// quantum must amortize, for the harness's -adapt mode and the
+// server's -adapt-after loop alike.
+func adaptBenches() []Bench {
+	return []Bench{
+		{"adapt/decide", func() func(int) {
+			base := compiler.DefaultOptions()
+			prof := adaptProfile()
+			if !base.AdaptOptions(prof).Changed {
+				panic("perf: adapt profile induces no cold split")
+			}
+			return func(n int) {
+				for i := 0; i < n; i++ {
+					if !base.AdaptOptions(prof).Changed {
+						panic("perf: adaptation flipped mid-bench")
+					}
+				}
+			}
+		}},
+		{"adapt/recompile", func() func(int) {
+			ares := compiler.DefaultOptions().AdaptOptions(adaptProfile())
+			if !ares.Changed {
+				panic("perf: adapt profile induces no cold split")
+			}
+			src, err := analyses.Source("msan")
+			if err != nil {
+				panic(fmt.Sprintf("perf: msan source: %v", err))
+			}
+			return func(n int) {
+				// Uncached on purpose: the hot swap's recompile goes through
+				// CachedCompile in production, but its cost on a miss — the
+				// first adaptation for a fingerprint — is the number that
+				// decides whether a quantum amortizes.
+				for i := 0; i < n; i++ {
+					if _, err := compiler.Compile(src, ares.Opts); err != nil {
+						panic(fmt.Sprintf("perf: adapted recompile: %v", err))
+					}
+				}
+			}
+		}},
+	}
+}

@@ -355,8 +355,10 @@ func dispatchBenches() []Bench {
 }
 
 // HotPathBenches is the BenchHotPath suite: per-container Get/Set/
-// Iterate, per-analysis handler dispatch on both execution tiers, and
-// the trace record/replay tier.
+// Iterate, per-analysis handler dispatch on both execution tiers, the
+// trace record/replay tier, and the adaptive-PGO swap costs.
 func HotPathBenches() []Bench {
-	return append(append(containerBenches(), dispatchBenches()...), traceBenches()...)
+	out := append(containerBenches(), dispatchBenches()...)
+	out = append(out, traceBenches()...)
+	return append(out, adaptBenches()...)
 }

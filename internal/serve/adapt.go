@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
+
+// Adaptive PGO in the serving tier: with Config.AdaptAfter = N, each
+// compile-affinity key (analysis × options — the same key jobs shard
+// by) spends its first N completed jobs as a profiling quantum. Those
+// jobs run the ProfileCollect build of the analysis, their per-member
+// access counters are harvested from the job's metrics shard, and once
+// N profiles have merged the key hot-swaps: the profile folds through
+// compiler.AdaptOptions into a profile-fingerprinted recompile that
+// every later job with the key runs.
+//
+// Verdict safety is structural — adaptation re-selects containers and
+// splits cold members but never changes what the analysis computes, so
+// a job's JobResult (exit, reports, steps, hooks, virtual time) is
+// byte-identical whether it ran before, during or after the swap. The
+// recovery tests pin exactly that.
+//
+// Durability: the swap is journaled as an "adapt" record carrying the
+// merged counts and the adaptation epoch. Recovery replays the record
+// (last epoch per key wins) through the same pure AdaptOptions pass,
+// so a restarted server runs the identical adapted analysis without
+// re-profiling. A crash during the profiling quantum simply restarts
+// the quantum — profiles steer performance, never verdicts, so nothing
+// observable is lost.
+
+// keyAdaptState is one compile-affinity key's position in the adaptive
+// loop. Guarded by Server.adaptMu.
+type keyAdaptState struct {
+	profiled int               // completed profiling jobs so far
+	counts   map[string]uint64 // merged per-member access counts
+	epoch    int               // 0 = still profiling; >0 = swapped
+	adapted  *compiler.Options // options every post-swap job compiles under
+}
+
+// adaptStateFor returns (creating if needed) the key's adapt state.
+func (s *Server) adaptStateFor(key string) *keyAdaptState {
+	s.adaptMu.Lock()
+	defer s.adaptMu.Unlock()
+	st := s.adaptStates[key]
+	if st == nil {
+		st = &keyAdaptState{counts: map[string]uint64{}}
+		s.adaptStates[key] = st
+	}
+	return st
+}
+
+// runAdaptive executes one job under the adaptive loop: adapted options
+// after the swap, profile-collecting options during the quantum. Only
+// successful jobs advance the quantum — a trapped or budget-killed run
+// yields a partial profile of unknowable coverage, and the quantum is
+// cheap enough to wait for clean ones.
+func (s *Server) runAdaptive(j *job, shard *obs.Shard) (*JobResult, *JobError) {
+	key := j.req.fingerprintKey()
+	st := s.adaptStateFor(key)
+
+	s.adaptMu.Lock()
+	adapted := st.adapted
+	s.adaptMu.Unlock()
+	if adapted != nil {
+		return ExecuteWith(&j.req, s.cfg.Limits, shard, adapted)
+	}
+
+	eng, _ := vm.ParseEngine(j.req.Options.Engine)
+	popts := compileOptions(eng)
+	popts.ProfileCollect = true
+	if shard == nil {
+		shard = obs.NewShard() // the profile rides the metrics shard
+	}
+	res, jerr := ExecuteWith(&j.req, s.cfg.Limits, shard, &popts)
+	if jerr != nil {
+		return res, jerr
+	}
+	prof := compiler.ProfileFromCounts(shard.Counts)
+
+	s.adaptMu.Lock()
+	defer s.adaptMu.Unlock()
+	if st.adapted != nil {
+		// Lost the swap race to a concurrent worker: this run profiled
+		// redundantly, which is harmless — its result is identical.
+		return res, jerr
+	}
+	for k, v := range prof.Counts {
+		st.counts[k] += v
+	}
+	st.profiled++
+	s.reg.Add("serve.adapt.profiled", 1)
+	if st.profiled < s.cfg.AdaptAfter {
+		return res, jerr
+	}
+
+	base := compileOptions(eng)
+	ares := base.AdaptOptions(&compiler.Profile{Counts: st.counts})
+	st.epoch++
+	st.adapted = &ares.Opts
+	if ares.Changed {
+		s.reg.Add("serve.adapt.swaps", 1)
+	} else {
+		s.reg.Add("serve.adapt.static_kept", 1)
+	}
+	// Journal the swap before any job runs under it: recovery must
+	// land on the same analysis, not re-enter the quantum.
+	if s.journal != nil {
+		if err := s.journal.AppendAdapt(key, st.epoch, j.req.Options.Engine, st.counts); err != nil {
+			s.reg.AddVolatile("serve.journal.errors", 1)
+		}
+	}
+	return res, jerr
+}
+
+// replayAdapt restores journaled adaptation epochs: the same pure
+// profile→options pass the live swap ran, so the recovered server
+// compiles the identical adapted analysis. Runs before any recovered
+// job is re-enqueued.
+func (s *Server) replayAdapt(records map[string]journalRecord) {
+	if len(records) == 0 {
+		return
+	}
+	s.adaptMu.Lock()
+	for key, rec := range records {
+		eng, err := vm.ParseEngine(rec.Eng)
+		if err != nil {
+			continue // foreign record; jobs with this key re-profile
+		}
+		base := compileOptions(eng)
+		ares := base.AdaptOptions(&compiler.Profile{Counts: rec.Counts})
+		s.adaptStates[key] = &keyAdaptState{
+			profiled: s.cfg.AdaptAfter,
+			counts:   rec.Counts,
+			epoch:    rec.Epoch,
+			adapted:  &ares.Opts,
+		}
+	}
+	n := uint64(len(s.adaptStates))
+	s.adaptMu.Unlock()
+	s.reg.Add("serve.adapt.recovered", n)
+}

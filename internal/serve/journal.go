@@ -30,7 +30,7 @@ const journalVersion = 1
 
 // journalRecord is one JSONL line.
 type journalRecord struct {
-	Type string `json:"type"` // "hdr" | "accept" | "done"
+	Type string `json:"type"` // "hdr" | "accept" | "done" | "adapt"
 	// Header fields.
 	V  int    `json:"v,omitempty"`
 	Fp string `json:"fp,omitempty"`
@@ -40,6 +40,13 @@ type journalRecord struct {
 	Req *JobRequest `json:"req,omitempty"`
 	// Done fields.
 	Status *JobStatus `json:"status,omitempty"`
+	// Adapt fields (adaptive-PGO epoch, see adapt.go): the merged
+	// profile counts plus the engine needed to re-derive the adapted
+	// options deterministically on recovery.
+	Key    string            `json:"key,omitempty"`
+	Epoch  int               `json:"epoch,omitempty"`
+	Eng    string            `json:"eng,omitempty"`
+	Counts map[string]uint64 `json:"counts,omitempty"`
 }
 
 // JournalFaults injects deterministic I/O failures for the chaos
@@ -77,7 +84,8 @@ type Journal struct {
 // ones).
 type Recovered struct {
 	Done       map[string]*JobStatus
-	Unfinished []journalRecord // accept records lacking a done, in seq order
+	Unfinished []journalRecord          // accept records lacking a done, in seq order
+	Adapt      map[string]journalRecord // last adaptation epoch per compile-affinity key
 	MaxSeq     uint64
 }
 
@@ -121,7 +129,7 @@ func readJournal(path, fp string) (*Recovered, error) {
 		return nil, err
 	}
 	defer f.Close()
-	out := &Recovered{Done: map[string]*JobStatus{}}
+	out := &Recovered{Done: map[string]*JobStatus{}, Adapt: map[string]journalRecord{}}
 	var accepts []journalRecord
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
@@ -155,6 +163,12 @@ func readJournal(path, fp string) (*Recovered, error) {
 		case "done":
 			if rec.Status != nil && rec.Status.ID != "" {
 				out.Done[rec.Status.ID] = rec.Status
+			}
+		case "adapt":
+			// Last epoch per key wins: appended in epoch order, so a
+			// plain overwrite replays to the final pre-crash state.
+			if rec.Key != "" {
+				out.Adapt[rec.Key] = rec
 			}
 		}
 	}
@@ -220,6 +234,14 @@ func (j *Journal) AppendAccept(seq uint64, id string, req *JobRequest) error {
 // AppendDone journals a job's terminal status.
 func (j *Journal) AppendDone(status *JobStatus) error {
 	return j.append(journalRecord{Type: "done", Status: status})
+}
+
+// AppendAdapt journals an adaptation epoch: the compile-affinity key
+// that swapped, the merged profile that drove the swap, and the engine
+// the base options derive from. Recovery replays the record through
+// the same pure AdaptOptions pass and lands on the identical analysis.
+func (j *Journal) AppendAdapt(key string, epoch int, eng string, counts map[string]uint64) error {
+	return j.append(journalRecord{Type: "adapt", Key: key, Epoch: epoch, Eng: eng, Counts: counts})
 }
 
 // Degraded reports whether a journal write has failed; the server

@@ -77,7 +77,17 @@ func jobError(err error) *JobError {
 // hostile tenant degrades to a JobError{Kind:"panic"} response while
 // the worker survives. The shard, when non-nil, receives the run's
 // deterministic observability counters.
-func Execute(req *JobRequest, lim Limits, shard *obs.Shard) (res *JobResult, jerr *JobError) {
+func Execute(req *JobRequest, lim Limits, shard *obs.Shard) (*JobResult, *JobError) {
+	return ExecuteWith(req, lim, shard, nil)
+}
+
+// ExecuteWith is Execute with an explicit compilation configuration —
+// the adaptive-PGO loop's entry point, which substitutes the
+// profile-collecting build during the quantum and the profile-adapted
+// build after the swap. A nil opts means the default static options.
+// The request's engine always wins: adapted options are shared per
+// compile-affinity key, and the key already pins the engine.
+func ExecuteWith(req *JobRequest, lim Limits, shard *obs.Shard, opts *compiler.Options) (res *JobResult, jerr *JobError) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, jerr = nil, &JobError{Kind: "panic", Message: fmt.Sprintf("panic: %v", r)}
@@ -92,7 +102,12 @@ func Execute(req *JobRequest, lim Limits, shard *obs.Shard) (res *JobResult, jer
 	if err != nil {
 		return nil, jobError(err)
 	}
-	a, err := compileAnalysis(req.Analysis, compileOptions(eng))
+	copts := compileOptions(eng)
+	if opts != nil {
+		copts = *opts
+		copts.Engine = eng
+	}
+	a, err := compileAnalysis(req.Analysis, copts)
 	if err != nil {
 		return nil, jobError(err)
 	}

@@ -39,6 +39,11 @@ type Config struct {
 	// JournalFaults injects deterministic journal I/O failures (chaos
 	// testing).
 	JournalFaults JournalFaults
+	// AdaptAfter enables the adaptive-PGO loop: each compile-affinity
+	// key profiles its first AdaptAfter completed jobs, then hot-swaps
+	// to a profile-adapted recompile for every later job (see adapt.go).
+	// 0 disables adaptation (every job runs the static build).
+	AdaptAfter int
 	// Limits are the per-job resource budgets; zero fields take
 	// DefaultLimits.
 	Limits Limits
@@ -94,9 +99,17 @@ func (c Config) withDefaults() Config {
 // under different limits must not be replayed.
 func (c Config) fingerprint() string {
 	l := c.Limits
-	return fmt.Sprintf("serve-v%d steps=%d/%d heap=%d/%d deadline=%s/%s",
+	fp := fmt.Sprintf("serve-v%d steps=%d/%d heap=%d/%d deadline=%s/%s",
 		journalVersion, l.DefaultMaxSteps, l.MaxMaxSteps,
 		l.DefaultMaxHeap, l.MaxMaxHeap, l.DefaultDeadline, l.MaxDeadline)
+	// Adaptation epochs are journaled, so a journal written with the
+	// adaptive loop enabled must not replay into a server that would
+	// ignore (or differently schedule) those records. Appending only
+	// when enabled keeps existing non-adaptive journals valid.
+	if c.AdaptAfter > 0 {
+		fp += fmt.Sprintf(" adapt=%d", c.AdaptAfter)
+	}
+	return fp
 }
 
 // job is one accepted job's server-side state.
@@ -167,6 +180,9 @@ type Server struct {
 	shards []*shard
 	wg     sync.WaitGroup
 
+	adaptMu     sync.Mutex // adaptive-PGO loop state (adapt.go)
+	adaptStates map[string]*keyAdaptState
+
 	cacheMu                             sync.Mutex // counter delta export for /metrics
 	lastHits, lastMisses, lastEvictions uint64
 	lastJournalAppends, lastJournalErrs uint64
@@ -177,11 +193,12 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		reg:     cfg.Metrics,
-		jobs:    map[string]*job{},
-		tenants: map[string]int{},
-		drainCh: make(chan struct{}),
+		cfg:         cfg,
+		reg:         cfg.Metrics,
+		jobs:        map[string]*job{},
+		tenants:     map[string]int{},
+		adaptStates: map[string]*keyAdaptState{},
+		drainCh:     make(chan struct{}),
 	}
 	var recovered *Recovered
 	if cfg.JournalPath != "" {
@@ -211,6 +228,12 @@ func New(cfg Config) (*Server, error) {
 // bypass admission control (blocking token acquisition in a background
 // goroutine) — a restart must never 429 work it already promised.
 func (s *Server) replay(rec *Recovered) {
+	// Adaptation epochs first: a re-enqueued job whose key swapped
+	// before the crash must run the adapted analysis, exactly as it
+	// would have.
+	if s.cfg.AdaptAfter > 0 {
+		s.replayAdapt(rec.Adapt)
+	}
 	s.mu.Lock()
 	s.seq = rec.MaxSeq
 	for id, st := range rec.Done {
@@ -279,7 +302,13 @@ func (s *Server) runJob(j *job) {
 		shard = obs.NewShard()
 	}
 	start := time.Now()
-	res, jerr := Execute(&j.req, s.cfg.Limits, shard)
+	var res *JobResult
+	var jerr *JobError
+	if s.cfg.AdaptAfter > 0 {
+		res, jerr = s.runAdaptive(j, shard)
+	} else {
+		res, jerr = Execute(&j.req, s.cfg.Limits, shard)
+	}
 	wall := time.Since(start)
 
 	status := j.finish(res, jerr)
