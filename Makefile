@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only,
 # no external dependencies).
 
-.PHONY: all build test race vet bench benchgate benchbaseline experiments examples fmt cover fuzz faults conform replay-conform adapt-conform metrics serve-smoke
+.PHONY: all build test race vet bench benchgate benchbaseline experiments examples fmt cover fuzz faults conform replay-conform adapt-conform metrics serve-smoke obs-live-smoke
 
 all: build vet test
 
@@ -100,6 +100,14 @@ metrics:
 # and journal on failure.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Live-observability drill: trace-ID contract (header == body), prom
+# exposition via content negotiation validated by the strict in-repo
+# parser, aldaload latency percentiles, /debug/flight + /debug/spans,
+# and the flight recorder auto-snapshotting on a journal fault and on
+# SIGQUIT. Dumps the server log and snapshot on failure.
+obs-live-smoke:
+	bash scripts/obs_live_smoke.sh
 
 examples:
 	go run ./examples/quickstart

@@ -15,6 +15,8 @@
 //	aldabench -exp fig4 -virtual -fault-seed 20          # inject a deterministic fault
 //	aldabench -exp replay -trace-out traces/   # record plain traces, replay per analysis
 //	aldabench -exp replay -trace-in traces/    # reuse previously recorded traces
+//	aldabench -exp fig4 -virtual -metrics-out m.prom     # Prometheus text exposition
+//	aldabench -prom-validate m.prom                      # strict exposition check
 //
 // Measurement cells (one workload × one configuration) are independent;
 // -parallel N fans them out over N worker goroutines (0 = GOMAXPROCS).
@@ -134,6 +136,8 @@ func main() {
 	benchTime := flag.Duration("benchtime", 100*time.Millisecond, "per-bench time budget for -bench-json/-benchgate (0 = single-batch smoke)")
 	benchThreshold := flag.Float64("bench-threshold", perf.GateThreshold, "geomean regression ratio failing -benchgate")
 	metricsJSON := flag.String("metrics-json", "", "write the sweep's observability counters to this JSON file (deterministic under -virtual)")
+	metricsOut := flag.String("metrics-out", "", "write the sweep's observability counters to this file; a .prom extension selects the Prometheus text exposition, anything else JSON (both deterministic under -virtual)")
+	promValidate := flag.String("prom-validate", "", "strictly validate a Prometheus text exposition file and exit (0 = valid)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto / chrome://tracing)")
 	attrib := flag.String("attrib", "", "run the overhead-attribution report for this analysis (e.g. uaf, msan) instead of -exp")
 	attribPrograms := flag.String("attrib-programs", "", "comma-separated workloads for -attrib (default: a representative set)")
@@ -146,6 +150,16 @@ func main() {
 	traceOut := flag.String("trace-out", "", "directory for recorded replay traces; missing workload traces are recorded there (enables -exp replay)")
 	traceIn := flag.String("trace-in", "", "directory of previously recorded replay traces; a missing trace is an error (enables -exp replay)")
 	flag.Parse()
+
+	if *promValidate != "" {
+		n, err := obs.ValidatePromFile(*promValidate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prom-validate: %s: %v\n", *promValidate, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "prom-validate: %s ok (%d samples)\n", *promValidate, n)
+		os.Exit(0)
+	}
 
 	if *benchJSON || *benchGate {
 		runBench(*benchJSON, *benchGate, *benchBaseline, *benchTime, *benchThreshold)
@@ -237,8 +251,14 @@ func main() {
 		cfg.PGOProfile = p
 	}
 
+	// -metrics-out supersedes -metrics-json (kept as an alias); the file
+	// extension picks the format.
+	metricsPath := *metricsOut
+	if metricsPath == "" {
+		metricsPath = *metricsJSON
+	}
 	var reg *obs.Registry
-	if *metricsJSON != "" {
+	if metricsPath != "" {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
 	}
@@ -274,21 +294,25 @@ func main() {
 			reg.AddVolatile("compiler.cache.hits", hits)
 			reg.AddVolatile("compiler.cache.misses", misses)
 			reg.AddVolatile("compiler.cache.evictions", evictions)
-			f, err := os.Create(*metricsJSON)
+			f, err := os.Create(metricsPath)
 			if err == nil {
 				// Volatile counters (hook ns, cache hits, retries) are
 				// host-dependent; keep the -virtual export golden-pinnable.
-				err = reg.WriteJSON(f, !*virtual)
+				if strings.HasSuffix(metricsPath, ".prom") {
+					err = reg.WriteProm(f, !*virtual)
+				} else {
+					err = reg.WriteJSON(f, !*virtual)
+				}
 				if cerr := f.Close(); err == nil {
 					err = cerr
 				}
 			}
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+				fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
 				os.Exit(1)
 			}
 			if !*quiet {
-				fmt.Fprintf(os.Stderr, "metrics-json: wrote %s\n", *metricsJSON)
+				fmt.Fprintf(os.Stderr, "metrics-out: wrote %s\n", metricsPath)
 			}
 		}
 	}

@@ -13,9 +13,11 @@
 // same discipline as the harness retry path) up to -retry-budget total
 // wait per job; a 5xx or an exhausted budget is a hard failure and the
 // exit status is non-zero. The summary line is machine-grepped by the
-// serve-smoke CI step:
+// serve-smoke CI step and now carries tail latency (per-job wall time
+// from submit to terminal response, backoff waits included — what a
+// client actually experienced):
 //
-//	aldaload: ok=200 failed=0 lost=0 retries=37 elapsed=2.51s jobs/sec=79.7
+//	aldaload: ok=200 failed=0 lost=0 retries=37 elapsed=2.51s jobs/sec=79.7 p50_ms=18.2 p95_ms=104.7 p99_ms=311.0
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -47,6 +50,24 @@ func splitmix64(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
+}
+
+// percentile is the nearest-rank estimate over the collected per-job
+// latencies (sorts its input; called once per quantile at exit).
+func percentile(ms []float64, q float64) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // backoff returns the equal-jitter wait for the given retry ordinal:
@@ -88,6 +109,10 @@ func main() {
 		sync.Mutex
 		m map[string]uint64
 	}{m: map[string]uint64{}}
+	lat := struct {
+		sync.Mutex
+		ms []float64 // per terminal job: wall time submit → terminal response
+	}{}
 
 	client := &http.Client{Timeout: 5 * time.Minute}
 	jobs := make(chan int)
@@ -111,6 +136,7 @@ func main() {
 
 				var spent time.Duration
 				try := 0
+				jobStart := time.Now()
 				for {
 					resp, err := client.Post(*url+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
 					if err != nil {
@@ -149,6 +175,9 @@ func main() {
 						lost.Add(1)
 						break
 					}
+					lat.Lock()
+					lat.ms = append(lat.ms, float64(time.Since(jobStart).Microseconds())/1000)
+					lat.Unlock()
 					if st.State == "done" {
 						ok.Add(1)
 					} else {
@@ -174,8 +203,9 @@ func main() {
 	elapsed := time.Since(start)
 
 	rate := float64(ok.Load()+failed.Load()) / elapsed.Seconds()
-	fmt.Printf("aldaload: ok=%d failed=%d lost=%d retries=%d elapsed=%.2fs jobs/sec=%.1f\n",
-		ok.Load(), failed.Load(), lost.Load(), retries.Load(), elapsed.Seconds(), rate)
+	p50, p95, p99 := percentile(lat.ms, 0.50), percentile(lat.ms, 0.95), percentile(lat.ms, 0.99)
+	fmt.Printf("aldaload: ok=%d failed=%d lost=%d retries=%d elapsed=%.2fs jobs/sec=%.1f p50_ms=%.1f p95_ms=%.1f p99_ms=%.1f\n",
+		ok.Load(), failed.Load(), lost.Load(), retries.Load(), elapsed.Seconds(), rate, p50, p95, p99)
 	if len(failKinds.m) > 0 {
 		var parts []string
 		for k, v := range failKinds.m {

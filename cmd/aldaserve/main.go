@@ -14,7 +14,10 @@
 //	GET  /v1/jobs/{id}   job status/result; ?wait=1 blocks until terminal
 //	GET  /healthz        liveness
 //	GET  /readyz         readiness (503 while draining; notes journal degradation)
-//	GET  /metrics        obs registry JSON
+//	GET  /metrics        obs registry: JSON by default, Prometheus text
+//	                     exposition with Accept: text/plain or ?format=prom
+//	GET  /debug/flight   flight-recorder ring dump (recent per-shard events)
+//	GET  /debug/spans    per-job lifecycle span store
 //
 // Jobs are deterministic in their request (virtual-time results), so the
 // write-ahead journal (-journal) makes the service crash-safe: kill -9,
@@ -30,10 +33,18 @@
 // N jobs per compile fingerprint run a profiling build, then the shard
 // hot-swaps to a profile-adapted recompile. Swaps are journaled, so a
 // restart replays to the same adapted analysis without re-profiling.
+// After a swap, every -profile-sample-every'th job re-runs the
+// (verdict-identical) profiling build so the rolling profile window and
+// drift gauge on /metrics keep tracking live traffic.
+//
+// SIGQUIT dumps the flight recorder to -flight-snapshot (or stderr when
+// unset) and keeps serving — the live post-mortem hook. The same
+// snapshot fires automatically on the first journal degradation.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -59,18 +70,28 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max time to finish in-flight jobs on SIGTERM")
 	maxSteps := flag.Uint64("max-steps", 0, "per-job step-budget cap (0 = default limits)")
 	adaptAfter := flag.Int("adapt-after", 0, "profile the first N jobs per compile fingerprint, then hot-swap to a profile-adapted recompile (0 = off)")
+	sampleEvery := flag.Int("profile-sample-every", 0, "re-profile every Nth post-swap job for the rolling profile window (0 = default 16, <0 = off)")
+	slo := flag.Duration("slo", 0, "per-job wall-latency objective; slower completions count into serve.slo.jobs_over_deadline_total (0 = default 1s, <0 = off)")
+	flightSnap := flag.String("flight-snapshot", "", "file the flight recorder auto-dumps to on journal degradation or SIGQUIT")
+	flightRing := flag.Int("flight-ring", 0, "flight-recorder events retained per worker shard (0 = default 256)")
+	spanCap := flag.Int("span-cap", 0, "lifecycle span store bound in traces (0 = default 1024)")
 	flag.Parse()
 
 	cfg := serve.Config{
-		Shards:           *shards,
-		WorkersPerShard:  *workers,
-		QueueDepth:       *queueDepth,
-		TenantInflight:   *tenantCap,
-		JournalPath:      *journal,
-		JournalSyncEvery: *syncEvery,
-		JournalFaults:    serve.JournalFaults{FailWriteNth: *chaosWrite, FailSyncNth: *chaosSync},
-		AdaptAfter:       *adaptAfter,
-		Metrics:          obs.NewRegistry(),
+		Shards:             *shards,
+		WorkersPerShard:    *workers,
+		QueueDepth:         *queueDepth,
+		TenantInflight:     *tenantCap,
+		JournalPath:        *journal,
+		JournalSyncEvery:   *syncEvery,
+		JournalFaults:      serve.JournalFaults{FailWriteNth: *chaosWrite, FailSyncNth: *chaosSync},
+		AdaptAfter:         *adaptAfter,
+		ProfileSampleEvery: *sampleEvery,
+		SLOWall:            *slo,
+		FlightSnapshotPath: *flightSnap,
+		FlightRing:         *flightRing,
+		SpanCap:            *spanCap,
+		Metrics:            obs.NewRegistry(),
 	}
 	if *maxSteps > 0 {
 		cfg.Limits = serve.DefaultLimits()
@@ -89,13 +110,32 @@ func main() {
 		*addr, *shards, *workers, *queueDepth, *journal)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
-	select {
-	case err := <-errCh:
-		fmt.Fprintf(os.Stderr, "aldaserve: %v\n", err)
-		os.Exit(1)
-	case got := <-sig:
-		fmt.Fprintf(os.Stderr, "aldaserve: %v: draining (timeout %s)\n", got, *drainTimeout)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT, syscall.SIGQUIT)
+loop:
+	for {
+		select {
+		case err := <-errCh:
+			fmt.Fprintf(os.Stderr, "aldaserve: %v\n", err)
+			os.Exit(1)
+		case got := <-sig:
+			if got == syscall.SIGQUIT {
+				// Live post-mortem: dump the flight recorder, keep serving.
+				if *flightSnap != "" {
+					if err := s.SnapshotFlightTo(*flightSnap, "sigquit"); err != nil {
+						fmt.Fprintf(os.Stderr, "aldaserve: flight snapshot: %v\n", err)
+					} else {
+						fmt.Fprintf(os.Stderr, "aldaserve: SIGQUIT: flight snapshot written to %s\n", *flightSnap)
+					}
+				} else {
+					snap := s.FlightSnapshot("sigquit")
+					b, _ := json.Marshal(snap)
+					fmt.Fprintf(os.Stderr, "aldaserve: SIGQUIT flight dump: %s\n", b)
+				}
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "aldaserve: %v: draining (timeout %s)\n", got, *drainTimeout)
+			break loop
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)

@@ -44,6 +44,36 @@ func TestObsGoldenVirtual(t *testing.T) {
 	checkGolden(t, "metrics_uaf_tiny", js.String())
 }
 
+// TestMetricsPromGoldenVirtual pins the Prometheus text exposition of
+// the same deterministic sweep: the format aldabench -metrics-out
+// FILE.prom emits. The export is validated with the strict in-repo
+// parser before pinning, so the golden can never encode an exposition
+// a real scraper would reject.
+func TestMetricsPromGoldenVirtual(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	cfg := Config{
+		Size:        workloads.SizeTiny,
+		Reps:        1,
+		Out:         &buf,
+		Parallelism: 1,
+		Virtual:     true,
+		Metrics:     reg,
+		Opt:         core.RunOptions{Seed: 1},
+	}
+	if _, err := Attrib(cfg, "uaf", []string{"bzip2", "fft"}); err != nil {
+		t.Fatalf("attrib: %v", err)
+	}
+	var prom bytes.Buffer
+	if err := reg.WriteProm(&prom, false); err != nil {
+		t.Fatalf("metrics prom: %v", err)
+	}
+	if _, err := obs.ValidatePromText(prom.Bytes()); err != nil {
+		t.Fatalf("exposition fails its own validator: %v", err)
+	}
+	checkGolden(t, "metrics_uaf_tiny_prom", prom.String())
+}
+
 // fig4Metrics runs Figure 4 at tiny/virtual with the given parallelism
 // and checkpoint settings and returns the deterministic metrics export.
 func fig4Metrics(t *testing.T, parallelism int, ckpt string, resume bool) string {

@@ -1,0 +1,165 @@
+package obs
+
+// FlightRecorder is the post-mortem half of the observability layer: a
+// fixed-size ring of recent span/event records per worker shard, always
+// on, O(1) and allocation-free to record into. The rings are dumped on
+// demand (GET /debug/flight), and snapshotted to a file automatically
+// when the journal degrades, a chaos fault fires, or the process takes
+// SIGQUIT — so a failed chaos/soak run leaves behind the last few
+// hundred events per shard instead of nothing.
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// FlightEvent is one ring record. Seq is a per-shard monotonic
+// sequence number, so a dump shows how much history the ring dropped.
+type FlightEvent struct {
+	Seq     uint64 `json:"seq"`
+	Trace   string `json:"trace,omitempty"`
+	Stage   string `json:"stage"`
+	Detail  string `json:"detail,omitempty"`
+	Virtual uint64 `json:"virtual,omitempty"`
+	WallUS  int64  `json:"wall_us,omitempty"`
+}
+
+// flightRing is one shard's fixed ring. Each ring has its own lock so
+// worker shards never contend with each other.
+type flightRing struct {
+	mu   sync.Mutex
+	buf  []FlightEvent
+	next uint64 // total records ever written; buf index is next % len
+}
+
+// FlightRecorder holds one ring per worker shard plus one control ring
+// (index Shards()) for server-level events: recovery, degradation,
+// chaos faults, adapt epochs.
+type FlightRecorder struct {
+	rings []flightRing
+	size  int
+}
+
+// FlightSnapshot is the dump shape: per-ring event lists in
+// oldest-to-newest order, plus how many records each ring dropped.
+type FlightSnapshot struct {
+	TakenAt string        `json:"taken_at,omitempty"`
+	Reason  string        `json:"reason,omitempty"`
+	Shards  []FlightShard `json:"shards"`
+}
+
+// FlightShard is one ring's dump.
+type FlightShard struct {
+	Shard   int           `json:"shard"`
+	Total   uint64        `json:"total"`
+	Dropped uint64        `json:"dropped"`
+	Events  []FlightEvent `json:"events"`
+}
+
+// NewFlightRecorder builds a recorder with shards worker rings plus one
+// control ring, each holding ringSize events (minimum 16).
+func NewFlightRecorder(shards, ringSize int) *FlightRecorder {
+	if shards < 1 {
+		shards = 1
+	}
+	if ringSize < 16 {
+		ringSize = 16
+	}
+	f := &FlightRecorder{rings: make([]flightRing, shards+1), size: ringSize}
+	for i := range f.rings {
+		f.rings[i].buf = make([]FlightEvent, ringSize)
+	}
+	return f
+}
+
+// ControlShard is the ring index for server-level (non-worker) events.
+func (f *FlightRecorder) ControlShard() int { return len(f.rings) - 1 }
+
+// Record appends one event to a shard's ring — O(1), no allocation
+// beyond the strings the caller already holds. Out-of-range shards are
+// folded into the control ring rather than dropped.
+func (f *FlightRecorder) Record(shard int, ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	if shard < 0 || shard >= len(f.rings) {
+		shard = f.ControlShard()
+	}
+	r := &f.rings[shard]
+	r.mu.Lock()
+	ev.Seq = r.next
+	r.buf[r.next%uint64(len(r.buf))] = ev
+	r.next++
+	r.mu.Unlock()
+}
+
+// Snapshot copies every ring in oldest-to-newest order.
+func (f *FlightRecorder) Snapshot(reason string) FlightSnapshot {
+	snap := FlightSnapshot{
+		TakenAt: time.Now().UTC().Format(time.RFC3339Nano),
+		Reason:  reason,
+		Shards:  make([]FlightShard, len(f.rings)),
+	}
+	for i := range f.rings {
+		r := &f.rings[i]
+		r.mu.Lock()
+		total := r.next
+		n := total
+		if n > uint64(len(r.buf)) {
+			n = uint64(len(r.buf))
+		}
+		events := make([]FlightEvent, 0, n)
+		start := total - n
+		for s := start; s < total; s++ {
+			events = append(events, r.buf[s%uint64(len(r.buf))])
+		}
+		r.mu.Unlock()
+		snap.Shards[i] = FlightShard{Shard: i, Total: total, Dropped: start, Events: events}
+	}
+	return snap
+}
+
+// WriteSnapshot writes a snapshot as indented JSON.
+func (f *FlightRecorder) WriteSnapshot(w io.Writer, reason string) error {
+	b, err := json.MarshalIndent(f.Snapshot(reason), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// SnapshotToFile dumps the rings to path (atomically via a temp file in
+// the same directory, so a crash mid-dump never leaves a torn file).
+func (f *FlightRecorder) SnapshotToFile(path, reason string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".flight-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := f.WriteSnapshot(tmp, reason); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// dirOf is filepath.Dir without pulling the import for one call site.
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "."
+}

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"io"
 	"math/bits"
+	"strings"
 	"sync"
 )
 
@@ -74,11 +75,21 @@ type hist struct {
 
 // Registry is the merge target for shards plus a home for
 // harness-level counters and histograms. Safe for concurrent use.
+//
+// Beyond the PR-5 deterministic/volatile counter split, a registry
+// holds three live-serving families: gauges (point-in-time levels such
+// as queue depth — always volatile by nature), volatile histograms
+// (wall-clock latency distributions), and the original deterministic
+// histograms. The deterministic export (includeVolatile false) never
+// contains gauges or volatile histograms, which is what keeps the
+// golden-pinned -virtual exports stable.
 type Registry struct {
 	mu       sync.Mutex
 	counts   map[string]uint64
 	volatile map[string]uint64
+	gauges   map[string]int64
 	hists    map[string]*hist
+	vhists   map[string]*hist
 }
 
 // NewRegistry returns an empty registry.
@@ -86,7 +97,9 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counts:   map[string]uint64{},
 		volatile: map[string]uint64{},
+		gauges:   map[string]int64{},
 		hists:    map[string]*hist{},
+		vhists:   map[string]*hist{},
 	}
 }
 
@@ -107,15 +120,116 @@ func (r *Registry) AddVolatile(name string, v uint64) {
 // Observe records a value into a deterministic histogram.
 func (r *Registry) Observe(name string, v uint64) {
 	r.mu.Lock()
-	h := r.hists[name]
+	observeLocked(r.hists, name, v)
+	r.mu.Unlock()
+}
+
+// ObserveVolatile records a value into a volatile histogram — the home
+// for wall-clock latencies, which must never leak into the
+// deterministic export.
+func (r *Registry) ObserveVolatile(name string, v uint64) {
+	r.mu.Lock()
+	observeLocked(r.vhists, name, v)
+	r.mu.Unlock()
+}
+
+func observeLocked(m map[string]*hist, name string, v uint64) {
+	h := m[name]
 	if h == nil {
 		h = &hist{}
-		r.hists[name] = h
+		m[name] = h
 	}
 	h.buckets[bits.Len64(v)]++
 	h.count++
 	h.sum += v
+}
+
+// SetGauge records a point-in-time level (queue depth, in-flight jobs).
+// Gauges are volatile: they appear only in the includeVolatile export.
+func (r *Registry) SetGauge(name string, v int64) {
+	r.mu.Lock()
+	r.gauges[name] = v
 	r.mu.Unlock()
+}
+
+// Gauge returns a gauge's current value.
+func (r *Registry) Gauge(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// ClearGauges drops every gauge whose name starts with prefix — the
+// scrape-time reset for label-like gauge families (per-tenant in-flight)
+// whose members come and go.
+func (r *Registry) ClearGauges(prefix string) {
+	r.mu.Lock()
+	for k := range r.gauges {
+		if strings.HasPrefix(k, prefix) {
+			delete(r.gauges, k)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of a histogram by
+// linear interpolation inside its power-of-two bucket. Checks the
+// deterministic histograms first, then the volatile ones. The second
+// return is false when the histogram does not exist or is empty.
+func (r *Registry) Quantile(name string, q float64) (float64, bool) {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = r.vhists[name]
+	}
+	r.mu.Unlock()
+	if h == nil || h.count == 0 {
+		return 0, false
+	}
+	return h.quantile(q), true
+}
+
+// quantile is the nearest-rank estimate with linear interpolation
+// within the winning bucket's [2^(i-1), 2^i) value range.
+func (h *hist) quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo, hi := bucketBounds(i)
+			if next == cum {
+				return lo
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	_, hi := bucketBounds(64)
+	return hi
+}
+
+// bucketBounds returns bucket i's value range [lo, hi): bucket 0 holds
+// zeros, bucket i>0 holds 2^(i-1) <= v < 2^i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	lo = float64(uint64(1) << (i - 1))
+	if i >= 64 {
+		return lo, 2 * lo
+	}
+	return lo, float64(uint64(1) << i)
 }
 
 // MergeShard folds a completed shard into the registry.
@@ -161,10 +275,14 @@ type HistExport struct {
 
 // Export is the registry's JSON shape. encoding/json sorts map keys,
 // so marshaling an Export is deterministic for deterministic contents.
+// Gauges and volatile histograms only appear in the includeVolatile
+// export, so pre-existing deterministic goldens are byte-stable.
 type Export struct {
-	Counters   map[string]uint64     `json:"counters"`
-	Histograms map[string]HistExport `json:"histograms,omitempty"`
-	Volatile   map[string]uint64     `json:"volatile,omitempty"`
+	Counters           map[string]uint64     `json:"counters"`
+	Histograms         map[string]HistExport `json:"histograms,omitempty"`
+	Volatile           map[string]uint64     `json:"volatile,omitempty"`
+	Gauges             map[string]int64      `json:"gauges,omitempty"`
+	VolatileHistograms map[string]HistExport `json:"volatile_histograms,omitempty"`
 }
 
 // bucketLabel renders bucket index i (0..64) as its upper-bound label.
@@ -185,13 +303,7 @@ func (r *Registry) Export(includeVolatile bool) Export {
 	if len(r.hists) > 0 {
 		e.Histograms = make(map[string]HistExport, len(r.hists))
 		for k, h := range r.hists {
-			he := HistExport{Count: h.count, Sum: h.sum, Buckets: map[string]uint64{}}
-			for i, c := range h.buckets {
-				if c != 0 {
-					he.Buckets[bucketLabel(i)] = c
-				}
-			}
-			e.Histograms[k] = he
+			e.Histograms[k] = h.export()
 		}
 	}
 	if includeVolatile && len(r.volatile) > 0 {
@@ -200,7 +312,29 @@ func (r *Registry) Export(includeVolatile bool) Export {
 			e.Volatile[k] = v
 		}
 	}
+	if includeVolatile && len(r.gauges) > 0 {
+		e.Gauges = make(map[string]int64, len(r.gauges))
+		for k, v := range r.gauges {
+			e.Gauges[k] = v
+		}
+	}
+	if includeVolatile && len(r.vhists) > 0 {
+		e.VolatileHistograms = make(map[string]HistExport, len(r.vhists))
+		for k, h := range r.vhists {
+			e.VolatileHistograms[k] = h.export()
+		}
+	}
 	return e
+}
+
+func (h *hist) export() HistExport {
+	he := HistExport{Count: h.count, Sum: h.sum, Buckets: map[string]uint64{}}
+	for i, c := range h.buckets {
+		if c != 0 {
+			he.Buckets[bucketLabel(i)] = c
+		}
+	}
+	return he
 }
 
 // WriteJSON writes the registry as indented JSON with sorted keys —

@@ -1,0 +1,581 @@
+package obs
+
+// Prometheus text exposition (format 0.0.4) for the registry, with no
+// external dependency: a small writer plus a deliberately strict parser
+// the tests and the CI smoke step validate scrapes with.
+//
+// The registry's flat dotted counter names map to Prometheus in two
+// ways. By default a key is sanitized wholesale ("serve.jobs.accepted"
+// → "serve_jobs_accepted"). A PromRule instead folds a whole dotted
+// family into one labeled metric: the rule {"serve.jobs.failed.",
+// "alda_serve_jobs_failed_total", "kind"} turns every
+// "serve.jobs.failed.<Kind>" counter into a sample of
+// alda_serve_jobs_failed_total{kind="<Kind>"} — which is how
+// vm.RunError kinds, analysis names, tenants, shards and pipeline
+// stages become labels without the hot path ever seeing a label pair.
+//
+// Histograms render as proper Prometheus histograms: the power-of-two
+// bucket i (holding v with bits.Len64(v) == i, i.e. v <= 2^i - 1)
+// becomes the cumulative bucket le="2^i - 1"; empty buckets are elided
+// (cumulative counts stay valid), and the mandatory le="+Inf" bucket,
+// _sum and _count close each series.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromRule maps a dotted-counter prefix onto one labeled metric family:
+// a registry key Prefix+rest becomes a sample of Metric{Label="rest"}.
+// Rules apply to counters, gauges and histograms alike; the first
+// matching rule wins.
+type PromRule struct {
+	Prefix string
+	Metric string
+	Label  string
+}
+
+// PromName sanitizes s into a legal Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*, with every illegal byte mapped to '_'.
+func PromName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// promSample is one rendered sample: an optional single label pair plus
+// a value. Histogram families carry the full bucket array instead.
+type promSample struct {
+	labelKey, labelVal string
+	value              uint64
+	gaugeVal           int64
+	isGauge            bool
+	hist               *hist
+}
+
+// promFamily collects one metric family before rendering.
+type promFamily struct {
+	name    string
+	typ     string // "counter" | "gauge" | "histogram"
+	samples []promSample
+}
+
+// resolve applies the rule set to a registry key.
+func resolveProm(key string, rules []PromRule) (name, labelKey, labelVal string) {
+	for _, r := range rules {
+		if rest, ok := strings.CutPrefix(key, r.Prefix); ok && rest != "" {
+			return r.Metric, r.Label, rest
+		}
+	}
+	return PromName(key), "", ""
+}
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format. With includeVolatile false only deterministic counters and
+// histograms are written — under the harness's -virtual mode that
+// export is byte-identical run to run and golden-pinnable, the same
+// contract as WriteJSON. Output is fully sorted (families by name,
+// samples by label value), so identical contents render identically.
+func (r *Registry) WriteProm(w io.Writer, includeVolatile bool, rules ...PromRule) error {
+	r.mu.Lock()
+	fams := map[string]*promFamily{}
+	addScalar := func(key, typ string, cv uint64, gv int64) {
+		name, lk, lv := resolveProm(key, rules)
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{name: name, typ: typ}
+			fams[name] = f
+		}
+		f.samples = append(f.samples, promSample{
+			labelKey: lk, labelVal: lv,
+			value: cv, gaugeVal: gv, isGauge: typ == "gauge",
+		})
+	}
+	for k, v := range r.counts {
+		addScalar(k, "counter", v, 0)
+	}
+	if includeVolatile {
+		for k, v := range r.volatile {
+			addScalar(k, "counter", v, 0)
+		}
+		for k, v := range r.gauges {
+			addScalar(k, "gauge", 0, v)
+		}
+	}
+	addHist := func(key string, h *hist) {
+		name, lk, lv := resolveProm(key, rules)
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{name: name, typ: "histogram"}
+			fams[name] = f
+		}
+		snap := *h
+		f.samples = append(f.samples, promSample{labelKey: lk, labelVal: lv, hist: &snap})
+	}
+	for k, h := range r.hists {
+		addHist(k, h)
+	}
+	if includeVolatile {
+		for k, h := range r.vhists {
+			addHist(k, h)
+		}
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b []byte
+	for _, n := range names {
+		f := fams[n]
+		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].labelVal < f.samples[j].labelVal })
+		b = append(b, "# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.typ...)
+		b = append(b, '\n')
+		for _, s := range f.samples {
+			if s.hist != nil {
+				b = appendPromHist(b, f.name, s)
+				continue
+			}
+			b = append(b, f.name...)
+			b = appendPromLabels(b, s.labelKey, s.labelVal, "", "")
+			b = append(b, ' ')
+			if s.isGauge {
+				b = strconv.AppendInt(b, s.gaugeVal, 10)
+			} else {
+				b = strconv.AppendUint(b, s.value, 10)
+			}
+			b = append(b, '\n')
+		}
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// appendPromLabels renders up to two label pairs (family label + le).
+func appendPromLabels(b []byte, k1, v1, k2, v2 string) []byte {
+	if k1 == "" && k2 == "" {
+		return b
+	}
+	b = append(b, '{')
+	wrote := false
+	if k1 != "" {
+		b = append(b, k1...)
+		b = append(b, `="`...)
+		b = append(b, promEscape(v1)...)
+		b = append(b, '"')
+		wrote = true
+	}
+	if k2 != "" {
+		if wrote {
+			b = append(b, ',')
+		}
+		b = append(b, k2...)
+		b = append(b, `="`...)
+		b = append(b, promEscape(v2)...)
+		b = append(b, '"')
+	}
+	b = append(b, '}')
+	return b
+}
+
+// bucketLE renders bucket i's inclusive upper bound (2^i - 1).
+func bucketLE(i int) string {
+	if i >= 64 {
+		return "18446744073709551615"
+	}
+	return strconv.FormatUint(uint64(1)<<i-1, 10)
+}
+
+// appendPromHist renders one histogram series: cumulative buckets at
+// the non-empty change points, the mandatory +Inf bucket, _sum, _count.
+func appendPromHist(b []byte, name string, s promSample) []byte {
+	h := s.hist
+	var cum uint64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		b = append(b, name...)
+		b = append(b, "_bucket"...)
+		b = appendPromLabels(b, s.labelKey, s.labelVal, "le", bucketLE(i))
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, name...)
+	b = append(b, "_bucket"...)
+	b = appendPromLabels(b, s.labelKey, s.labelVal, "le", "+Inf")
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, h.count, 10)
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_sum"...)
+	b = appendPromLabels(b, s.labelKey, s.labelVal, "", "")
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, h.sum, 10)
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_count"...)
+	b = appendPromLabels(b, s.labelKey, s.labelVal, "", "")
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, h.count, 10)
+	b = append(b, '\n')
+	return b
+}
+
+// ---------------------------------------------------------------------
+// Strict parser — the validation half of the exposition contract.
+
+// promMetricName matches a legal metric or label name.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parsedSample is one decoded exposition line.
+type parsedSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePromSample decodes `name[{labels}] value` strictly.
+func parsePromSample(line string) (parsedSample, error) {
+	s := parsedSample{labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("no value separator")
+	}
+	s.name = line[:i]
+	if !validPromName(s.name) {
+		return s, fmt.Errorf("invalid metric name %q", s.name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQ := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQ && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQ = !inQ
+			case !inQ && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set")
+		}
+		body := rest[1:end]
+		for body != "" {
+			eq := strings.Index(body, "=")
+			if eq < 0 {
+				return s, fmt.Errorf("label without '='")
+			}
+			key := body[:eq]
+			if !validPromName(key) {
+				return s, fmt.Errorf("invalid label name %q", key)
+			}
+			if len(body) <= eq+1 || body[eq+1] != '"' {
+				return s, fmt.Errorf("label %q value not quoted", key)
+			}
+			val, rem, err := scanPromQuoted(body[eq+1:])
+			if err != nil {
+				return s, fmt.Errorf("label %q: %v", key, err)
+			}
+			if _, dup := s.labels[key]; dup {
+				return s, fmt.Errorf("duplicate label %q", key)
+			}
+			s.labels[key] = val
+			body = strings.TrimPrefix(rem, ",")
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	if rest == "" {
+		return s, fmt.Errorf("missing value")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) > 2 {
+		return s, fmt.Errorf("trailing garbage after value")
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", fields[0])
+	}
+	s.value = v
+	if len(fields) == 2 { // optional timestamp
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// scanPromQuoted decodes a quoted, escaped label value and returns the
+// remainder of the input after the closing quote.
+func scanPromQuoted(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", s[i+1])
+			}
+			i++
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quote")
+}
+
+// labelsKey canonicalizes a label set (minus le) for duplicate and
+// histogram-series grouping.
+func labelsKey(labels map[string]string, dropLE bool) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if dropLE && k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// histSeries accumulates one histogram label-set's samples for the
+// consistency checks.
+type histSeries struct {
+	les      []float64
+	counts   []float64
+	infSeen  bool
+	infVal   float64
+	sumSeen  bool
+	cntSeen  bool
+	countVal float64
+}
+
+// ValidatePromText strictly parses a Prometheus text exposition and
+// returns the number of samples. Beyond line-level syntax it enforces
+// the family contract: TYPE before samples, all samples of a family
+// contiguous, no duplicate series, counters non-negative, and for every
+// histogram series monotone cumulative buckets sorted by le, a +Inf
+// bucket, and _count equal to the +Inf bucket.
+func ValidatePromText(b []byte) (int, error) {
+	types := map[string]string{}
+	closed := map[string]bool{} // families whose sample block has ended
+	current := ""
+	seen := map[string]bool{} // name + full labels → duplicate check
+	hists := map[string]*histSeries{}
+	n := 0
+
+	base := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if s, ok := strings.CutSuffix(name, suf); ok && types[s] == "histogram" {
+				return s
+			}
+		}
+		return name
+	}
+
+	lines := strings.Split(string(b), "\n")
+	for ln, raw := range lines {
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return n, fmt.Errorf("line %d: malformed TYPE line", ln+1)
+				}
+				name, typ := fields[2], fields[3]
+				if !validPromName(name) {
+					return n, fmt.Errorf("line %d: TYPE for invalid name %q", ln+1, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return n, fmt.Errorf("line %d: unknown type %q", ln+1, typ)
+				}
+				if _, dup := types[name]; dup {
+					return n, fmt.Errorf("line %d: duplicate TYPE for %q", ln+1, name)
+				}
+				types[name] = typ
+			}
+			continue // HELP and comments are free-form
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return n, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		n++
+		fam := base(s.name)
+		typ, typed := types[fam]
+		if !typed {
+			return n, fmt.Errorf("line %d: sample %q precedes its TYPE line", ln+1, s.name)
+		}
+		if fam != current {
+			if closed[fam] {
+				return n, fmt.Errorf("line %d: family %q samples are not contiguous", ln+1, fam)
+			}
+			if current != "" {
+				closed[current] = true
+			}
+			current = fam
+		}
+		full := s.name + "|" + labelsKey(s.labels, false)
+		if seen[full] {
+			return n, fmt.Errorf("line %d: duplicate series %q", ln+1, line)
+		}
+		seen[full] = true
+		if typ == "counter" && s.value < 0 {
+			return n, fmt.Errorf("line %d: negative counter %q", ln+1, line)
+		}
+		if typ == "histogram" {
+			key := fam + "|" + labelsKey(s.labels, true)
+			hs := hists[key]
+			if hs == nil {
+				hs = &histSeries{}
+				hists[key] = hs
+			}
+			switch {
+			case strings.HasSuffix(s.name, "_bucket"):
+				le, ok := s.labels["le"]
+				if !ok {
+					return n, fmt.Errorf("line %d: histogram bucket without le", ln+1)
+				}
+				if le == "+Inf" {
+					hs.infSeen = true
+					hs.infVal = s.value
+					break
+				}
+				lev, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return n, fmt.Errorf("line %d: bad le %q", ln+1, le)
+				}
+				hs.les = append(hs.les, lev)
+				hs.counts = append(hs.counts, s.value)
+			case strings.HasSuffix(s.name, "_sum"):
+				hs.sumSeen = true
+			case strings.HasSuffix(s.name, "_count"):
+				hs.cntSeen = true
+				hs.countVal = s.value
+			default:
+				return n, fmt.Errorf("line %d: bare sample %q for histogram family", ln+1, s.name)
+			}
+		}
+	}
+	for key, hs := range hists {
+		if !hs.infSeen {
+			return n, fmt.Errorf("histogram series %q missing +Inf bucket", key)
+		}
+		if !hs.sumSeen || !hs.cntSeen {
+			return n, fmt.Errorf("histogram series %q missing _sum or _count", key)
+		}
+		if hs.countVal != hs.infVal {
+			return n, fmt.Errorf("histogram series %q: _count %v != +Inf bucket %v", key, hs.countVal, hs.infVal)
+		}
+		for i := 1; i < len(hs.les); i++ {
+			if hs.les[i] <= hs.les[i-1] {
+				return n, fmt.Errorf("histogram series %q: le not increasing", key)
+			}
+			if hs.counts[i] < hs.counts[i-1] {
+				return n, fmt.Errorf("histogram series %q: cumulative counts decrease", key)
+			}
+		}
+		if len(hs.counts) > 0 && hs.infVal < hs.counts[len(hs.counts)-1] {
+			return n, fmt.Errorf("histogram series %q: +Inf below last bucket", key)
+		}
+	}
+	return n, nil
+}
+
+// ValidatePromFile is ValidatePromText over a file path.
+func ValidatePromFile(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return ValidatePromText(b)
+}

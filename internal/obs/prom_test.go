@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.jobs.accepted": "serve_jobs_accepted",
+		"vm.steps":            "vm_steps",
+		"9lives":              "_lives",
+		"a:b_c9":              "a:b_c9",
+		"":                    "_",
+		"weird name/slash":    "weird_name_slash",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePromBasicAndValidate(t *testing.T) {
+	r := NewRegistry()
+	r.Add("serve.jobs.accepted", 7)
+	r.Add("serve.jobs.failed.StepLimit", 2)
+	r.Add("serve.jobs.failed.Trap", 1)
+	r.AddVolatile("serve.cache.hits", 5)
+	r.SetGauge("serve.queue.depth.0", 3)
+	r.Observe("vm.steps.per.job", 100)
+	r.Observe("vm.steps.per.job", 3)
+	r.ObserveVolatile("serve.latency.wall_us.submit", 1500)
+
+	rules := []PromRule{
+		{Prefix: "serve.jobs.failed.", Metric: "alda_serve_jobs_failed_total", Label: "kind"},
+		{Prefix: "serve.queue.depth.", Metric: "alda_serve_queue_depth", Label: "shard"},
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf, true, rules...); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE alda_serve_jobs_failed_total counter",
+		`alda_serve_jobs_failed_total{kind="StepLimit"} 2`,
+		`alda_serve_jobs_failed_total{kind="Trap"} 1`,
+		"# TYPE alda_serve_queue_depth gauge",
+		`alda_serve_queue_depth{shard="0"} 3`,
+		"serve_jobs_accepted 7",
+		"serve_cache_hits 5",
+		"# TYPE vm_steps_per_job histogram",
+		`vm_steps_per_job_bucket{le="+Inf"} 2`,
+		"vm_steps_per_job_sum 103",
+		"vm_steps_per_job_count 2",
+		"# TYPE serve_latency_wall_us_submit histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	n, err := ValidatePromText(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ValidatePromText: %v\n%s", err, out)
+	}
+	if n == 0 {
+		t.Fatal("no samples parsed")
+	}
+}
+
+func TestWritePromDeterministicExcludesVolatile(t *testing.T) {
+	r := NewRegistry()
+	r.Add("det.counter", 1)
+	r.AddVolatile("vol.counter", 9)
+	r.SetGauge("some.gauge", 4)
+	r.ObserveVolatile("vol.hist", 10)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "det_counter 1") {
+		t.Errorf("deterministic counter missing:\n%s", out)
+	}
+	for _, banned := range []string{"vol_counter", "some_gauge", "vol_hist"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("volatile item %q leaked into deterministic exposition:\n%s", banned, out)
+		}
+	}
+}
+
+func TestWritePromByteStable(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Insert in different orders; output must be identical.
+		keys := []string{"b.two", "a.one", "c.three.X", "c.three.Y"}
+		for _, k := range keys {
+			r.Add(k, uint64(len(k)))
+		}
+		r.Observe("h.one", 5)
+		r.Observe("h.one", 700)
+		return r
+	}
+	rules := []PromRule{{Prefix: "c.three.", Metric: "c_three_total", Label: "kind"}}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteProm(&b1, false, rules...); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteProm(&b2, false, rules...); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("exposition not byte-stable:\n%s\n---\n%s", b1.String(), b2.String())
+	}
+}
+
+func TestPromHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	// values 0 (bucket 0), 1 (bucket 1), 3 (bucket 2), 1000 (bucket 10)
+	for _, v := range []uint64{0, 1, 3, 1000} {
+		r.Observe("h", v)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`h_bucket{le="0"} 1`,
+		`h_bucket{le="1"} 2`,
+		`h_bucket{le="3"} 3`,
+		`h_bucket{le="1023"} 4`,
+		`h_bucket{le="+Inf"} 4`,
+		"h_sum 1004",
+		"h_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if _, err := ValidatePromText(buf.Bytes()); err != nil {
+		t.Fatalf("validator rejected own output: %v", err)
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Add(`kinds.a"b\c`, 1)
+	var buf bytes.Buffer
+	rules := []PromRule{{Prefix: "kinds.", Metric: "kinds_total", Label: "kind"}}
+	if err := r.WriteProm(&buf, false, rules...); err != nil {
+		t.Fatal(err)
+	}
+	want := `kinds_total{kind="a\"b\\c"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("missing %q in:\n%s", want, buf.String())
+	}
+	if _, err := ValidatePromText(buf.Bytes()); err != nil {
+		t.Fatalf("validator rejected escaped output: %v", err)
+	}
+}
+
+func TestValidatePromTextRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE": "foo 1\n# TYPE foo counter\n",
+		"duplicate TYPE":     "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n",
+		"duplicate series":   "# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"negative counter":   "# TYPE foo counter\nfoo -1\n",
+		"bad metric name":    "# TYPE foo counter\n9oo 1\n",
+		"bad value":          "# TYPE foo counter\nfoo abc\n",
+		"unterminated label": "# TYPE foo counter\nfoo{a=\"x 1\n",
+		"unknown type":       "# TYPE foo widget\nfoo 1\n",
+		"non-contiguous family": "# TYPE foo counter\n# TYPE bar counter\n" +
+			"foo 1\nbar 1\nfoo{x=\"1\"} 1\n",
+		"histogram missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"histogram non-monotone": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+	}
+	for name, text := range cases {
+		if _, err := ValidatePromText([]byte(text)); err == nil {
+			t.Errorf("%s: validator accepted invalid input:\n%s", name, text)
+		}
+	}
+	// Sanity: a correct document passes.
+	good := "# TYPE foo counter\nfoo 1\nfoo{a=\"b\"} 2\n# TYPE g gauge\ng -5\n"
+	if n, err := ValidatePromText([]byte(good)); err != nil || n != 3 {
+		t.Fatalf("good doc: n=%d err=%v", n, err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 100; i++ {
+		r.ObserveVolatile("lat", uint64(i+1)) // values 1..100
+	}
+	p50, ok := r.Quantile("lat", 0.5)
+	if !ok {
+		t.Fatal("quantile missing")
+	}
+	// Power-of-two buckets are coarse: p50 of 1..100 should land within
+	// the [32,64) or [64,128) region.
+	if p50 < 16 || p50 > 128 {
+		t.Errorf("p50 = %v, want within [16,128]", p50)
+	}
+	p99, ok := r.Quantile("lat", 0.99)
+	if !ok || p99 < p50 {
+		t.Errorf("p99 = %v (ok=%v), want >= p50 %v", p99, ok, p50)
+	}
+	if _, ok := r.Quantile("nope", 0.5); ok {
+		t.Error("quantile of missing histogram reported ok")
+	}
+}

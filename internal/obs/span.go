@@ -1,0 +1,155 @@
+package obs
+
+// Per-job lifecycle spans for the serving tier. A trace is a job's
+// identity across its whole life — minted at admission, returned to the
+// client, written into the journal, preserved across crash recovery —
+// and its spans are the ordered pipeline stages the job passed through
+// (accepted → queued → compiled → executed → journaled → done/error).
+//
+// The store follows the PR-5 deterministic/volatile split: span
+// *structure* (trace IDs, stage names, stage order, virtual costs) is a
+// pure function of the submitted work and therefore byte-identical
+// across serial, parallel and recovered runs; wall-clock stage timings
+// are volatile and only appear in the includeVolatile export. The
+// store is bounded: beyond Cap traces the oldest trace is evicted
+// whole, so a long-lived server holds a sliding window, not a leak.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// MintTraceID derives a job's trace ID from its admission sequence
+// number. The mapping is the splitmix64 finalizer — bijective on
+// uint64, so distinct sequence numbers always yield distinct IDs — and
+// deterministic, so a recovered job re-admitted at the same sequence
+// number reclaims the same identity even from a journal predating the
+// tid field.
+func MintTraceID(seq uint64) string {
+	z := seq ^ 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return fmt.Sprintf("t-%016x", z)
+}
+
+// SpanStage is one pipeline stage within a trace. Wall microseconds are
+// volatile; everything else is deterministic structure.
+type SpanStage struct {
+	Stage   string `json:"stage"`
+	Virtual uint64 `json:"virtual,omitempty"`
+	WallUS  int64  `json:"wall_us,omitempty"`
+}
+
+// TraceExport is one trace's exported span chain.
+type TraceExport struct {
+	Trace  string      `json:"trace"`
+	Stages []SpanStage `json:"stages"`
+}
+
+// SpanStore is a bounded, concurrency-safe trace → stage-chain map.
+type SpanStore struct {
+	mu     sync.Mutex
+	cap    int
+	traces map[string]*traceEntry
+	order  []string // insertion order for FIFO eviction
+	head   int      // first live index in order
+}
+
+type traceEntry struct {
+	stages []SpanStage
+}
+
+// NewSpanStore returns a store bounded to cap traces (minimum 1).
+func NewSpanStore(capacity int) *SpanStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanStore{cap: capacity, traces: make(map[string]*traceEntry, capacity)}
+}
+
+// Append records one stage against a trace, creating the trace on
+// first use and evicting the oldest trace when the bound is exceeded.
+func (s *SpanStore) Append(trace, stage string, virtual uint64, wallUS int64) {
+	s.mu.Lock()
+	e := s.traces[trace]
+	if e == nil {
+		if len(s.traces) >= s.cap {
+			// Evict the oldest still-live trace.
+			for s.head < len(s.order) {
+				old := s.order[s.head]
+				s.head++
+				if _, ok := s.traces[old]; ok {
+					delete(s.traces, old)
+					break
+				}
+			}
+			// Compact the order slice once the dead prefix dominates.
+			if s.head > len(s.order)/2 && s.head > 64 {
+				s.order = append(s.order[:0], s.order[s.head:]...)
+				s.head = 0
+			}
+		}
+		e = &traceEntry{}
+		s.traces[trace] = e
+		s.order = append(s.order, trace)
+	}
+	e.stages = append(e.stages, SpanStage{Stage: stage, Virtual: virtual, WallUS: wallUS})
+	s.mu.Unlock()
+}
+
+// Len reports the number of live traces.
+func (s *SpanStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.traces)
+}
+
+// Stages returns a copy of one trace's stage chain (nil if unknown).
+func (s *SpanStore) Stages(trace string) []SpanStage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.traces[trace]
+	if e == nil {
+		return nil
+	}
+	out := make([]SpanStage, len(e.stages))
+	copy(out, e.stages)
+	return out
+}
+
+// Snapshot exports every live trace sorted by trace ID. With
+// includeVolatile false the wall-clock fields are zeroed, leaving only
+// the deterministic structure — the form the determinism tests compare
+// across serial and parallel runs.
+func (s *SpanStore) Snapshot(includeVolatile bool) []TraceExport {
+	s.mu.Lock()
+	out := make([]TraceExport, 0, len(s.traces))
+	for trace, e := range s.traces {
+		te := TraceExport{Trace: trace, Stages: make([]SpanStage, len(e.stages))}
+		copy(te.Stages, e.stages)
+		if !includeVolatile {
+			for i := range te.Stages {
+				te.Stages[i].WallUS = 0
+			}
+		}
+		out = append(out, te)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Trace < out[j].Trace })
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *SpanStore) WriteJSON(w io.Writer, includeVolatile bool) error {
+	b, err := json.MarshalIndent(s.Snapshot(includeVolatile), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

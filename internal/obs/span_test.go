@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMintTraceIDDeterministicAndUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for seq := uint64(0); seq < 10000; seq++ {
+		id := MintTraceID(seq)
+		if !strings.HasPrefix(id, "t-") || len(id) != 18 {
+			t.Fatalf("malformed trace id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q at seq %d", id, seq)
+		}
+		seen[id] = true
+		if id != MintTraceID(seq) {
+			t.Fatalf("MintTraceID(%d) unstable", seq)
+		}
+	}
+}
+
+func TestSpanStoreStructureDeterministicAcrossOrder(t *testing.T) {
+	build := func(order []int) []TraceExport {
+		s := NewSpanStore(100)
+		for _, i := range order {
+			tid := MintTraceID(uint64(i))
+			s.Append(tid, "accepted", 0, int64(i)*3)
+			s.Append(tid, "executed", uint64(100+i), int64(i)*7)
+			s.Append(tid, "done", 0, 1)
+		}
+		return s.Snapshot(false)
+	}
+	a := build([]int{0, 1, 2, 3, 4})
+	b := build([]int{4, 2, 0, 3, 1})
+	ja, _ := jsonMarshal(a)
+	jb, _ := jsonMarshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("span structure depends on insertion order:\n%s\n---\n%s", ja, jb)
+	}
+	// Volatile snapshot must carry the wall times.
+	s := NewSpanStore(10)
+	s.Append("t-x", "accepted", 0, 42)
+	vol := s.Snapshot(true)
+	if vol[0].Stages[0].WallUS != 42 {
+		t.Fatalf("volatile snapshot dropped wall time: %+v", vol)
+	}
+	det := s.Snapshot(false)
+	if det[0].Stages[0].WallUS != 0 {
+		t.Fatalf("deterministic snapshot leaked wall time: %+v", det)
+	}
+}
+
+func jsonMarshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	_, err := fmt.Fprintf(&buf, "%+v", v)
+	return buf.Bytes(), err
+}
+
+func TestSpanStoreBounded(t *testing.T) {
+	s := NewSpanStore(8)
+	for i := 0; i < 1000; i++ {
+		tid := MintTraceID(uint64(i))
+		s.Append(tid, "accepted", 0, 0)
+		s.Append(tid, "done", 0, 0)
+	}
+	if got := s.Len(); got != 8 {
+		t.Fatalf("store holds %d traces, want 8", got)
+	}
+	// The newest traces survive; the oldest are gone.
+	if s.Stages(MintTraceID(999)) == nil {
+		t.Fatal("newest trace evicted")
+	}
+	if s.Stages(MintTraceID(0)) != nil {
+		t.Fatal("oldest trace not evicted")
+	}
+}
+
+func TestSpanStoreConcurrent(t *testing.T) {
+	s := NewSpanStore(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tid := MintTraceID(uint64(g*1000 + i))
+				s.Append(tid, "accepted", 0, 0)
+				s.Append(tid, "done", uint64(i), 0)
+				_ = s.Snapshot(false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() > 64 {
+		t.Fatalf("bound violated: %d traces", s.Len())
+	}
+}
+
+func TestFlightRecorderRingAndDrop(t *testing.T) {
+	f := NewFlightRecorder(2, 16)
+	for i := 0; i < 50; i++ {
+		f.Record(0, FlightEvent{Stage: "executed", Detail: fmt.Sprintf("job%d", i)})
+	}
+	f.Record(1, FlightEvent{Stage: "accepted"})
+	f.Record(f.ControlShard(), FlightEvent{Stage: "recovery"})
+	f.Record(99, FlightEvent{Stage: "overflowed-shard"}) // folds into control
+
+	snap := f.Snapshot("test")
+	if len(snap.Shards) != 3 {
+		t.Fatalf("want 3 rings (2 workers + control), got %d", len(snap.Shards))
+	}
+	s0 := snap.Shards[0]
+	if s0.Total != 50 || s0.Dropped != 34 || len(s0.Events) != 16 {
+		t.Fatalf("ring 0: total=%d dropped=%d events=%d", s0.Total, s0.Dropped, len(s0.Events))
+	}
+	// Oldest-to-newest order, and the newest event is job49.
+	if s0.Events[0].Detail != "job34" || s0.Events[15].Detail != "job49" {
+		t.Fatalf("ring order wrong: first=%q last=%q", s0.Events[0].Detail, s0.Events[15].Detail)
+	}
+	for i := 1; i < len(s0.Events); i++ {
+		if s0.Events[i].Seq != s0.Events[i-1].Seq+1 {
+			t.Fatal("ring seq not monotone")
+		}
+	}
+	ctl := snap.Shards[f.ControlShard()]
+	if len(ctl.Events) != 2 || ctl.Events[1].Stage != "overflowed-shard" {
+		t.Fatalf("control ring wrong: %+v", ctl.Events)
+	}
+}
+
+func TestFlightRecorderSnapshotToFile(t *testing.T) {
+	f := NewFlightRecorder(1, 16)
+	f.Record(0, FlightEvent{Trace: "t-1", Stage: "done"})
+	path := t.TempDir() + "/flight.json"
+	if err := f.SnapshotToFile(path, "unit"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteSnapshot(&buf, "unit"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"reason": "unit"`) || !strings.Contains(buf.String(), `"t-1"`) {
+		t.Fatalf("snapshot content wrong:\n%s", buf.String())
+	}
+}
+
+func TestFlightRecordZeroAlloc(t *testing.T) {
+	f := NewFlightRecorder(1, 64)
+	ev := FlightEvent{Trace: "t-0000000000000000", Stage: "executed", Virtual: 123}
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.Record(0, ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("FlightRecorder.Record allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(4, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Record(g%5, FlightEvent{Stage: "executed", Virtual: uint64(i)})
+			}
+			_ = f.Snapshot("race")
+		}(g)
+	}
+	wg.Wait()
+}

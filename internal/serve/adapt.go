@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"fmt"
+	"hash/fnv"
+
 	"repro/internal/compiler"
 	"repro/internal/obs"
 	"repro/internal/vm"
@@ -36,6 +39,83 @@ type keyAdaptState struct {
 	counts   map[string]uint64 // merged per-member access counts
 	epoch    int               // 0 = still profiling; >0 = swapped
 	adapted  *compiler.Options // options every post-swap job compiles under
+
+	// Rolling profile window: the last ProfileWindow per-job profiles
+	// (quantum jobs plus every sampled post-swap job), summed for the
+	// /metrics rolling-profile export and compared against the profile
+	// that drove the swap for the drift gauge.
+	window    []map[string]uint64
+	windowSum map[string]uint64
+	sampled   int // post-swap completions, for the sampling cadence
+}
+
+// keyLabel is the short stable label a compile-affinity key exports
+// under (the raw key embeds the full options fingerprint — too long for
+// a metric label, stable enough to hash).
+func keyLabel(key string) string {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("k%08x", h.Sum32())
+}
+
+// pushWindow folds one job's profile into the key's rolling window,
+// evicting the oldest entry beyond the bound. Caller holds adaptMu.
+func (st *keyAdaptState) pushWindow(prof map[string]uint64, bound int) {
+	if len(prof) == 0 {
+		return
+	}
+	if st.windowSum == nil {
+		st.windowSum = map[string]uint64{}
+	}
+	if len(st.window) >= bound {
+		old := st.window[0]
+		st.window = st.window[1:]
+		for k, v := range old {
+			st.windowSum[k] -= v
+			if st.windowSum[k] == 0 {
+				delete(st.windowSum, k)
+			}
+		}
+	}
+	st.window = append(st.window, prof)
+	for k, v := range prof {
+		st.windowSum[k] += v
+	}
+}
+
+// driftPermille is the total-variation distance between the profile
+// that drove the swap and the rolling window, in permille: 0 means the
+// traffic still looks exactly like the profile the adapted build was
+// selected for, 1000 means completely disjoint hot sets.
+func driftPermille(base, window map[string]uint64) int64 {
+	var baseTot, winTot uint64
+	for _, v := range base {
+		baseTot += v
+	}
+	for _, v := range window {
+		winTot += v
+	}
+	if baseTot == 0 || winTot == 0 {
+		return 0
+	}
+	var tv float64
+	keys := map[string]struct{}{}
+	for k := range base {
+		keys[k] = struct{}{}
+	}
+	for k := range window {
+		keys[k] = struct{}{}
+	}
+	for k := range keys {
+		pb := float64(base[k]) / float64(baseTot)
+		pw := float64(window[k]) / float64(winTot)
+		if pb > pw {
+			tv += pb - pw
+		} else {
+			tv += pw - pb
+		}
+	}
+	return int64(tv / 2 * 1000)
 }
 
 // adaptStateFor returns (creating if needed) the key's adapt state.
@@ -55,24 +135,38 @@ func (s *Server) adaptStateFor(key string) *keyAdaptState {
 // successful jobs advance the quantum — a trapped or budget-killed run
 // yields a partial profile of unknowable coverage, and the quantum is
 // cheap enough to wait for clean ones.
-func (s *Server) runAdaptive(j *job, shard *obs.Shard) (*JobResult, *JobError) {
+//
+// After the swap the profile stream stays alive: every Nth post-swap
+// job (Config.ProfileSampleEvery) re-runs the ProfileCollect build —
+// safe because the adaptive conformance axis proves profiling builds
+// verdict- and result-identical — and its profile refreshes the rolling
+// window and the drift gauge, so a shifted workload is visible on
+// /metrics before anyone re-tunes.
+func (s *Server) runAdaptive(j *job, shard *obs.Shard, onStage StageObserver) (*JobResult, *JobError) {
 	key := j.req.fingerprintKey()
 	st := s.adaptStateFor(key)
 
 	s.adaptMu.Lock()
 	adapted := st.adapted
-	s.adaptMu.Unlock()
+	var sampleThis bool
 	if adapted != nil {
-		return ExecuteWith(&j.req, s.cfg.Limits, shard, adapted)
+		st.sampled++
+		sampleThis = s.cfg.ProfileSampleEvery > 0 && st.sampled%s.cfg.ProfileSampleEvery == 0
 	}
+	s.adaptMu.Unlock()
 
 	eng, _ := vm.ParseEngine(j.req.Options.Engine)
+	if adapted != nil && !sampleThis {
+		return ExecuteObserved(&j.req, s.cfg.Limits, shard, adapted, onStage)
+	}
+
+	// Profiling run: either the quantum, or a post-swap sample.
 	popts := compileOptions(eng)
 	popts.ProfileCollect = true
 	if shard == nil {
 		shard = obs.NewShard() // the profile rides the metrics shard
 	}
-	res, jerr := ExecuteWith(&j.req, s.cfg.Limits, shard, &popts)
+	res, jerr := ExecuteObserved(&j.req, s.cfg.Limits, shard, &popts, onStage)
 	if jerr != nil {
 		return res, jerr
 	}
@@ -80,14 +174,22 @@ func (s *Server) runAdaptive(j *job, shard *obs.Shard) (*JobResult, *JobError) {
 
 	s.adaptMu.Lock()
 	defer s.adaptMu.Unlock()
-	if st.adapted != nil {
-		// Lost the swap race to a concurrent worker: this run profiled
-		// redundantly, which is harmless — its result is identical.
+	if adapted != nil || st.adapted != nil {
+		// Post-swap sample, or a quantum run that lost the swap race to
+		// a concurrent worker (harmless either way — the result is
+		// identical). Feed the rolling window and refresh drift.
+		st.pushWindow(prof.Counts, s.cfg.ProfileWindow)
+		if adapted != nil {
+			s.reg.AddVolatile("serve.adapt.sampled", 1)
+			drift := driftPermille(st.counts, st.windowSum)
+			s.reg.SetGauge("serve.adapt.drift_permille."+keyLabel(key), drift)
+		}
 		return res, jerr
 	}
 	for k, v := range prof.Counts {
 		st.counts[k] += v
 	}
+	st.pushWindow(prof.Counts, s.cfg.ProfileWindow)
 	st.profiled++
 	s.reg.Add("serve.adapt.profiled", 1)
 	if st.profiled < s.cfg.AdaptAfter {
@@ -103,14 +205,50 @@ func (s *Server) runAdaptive(j *job, shard *obs.Shard) (*JobResult, *JobError) {
 	} else {
 		s.reg.Add("serve.adapt.static_kept", 1)
 	}
+	// The swap epoch is itself a trace: its span chain and flight event
+	// make adaptation decisions first-class citizens of a post-mortem.
+	atid := fmt.Sprintf("adapt-%s-e%d", keyLabel(key), st.epoch)
+	s.spans.Append(atid, "swap-decided", uint64(st.profiled), 0)
+	s.flight.Record(s.flight.ControlShard(),
+		obs.FlightEvent{Trace: atid, Stage: "adapt-swap", Detail: key})
 	// Journal the swap before any job runs under it: recovery must
 	// land on the same analysis, not re-enter the quantum.
 	if s.journal != nil {
 		if err := s.journal.AppendAdapt(key, st.epoch, j.req.Options.Engine, st.counts); err != nil {
 			s.reg.AddVolatile("serve.journal.errors", 1)
+			s.autoFlightSnapshot("journal-degraded")
+		} else {
+			s.spans.Append(atid, "journaled", 0, 0)
 		}
 	}
 	return res, jerr
+}
+
+// scrapeAdapt refreshes the rolling-profile and drift exports at scrape
+// time: the per-member window sums (aggregated across keys) become
+// serve.profile.window.* gauges, cleared first so cooled-off members
+// drop out.
+func (s *Server) scrapeAdapt() {
+	if s.cfg.AdaptAfter <= 0 {
+		return
+	}
+	totals := map[string]uint64{}
+	s.adaptMu.Lock()
+	for _, st := range s.adaptStates {
+		for k, v := range st.windowSum {
+			totals[k] += v
+		}
+	}
+	s.adaptMu.Unlock()
+	s.reg.ClearGauges("serve.profile.window.")
+	for k, v := range totals {
+		// k is "profile.member.<name>"; keep only the member name.
+		name := k
+		if len(name) > len(compiler.ProfileMetricPrefix) && name[:len(compiler.ProfileMetricPrefix)] == compiler.ProfileMetricPrefix {
+			name = name[len(compiler.ProfileMetricPrefix):]
+		}
+		s.reg.SetGauge("serve.profile.window."+name, int64(v))
+	}
 }
 
 // replayAdapt restores journaled adaptation epochs: the same pure

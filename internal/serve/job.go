@@ -110,11 +110,17 @@ const (
 // pure function of (ID, request): the byte-identity unit the
 // crash-recovery conformance tests compare.
 type JobStatus struct {
-	ID     string     `json:"id"`
-	Tenant string     `json:"tenant,omitempty"`
-	State  string     `json:"state"`
-	Result *JobResult `json:"result,omitempty"`
-	Error  *JobError  `json:"error,omitempty"`
+	ID string `json:"id"`
+	// TraceID is the job's observability identity, minted at admission
+	// (obs.MintTraceID of the admission sequence number — deterministic,
+	// so crash recovery reclaims the same ID) and echoed in the
+	// X-Alda-Trace-Id response header. It indexes the span store and the
+	// flight recorder.
+	TraceID string     `json:"trace_id,omitempty"`
+	Tenant  string     `json:"tenant,omitempty"`
+	State   string     `json:"state"`
+	Result  *JobResult `json:"result,omitempty"`
+	Error   *JobError  `json:"error,omitempty"`
 }
 
 // Terminal reports whether the status is final.

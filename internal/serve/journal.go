@@ -34,9 +34,13 @@ type journalRecord struct {
 	// Header fields.
 	V  int    `json:"v,omitempty"`
 	Fp string `json:"fp,omitempty"`
-	// Accept fields.
+	// Accept fields. Tid is the trace ID minted at admission; journals
+	// predating the field recover it by re-minting from Seq (the mint is
+	// a pure function of the sequence number, so the identity is stable
+	// either way).
 	Seq uint64      `json:"seq,omitempty"`
 	ID  string      `json:"id,omitempty"`
+	Tid string      `json:"tid,omitempty"`
 	Req *JobRequest `json:"req,omitempty"`
 	// Done fields.
 	Status *JobStatus `json:"status,omitempty"`
@@ -227,8 +231,8 @@ func (j *Journal) append(rec journalRecord) error {
 }
 
 // AppendAccept journals an accepted job before its 202 is sent.
-func (j *Journal) AppendAccept(seq uint64, id string, req *JobRequest) error {
-	return j.append(journalRecord{Type: "accept", Seq: seq, ID: id, Req: req})
+func (j *Journal) AppendAccept(seq uint64, id, tid string, req *JobRequest) error {
+	return j.append(journalRecord{Type: "accept", Seq: seq, ID: id, Tid: tid, Req: req})
 }
 
 // AppendDone journals a job's terminal status.

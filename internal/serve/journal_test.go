@@ -25,7 +25,7 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatalf("fresh journal recovered state: %+v", rec)
 	}
 	for seq := uint64(1); seq <= 3; seq++ {
-		if err := j.AppendAccept(seq, jobID(seq), testReq("sort")); err != nil {
+		if err := j.AppendAccept(seq, jobID(seq), "", testReq("sort")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -62,7 +62,7 @@ func TestJournalTornTrailingLine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.AppendAccept(1, "j1", testReq("sort")); err != nil {
+	if err := j.AppendAccept(1, "j1", "", testReq("sort")); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -115,19 +115,19 @@ func TestJournalInjectedFaultsDegrade(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := j.AppendAccept(1, "j1", testReq("sort")); err != nil {
+			if err := j.AppendAccept(1, "j1", "", testReq("sort")); err != nil {
 				t.Fatalf("append 1: %v", err)
 			}
 			if j.Degraded() {
 				t.Fatal("degraded before the injected ordinal")
 			}
-			if err := j.AppendAccept(2, "j2", testReq("sort")); !errors.Is(err, errInjected) {
+			if err := j.AppendAccept(2, "j2", "", testReq("sort")); !errors.Is(err, errInjected) {
 				t.Fatalf("append 2: err = %v, want injected fault", err)
 			}
 			if !j.Degraded() {
 				t.Fatal("injected fault did not flip degraded")
 			}
-			if err := j.AppendAccept(3, "j3", testReq("sort")); err != nil {
+			if err := j.AppendAccept(3, "j3", "", testReq("sort")); err != nil {
 				t.Fatalf("append after fault: %v (faults must fire once)", err)
 			}
 			_, errs := j.Stats()
@@ -148,7 +148,7 @@ func TestJournalBatchedSync(t *testing.T) {
 		t.Fatal(err)
 	}
 	for seq := uint64(1); seq <= 5; seq++ {
-		if err := j.AppendAccept(seq, jobID(seq), testReq("sort")); err != nil {
+		if err := j.AppendAccept(seq, jobID(seq), "", testReq("sort")); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -70,6 +70,12 @@ func jobError(err error) *JobError {
 	return &JobError{Kind: "fail", Message: err.Error()}
 }
 
+// StageObserver receives pipeline-stage transitions during a job's
+// execution ("compiled", "executed"), with the stage's deterministic
+// virtual cost (0 where no cost applies). Used by the serving tier to
+// record lifecycle spans; nil disables observation at zero cost.
+type StageObserver func(stage string, virtual uint64)
+
 // Execute runs one job to completion under the server's limits,
 // returning either a deterministic result or a typed error — never
 // both, and never a panic: workload builders, the compiler, the
@@ -78,7 +84,7 @@ func jobError(err error) *JobError {
 // the worker survives. The shard, when non-nil, receives the run's
 // deterministic observability counters.
 func Execute(req *JobRequest, lim Limits, shard *obs.Shard) (*JobResult, *JobError) {
-	return ExecuteWith(req, lim, shard, nil)
+	return ExecuteObserved(req, lim, shard, nil, nil)
 }
 
 // ExecuteWith is Execute with an explicit compilation configuration —
@@ -87,7 +93,16 @@ func Execute(req *JobRequest, lim Limits, shard *obs.Shard) (*JobResult, *JobErr
 // build after the swap. A nil opts means the default static options.
 // The request's engine always wins: adapted options are shared per
 // compile-affinity key, and the key already pins the engine.
-func ExecuteWith(req *JobRequest, lim Limits, shard *obs.Shard, opts *compiler.Options) (res *JobResult, jerr *JobError) {
+func ExecuteWith(req *JobRequest, lim Limits, shard *obs.Shard, opts *compiler.Options) (*JobResult, *JobError) {
+	return ExecuteObserved(req, lim, shard, opts, nil)
+}
+
+// ExecuteObserved is ExecuteWith plus a stage observer: onStage fires
+// after compilation succeeds ("compiled") and after the VM run returns
+// ("executed", with the run's virtual cost when it succeeded). Stage
+// emission is a deterministic function of the request — the span
+// determinism tests rely on that.
+func ExecuteObserved(req *JobRequest, lim Limits, shard *obs.Shard, opts *compiler.Options, onStage StageObserver) (res *JobResult, jerr *JobError) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, jerr = nil, &JobError{Kind: "panic", Message: fmt.Sprintf("panic: %v", r)}
@@ -111,6 +126,9 @@ func ExecuteWith(req *JobRequest, lim Limits, shard *obs.Shard, opts *compiler.O
 	if err != nil {
 		return nil, jobError(err)
 	}
+	if onStage != nil {
+		onStage("compiled", 0)
+	}
 
 	seed := req.Options.Seed
 	if seed == 0 {
@@ -127,7 +145,13 @@ func ExecuteWith(req *JobRequest, lim Limits, shard *obs.Shard, opts *compiler.O
 	}
 	vres, err := core.RunAnalysis(prog, a, opt)
 	if err != nil {
+		if onStage != nil {
+			onStage("executed", 0)
+		}
 		return nil, jobError(err)
+	}
+	if onStage != nil {
+		onStage("executed", vres.Steps+16*vres.HookCalls)
 	}
 	out := &JobResult{
 		Exit:      vres.Exit,

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -44,6 +45,29 @@ type Config struct {
 	// to a profile-adapted recompile for every later job (see adapt.go).
 	// 0 disables adaptation (every job runs the static build).
 	AdaptAfter int
+	// ProfileSampleEvery keeps the profile stream alive after a key's
+	// swap: every Nth post-swap job re-runs the profile-collecting build
+	// (verdict-identical by the adaptive conformance axis), feeding the
+	// rolling profile window and the drift gauge. 0 takes the default
+	// (16) when adaptation is on; negative disables post-swap sampling.
+	ProfileSampleEvery int
+	// ProfileWindow is how many recent per-job profiles the rolling
+	// window holds per compile-affinity key. Default 8.
+	ProfileWindow int
+	// SpanCap bounds the lifecycle span store (oldest trace evicted
+	// whole beyond it). Default 1024.
+	SpanCap int
+	// FlightRing is the per-worker-shard flight-recorder ring size.
+	// Default 256.
+	FlightRing int
+	// FlightSnapshotPath, when set, is where the flight recorder
+	// auto-dumps (once) when the journal degrades — chaos faults
+	// included — so a failed soak leaves a post-mortem behind.
+	FlightSnapshotPath string
+	// SLOWall is the wall-clock latency objective per job; completions
+	// slower than it count into serve.slo.jobs_over_deadline_total.
+	// 0 takes the default (1s); negative disables the counter.
+	SLOWall time.Duration
 	// Limits are the per-job resource budgets; zero fields take
 	// DefaultLimits.
 	Limits Limits
@@ -67,6 +91,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JournalSyncEvery <= 0 {
 		c.JournalSyncEvery = 1
+	}
+	if c.ProfileSampleEvery == 0 {
+		c.ProfileSampleEvery = 16
+	}
+	if c.ProfileWindow <= 0 {
+		c.ProfileWindow = 8
+	}
+	if c.SpanCap <= 0 {
+		c.SpanCap = 1024
+	}
+	if c.FlightRing <= 0 {
+		c.FlightRing = 256
+	}
+	if c.SLOWall == 0 {
+		c.SLOWall = time.Second
 	}
 	def := DefaultLimits()
 	if c.Limits.DefaultMaxSteps == 0 {
@@ -114,12 +153,13 @@ func (c Config) fingerprint() string {
 
 // job is one accepted job's server-side state.
 type job struct {
-	id   string
-	seq  uint64
-	req  JobRequest
-	mu   sync.Mutex
-	stat JobStatus
-	done chan struct{} // closed at terminal state
+	id    string
+	seq   uint64
+	trace string
+	req   JobRequest
+	mu    sync.Mutex
+	stat  JobStatus
+	done  chan struct{} // closed at terminal state
 }
 
 func (j *job) snapshot() JobStatus {
@@ -166,6 +206,10 @@ type Server struct {
 	cfg     Config
 	reg     *obs.Registry
 	journal *Journal
+	spans   *obs.SpanStore
+	flight  *obs.FlightRecorder
+
+	snapOnce sync.Once // one auto flight snapshot per process life
 
 	mu      sync.Mutex // jobs, seq, tenants
 	jobs    map[string]*job
@@ -195,6 +239,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:         cfg,
 		reg:         cfg.Metrics,
+		spans:       obs.NewSpanStore(cfg.SpanCap),
+		flight:      obs.NewFlightRecorder(cfg.Shards, cfg.FlightRing),
 		jobs:        map[string]*job{},
 		tenants:     map[string]int{},
 		adaptStates: map[string]*keyAdaptState{},
@@ -214,7 +260,7 @@ func New(cfg Config) (*Server, error) {
 		s.shards = append(s.shards, sh)
 		for w := 0; w < cfg.WorkersPerShard; w++ {
 			s.wg.Add(1)
-			go s.worker(sh)
+			go s.worker(i, sh)
 		}
 	}
 	if recovered != nil {
@@ -237,15 +283,22 @@ func (s *Server) replay(rec *Recovered) {
 	s.mu.Lock()
 	s.seq = rec.MaxSeq
 	for id, st := range rec.Done {
-		j := &job{id: id, stat: *st, done: make(chan struct{})}
+		j := &job{id: id, trace: st.TraceID, stat: *st, done: make(chan struct{})}
 		close(j.done)
 		s.jobs[id] = j
 	}
 	var pending []*job
 	for _, a := range rec.Unfinished {
+		// The trace ID rides the accept record; journals predating the
+		// tid field re-mint it from the sequence number, which by
+		// construction yields the same ID the original admission minted.
+		tid := a.Tid
+		if tid == "" {
+			tid = obs.MintTraceID(a.Seq)
+		}
 		j := &job{
-			id: a.ID, seq: a.Seq, req: *a.Req,
-			stat: JobStatus{ID: a.ID, Tenant: a.Req.Tenant, State: StateQueued},
+			id: a.ID, seq: a.Seq, trace: tid, req: *a.Req,
+			stat: JobStatus{ID: a.ID, TraceID: tid, Tenant: a.Req.Tenant, State: StateQueued},
 			done: make(chan struct{}),
 		}
 		s.jobs[a.ID] = j
@@ -259,6 +312,12 @@ func (s *Server) replay(rec *Recovered) {
 	s.reg.Add("serve.jobs.recovered", uint64(len(pending)))
 	go func() {
 		for _, j := range pending {
+			// A recovered job keeps its identity: its chain restarts with
+			// a "recovered" span instead of "accepted", which is how a
+			// post-mortem tells a re-run from a first run.
+			s.spans.Append(j.trace, "recovered", 0, 0)
+			s.flight.Record(s.flight.ControlShard(),
+				obs.FlightEvent{Trace: j.trace, Stage: "recovered", Detail: j.id})
 			sh := s.shards[s.shardOf(&j.req)]
 			select {
 			case sh.tokens <- struct{}{}:
@@ -270,6 +329,7 @@ func (s *Server) replay(rec *Recovered) {
 				s.sendMu.RUnlock()
 				return
 			}
+			s.spans.Append(j.trace, "queued", 0, 0)
 			sh.queue <- j
 			s.sendMu.RUnlock()
 		}
@@ -285,29 +345,45 @@ func (s *Server) shardOf(req *JobRequest) int {
 }
 
 // worker drains one shard's queue until Shutdown closes it.
-func (s *Server) worker(sh *shard) {
+func (s *Server) worker(shIdx int, sh *shard) {
 	defer s.wg.Done()
 	for j := range sh.queue {
-		s.runJob(j)
+		s.runJob(shIdx, j)
 		<-sh.tokens
 	}
 }
 
-// runJob executes one job, journals the terminal status, and folds the
-// run's counters into the registry.
-func (s *Server) runJob(j *job) {
+// runJob executes one job, journals the terminal status, records its
+// lifecycle spans and latency histograms, and folds the run's counters
+// into the registry.
+func (s *Server) runJob(shIdx int, j *job) {
 	j.setState(StateRunning)
 	var shard *obs.Shard
 	if s.reg != nil {
 		shard = obs.NewShard()
 	}
 	start := time.Now()
+	// onStage records one pipeline stage three ways: the span store
+	// (structure deterministic, wall volatile), the shard's flight ring,
+	// and the per-stage wall-latency histogram. Stage *sequence* is a
+	// pure function of the request; only the wall numbers vary.
+	prev := start
+	onStage := func(stage string, virtual uint64) {
+		now := time.Now()
+		stageUS := now.Sub(prev).Microseconds()
+		prev = now
+		s.spans.Append(j.trace, stage, virtual, stageUS)
+		s.flight.Record(shIdx, obs.FlightEvent{
+			Trace: j.trace, Stage: stage, Virtual: virtual, WallUS: stageUS,
+		})
+		s.reg.ObserveVolatile("serve.latency.wall_us.stage."+stage, uint64(stageUS))
+	}
 	var res *JobResult
 	var jerr *JobError
 	if s.cfg.AdaptAfter > 0 {
-		res, jerr = s.runAdaptive(j, shard)
+		res, jerr = s.runAdaptive(j, shard, onStage)
 	} else {
-		res, jerr = Execute(&j.req, s.cfg.Limits, shard)
+		res, jerr = ExecuteObserved(&j.req, s.cfg.Limits, shard, nil, onStage)
 	}
 	wall := time.Since(start)
 
@@ -315,6 +391,9 @@ func (s *Server) runJob(j *job) {
 	if s.journal != nil {
 		if err := s.journal.AppendDone(&status); err != nil {
 			s.reg.AddVolatile("serve.journal.errors", 1)
+			s.autoFlightSnapshot("journal-degraded")
+		} else {
+			onStage("journaled", 0)
 		}
 	}
 	s.mu.Lock()
@@ -325,12 +404,46 @@ func (s *Server) runJob(j *job) {
 	s.mu.Unlock()
 
 	if jerr != nil {
+		onStage("error", 0)
 		s.reg.Add("serve.jobs.failed."+jerr.Kind, 1)
 	} else {
+		onStage("done", res.Virtual)
 		s.reg.Add("serve.jobs.completed", 1)
+		// Virtual job latency is deterministic — it belongs in the
+		// deterministic histogram family, alongside the counters.
+		s.reg.Observe("serve.latency.virtual.job", res.Virtual)
 		s.reg.MergeShard(shard)
 	}
+	s.reg.Add("serve.jobs.by_analysis."+j.req.Analysis, 1)
 	s.reg.AddVolatile("serve.job_wall_ns", uint64(wall))
+	wallUS := uint64(wall.Microseconds())
+	s.reg.ObserveVolatile("serve.latency.wall_us.job", wallUS)
+	tenant := j.req.Tenant
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	s.reg.ObserveVolatile("serve.latency.wall_us.tenant."+tenant, wallUS)
+	if s.cfg.SLOWall > 0 && wall > s.cfg.SLOWall {
+		s.reg.AddVolatile("serve.slo.jobs_over_deadline_total", 1)
+	}
+}
+
+// autoFlightSnapshot dumps the flight recorder to the configured path,
+// once per process life — fired on the first journal degradation
+// (chaos-injected faults included) so the post-mortem captures the ring
+// state nearest the failure.
+func (s *Server) autoFlightSnapshot(reason string) {
+	s.flight.Record(s.flight.ControlShard(), obs.FlightEvent{Stage: reason})
+	if s.cfg.FlightSnapshotPath == "" {
+		return
+	}
+	s.snapOnce.Do(func() {
+		if err := s.flight.SnapshotToFile(s.cfg.FlightSnapshotPath, reason); err != nil {
+			s.reg.AddVolatile("serve.flight.snapshot_errors", 1)
+		} else {
+			s.reg.AddVolatile("serve.flight.snapshots", 1)
+		}
+	})
 }
 
 // accept admits one validated request: tenant cap, shard token,
@@ -363,20 +476,23 @@ func (s *Server) accept(req *JobRequest) (*job, int, *JobError) {
 	s.mu.Lock()
 	s.seq++
 	j := &job{
-		id: fmt.Sprintf("j%d", s.seq), seq: s.seq, req: *req,
+		id: fmt.Sprintf("j%d", s.seq), seq: s.seq,
+		trace: obs.MintTraceID(s.seq), req: *req,
 		done: make(chan struct{}),
 	}
-	j.stat = JobStatus{ID: j.id, Tenant: req.Tenant, State: StateQueued}
+	j.stat = JobStatus{ID: j.id, TraceID: j.trace, Tenant: req.Tenant, State: StateQueued}
 	s.jobs[j.id] = j
 	s.tenants[req.Tenant]++
 	s.mu.Unlock()
+	s.spans.Append(j.trace, "accepted", 0, 0)
 
 	// Write-ahead: the accept record reaches the journal (fsynced)
 	// before the client sees 202. A journal failure degrades
 	// durability, not availability.
 	if s.journal != nil {
-		if err := s.journal.AppendAccept(j.seq, j.id, &j.req); err != nil {
+		if err := s.journal.AppendAccept(j.seq, j.id, j.trace, &j.req); err != nil {
 			s.reg.AddVolatile("serve.journal.errors", 1)
+			s.autoFlightSnapshot("journal-degraded")
 		}
 	}
 
@@ -395,6 +511,10 @@ func (s *Server) accept(req *JobRequest) (*job, int, *JobError) {
 		return nil, http.StatusServiceUnavailable,
 			&JobError{Kind: "Draining", Message: "server is draining", Retryable: true}
 	}
+	// The "queued" span lands before the enqueue: once the job is in the
+	// channel a worker may already be running it, and stage order within
+	// a trace must stay deterministic.
+	s.spans.Append(j.trace, "queued", 0, 0)
 	sh.queue <- j // token held ⇒ never blocks
 	s.sendMu.RUnlock()
 
@@ -470,17 +590,32 @@ type errorBody struct {
 //	GET  /v1/jobs/{id}   status/result; ?wait=1 blocks until terminal
 //	GET  /healthz        process liveness
 //	GET  /readyz         accepting? 200 ("ok" or "degraded: journal") / 503 draining
-//	GET  /metrics        obs registry JSON (volatile included)
+//	GET  /metrics        obs registry: JSON by default, Prometheus text
+//	                     exposition with Accept: text/plain or ?format=prom
+//	GET  /debug/flight   flight-recorder ring dump (JSON)
+//	GET  /debug/spans    lifecycle span store dump (JSON)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("POST /v1/jobs", s.timed("submit", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.timed("get", s.handleGet))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /readyz", s.handleReady)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.timed("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
+	mux.HandleFunc("GET /debug/spans", s.handleSpans)
 	return mux
+}
+
+// timed wraps a handler with the per-endpoint wall-latency histogram.
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.reg.ObserveVolatile("serve.latency.wall_us.endpoint."+endpoint,
+			uint64(time.Since(start).Microseconds()))
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -511,6 +646,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, errorBody{jerr})
 		return
 	}
+	w.Header().Set("X-Alda-Trace-Id", j.trace)
 	if r.URL.Query().Get("wait") != "" {
 		s.waitAndReply(w, r, j)
 		return
@@ -525,6 +661,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 			errorBody{&JobError{Kind: "NotFound", Message: "no such job"}})
 		return
 	}
+	w.Header().Set("X-Alda-Trace-Id", j.trace)
 	if r.URL.Query().Get("wait") != "" {
 		s.waitAndReply(w, r, j)
 		return
@@ -556,26 +693,116 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte("ok\n"))
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	// Fold the process-wide compile-cache deltas in as volatile
-	// counters (they are shared across servers in one process, hence
-	// not deterministic per server).
+// scrapeCaches folds the process-wide compile-cache and journal deltas
+// in as volatile counters (they are shared across servers in one
+// process, hence not deterministic per server). The delta-state update
+// and the registry writes commit under one cacheMu critical section, so
+// two concurrent scrapes — or a scrape racing a compile — can never
+// observe a delta applied against the wrong epoch's baseline.
+func (s *Server) scrapeCaches() {
 	hits, misses, evicts := compiler.CompileCacheStats()
 	s.cacheMu.Lock()
 	dh, dm, de := hits-s.lastHits, misses-s.lastMisses, evicts-s.lastEvictions
 	s.lastHits, s.lastMisses, s.lastEvictions = hits, misses, evicts
-	s.cacheMu.Unlock()
 	s.reg.AddVolatile("compiler.cache.hits", dh)
 	s.reg.AddVolatile("compiler.cache.misses", dm)
 	s.reg.AddVolatile("compiler.cache.evictions", de)
 	if s.journal != nil {
 		appends, errs := s.journal.Stats()
-		s.cacheMu.Lock()
 		da, de2 := appends-s.lastJournalAppends, errs-s.lastJournalErrs
 		s.lastJournalAppends, s.lastJournalErrs = appends, errs
-		s.cacheMu.Unlock()
 		s.reg.AddVolatile("serve.journal.appends", da)
 		s.reg.AddVolatile("serve.journal.append_errors", de2)
 	}
+	s.cacheMu.Unlock()
+}
+
+// scrapeGauges refreshes the point-in-time levels: per-shard queue
+// depth and in-flight occupancy, per-tenant in-flight counts, and the
+// live span count. Tenant gauges are cleared first so departed tenants
+// don't linger as stale series.
+func (s *Server) scrapeGauges() {
+	for i, sh := range s.shards {
+		s.reg.SetGauge(fmt.Sprintf("serve.queue.depth.%d", i), int64(len(sh.queue)))
+		s.reg.SetGauge(fmt.Sprintf("serve.inflight.%d", i), int64(len(sh.tokens)))
+	}
+	s.reg.ClearGauges("serve.tenant.inflight.")
+	s.mu.Lock()
+	for t, n := range s.tenants {
+		name := t
+		if name == "" {
+			name = "anonymous"
+		}
+		s.reg.SetGauge("serve.tenant.inflight."+name, int64(n))
+	}
+	s.mu.Unlock()
+	s.reg.SetGauge("serve.spans.live", int64(s.spans.Len()))
+}
+
+// promRules maps the registry's dotted families onto labeled Prometheus
+// metrics: error kinds, analysis names, shards, tenants and pipeline
+// stages become labels without the hot path ever recording a label pair.
+func promRules() []obs.PromRule {
+	return []obs.PromRule{
+		{Prefix: "serve.jobs.failed.", Metric: "alda_serve_jobs_failed_total", Label: "kind"},
+		{Prefix: "serve.jobs.by_analysis.", Metric: "alda_serve_jobs_by_analysis_total", Label: "analysis"},
+		{Prefix: "serve.rejected.", Metric: "alda_serve_rejected_total", Label: "reason"},
+		{Prefix: "serve.queue.depth.", Metric: "alda_serve_queue_depth", Label: "shard"},
+		{Prefix: "serve.inflight.", Metric: "alda_serve_inflight", Label: "shard"},
+		{Prefix: "serve.tenant.inflight.", Metric: "alda_serve_tenant_inflight", Label: "tenant"},
+		{Prefix: "serve.latency.wall_us.stage.", Metric: "alda_serve_stage_wall_us", Label: "stage"},
+		{Prefix: "serve.latency.wall_us.endpoint.", Metric: "alda_serve_endpoint_wall_us", Label: "endpoint"},
+		{Prefix: "serve.latency.wall_us.tenant.", Metric: "alda_serve_tenant_wall_us", Label: "tenant"},
+		{Prefix: "serve.profile.window.", Metric: "alda_serve_profile_window", Label: "member"},
+		{Prefix: "serve.adapt.drift_permille.", Metric: "alda_serve_profile_drift_permille", Label: "key"},
+		{Prefix: "profile.member.", Metric: "alda_profile_member_total", Label: "member"},
+	}
+}
+
+// handleMetrics serves the registry in two formats: the PR-5 JSON dump
+// (the default, wire-compatible with every existing scraper and smoke
+// script) or the Prometheus text exposition when the client asks for
+// text/plain (or forces ?format=prom|json).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.scrapeCaches()
+	s.scrapeGauges()
+	s.scrapeAdapt()
+	format := r.URL.Query().Get("format")
+	wantProm := format == "prom" ||
+		(format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain"))
+	if wantProm {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WriteProm(w, true, promRules()...)
+		return
+	}
 	s.reg.WriteJSON(w, true)
+}
+
+// handleFlight dumps the flight-recorder rings.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.flight.WriteSnapshot(w, "debug")
+}
+
+// handleSpans dumps the lifecycle span store (volatile wall times
+// included; pass ?volatile=0 for the deterministic structure only).
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.spans.WriteJSON(w, r.URL.Query().Get("volatile") != "0")
+}
+
+// Spans exposes the span store's snapshot (for tests and tooling).
+func (s *Server) Spans(includeVolatile bool) []obs.TraceExport {
+	return s.spans.Snapshot(includeVolatile)
+}
+
+// FlightSnapshot exposes the flight recorder's current rings.
+func (s *Server) FlightSnapshot(reason string) obs.FlightSnapshot {
+	return s.flight.Snapshot(reason)
+}
+
+// SnapshotFlightTo dumps the flight recorder to a file — the SIGQUIT
+// hook in cmd/aldaserve.
+func (s *Server) SnapshotFlightTo(path, reason string) error {
+	return s.flight.SnapshotToFile(path, reason)
 }
